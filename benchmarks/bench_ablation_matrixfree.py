@@ -1,0 +1,67 @@
+"""Ablation — matrix-free vs assembled-matrix Matvec.
+
+V2D never stores the matrix: "This strategy also avoids the costly
+packing/unpacking of data into some form of sparse matrix storage each
+time a linear system must be solved."  This ablation quantifies that
+choice on this substrate: per-apply cost of the stencil Matvec vs a
+SciPy CSR multiply, *plus* the assembly cost the matrix-free form
+avoids on every one of the run's 300 systems.
+"""
+
+import numpy as np
+import pytest
+
+from repro.linalg import StencilOperator, assemble_csr
+from repro.testing import diffusion_coeffs
+
+COEFFS = diffusion_coeffs(ns=2, n1=200, n2=100, coupled=False, seed=5)
+OP = StencilOperator(COEFFS)
+X = np.random.default_rng(5).standard_normal(OP.operand_shape)
+CSR = assemble_csr(COEFFS)
+XFLAT = X.transpose(0, 2, 1).reshape(-1)
+
+
+class TestMatrixFreeAblation:
+    def test_bench_matrix_free_apply(self, benchmark):
+        out = np.empty(OP.operand_shape)
+        benchmark(OP.apply, X, out)
+
+    def test_bench_csr_apply(self, benchmark):
+        benchmark(CSR.dot, XFLAT)
+
+    def test_bench_assembly_cost(self, benchmark):
+        # the cost paid per solve if the matrix were stored
+        benchmark(assemble_csr, COEFFS)
+
+    def test_equivalence_and_report(self, write_report):
+        import time
+
+        y_mf = OP.apply(X).transpose(0, 2, 1).reshape(-1)
+        y_csr = CSR @ XFLAT
+        np.testing.assert_allclose(y_mf, y_csr, rtol=1e-12, atol=1e-12)
+
+        def t(fn, reps=20):
+            best = float("inf")
+            for _ in range(reps):
+                t0 = time.perf_counter()
+                fn()
+                best = min(best, time.perf_counter() - t0)
+            return best
+
+        t_mf = t(lambda: OP.apply(X))
+        t_csr = t(lambda: CSR.dot(XFLAT))
+        t_asm = t(lambda: assemble_csr(COEFFS), reps=5)
+        report = "\n".join(
+            [
+                "ABLATION — matrix-free vs assembled Matvec "
+                f"({OP.size:,} unknowns, paper-size grid)",
+                f"  matrix-free stencil apply : {1e3 * t_mf:8.3f} ms",
+                f"  CSR apply                 : {1e3 * t_csr:8.3f} ms",
+                f"  CSR assembly (per system) : {1e3 * t_asm:8.3f} ms",
+                f"  assembly ~ {t_asm / max(t_csr, 1e-12):.1f}x one CSR apply; 300 systems/run "
+                "would pay it 300 times",
+            ]
+        )
+        write_report("ablation_matrixfree", report)
+        # The avoided cost is real: assembling costs several applies.
+        assert t_asm > 2 * t_csr

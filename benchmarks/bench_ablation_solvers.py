@@ -1,0 +1,125 @@
+"""Ablation — the solver/preconditioner trade space of ref. [7].
+
+The paper's solver stack (SPAI-preconditioned ganged BiCGSTAB) was
+chosen by an earlier comparison study (Swesty, Smolarski & Saylor
+2004).  This ablation re-runs that comparison on the reproduced
+radiation systems:
+
+* Krylov method: BiCGSTAB vs GMRES(30) vs GMRES(5);
+* preconditioner: SPAI vs ILU(0) vs Jacobi vs none -- including the
+  SIMD angle: ILU(0) saves the most iterations but its sequential
+  triangular solves cannot vectorize, so under the *vector* backend
+  SPAI wins on wall time while losing on iterations.
+"""
+
+import numpy as np
+import pytest
+
+from repro.kernels import KernelSuite
+from repro.linalg import (
+    ILU0Preconditioner,
+    JacobiPreconditioner,
+    SPAIPreconditioner,
+    StencilOperator,
+    bicgstab,
+    gmres,
+)
+from repro.testing import diffusion_coeffs
+
+COEFFS = diffusion_coeffs(ns=2, n1=24, n2=20, seed=13)
+RHS = np.random.default_rng(13).standard_normal((2, 24, 20))
+TOL = 1e-10
+
+
+def run_solver(method: str, precond: str = "none"):
+    suite = KernelSuite("vector")
+    op = StencilOperator(COEFFS, suite=suite)
+    M = {
+        "none": None,
+        "jacobi": JacobiPreconditioner.from_stencil(COEFFS, suite=suite),
+        "spai": SPAIPreconditioner.from_stencil(COEFFS, suite=suite),
+        "ilu0": ILU0Preconditioner.from_stencil(COEFFS),
+    }[precond]
+    if method == "bicgstab":
+        return bicgstab(op, RHS, tol=TOL, M=M, suite=suite)
+    if method == "gmres30":
+        return gmres(op, RHS, tol=TOL, restart=30, M=M, suite=suite)
+    return gmres(op, RHS, tol=TOL, restart=5, M=M, suite=suite)
+
+
+class TestSolverComparison:
+    @pytest.mark.parametrize("method", ["bicgstab", "gmres30", "gmres5"])
+    def test_bench_methods_unpreconditioned(self, benchmark, method):
+        res = benchmark(run_solver, method)
+        assert res.converged
+
+    @pytest.mark.parametrize("precond", ["spai", "ilu0"])
+    def test_bench_bicgstab_preconditioned(self, benchmark, precond):
+        res = benchmark(run_solver, "bicgstab", precond)
+        assert res.converged
+
+    def test_comparison_report(self, write_report):
+        import time
+
+        rows = []
+        for method in ("bicgstab", "gmres30", "gmres5"):
+            for precond in ("none", "jacobi", "spai", "ilu0"):
+                t0 = time.perf_counter()
+                res = run_solver(method, precond)
+                dt = time.perf_counter() - t0
+                rows.append((method, precond, res.iterations, res.matvecs, dt,
+                             res.converged))
+        lines = [
+            "ABLATION — solver x preconditioner (ref. [7] reprise, "
+            f"{COEFFS.nunknowns} unknowns, vector backend)",
+            f"{'method':<10} {'precond':<8} {'iters':>6} {'matvecs':>8} "
+            f"{'wall(s)':>9} {'ok':>4}",
+        ]
+        for m, p, it, mv, dt, ok in rows:
+            lines.append(f"{m:<10} {p:<8} {it:>6} {mv:>8} {dt:>9.4f} {str(ok):>4}")
+        write_report("ablation_solvers", "\n".join(lines))
+        assert all(r[5] for r in rows)
+
+        by = {(m, p): (it, dt) for m, p, it, mv, dt, ok in rows}
+        # every answer converged; the 2004-paper orderings hold:
+        assert by[("bicgstab", "spai")][0] < by[("bicgstab", "none")][0]
+        assert by[("bicgstab", "ilu0")][0] <= by[("bicgstab", "spai")][0]
+        # short-restart GMRES needs the most iterations
+        assert by[("gmres5", "none")][0] >= by[("gmres30", "none")][0]
+
+    def test_simd_angle_spai_apply_vectorizes_ilu_does_not(self, write_report):
+        """Wall-time per preconditioner apply: SPAI (stencil matvec)
+        drops hugely from scalar to vector backend; ILU(0) barely moves
+        (sequential triangular solves)."""
+        import time
+
+        x = RHS
+        timings = {}
+        for name, make in (
+            ("spai", lambda s: SPAIPreconditioner.from_stencil(COEFFS, suite=s)),
+            ("ilu0", lambda s: ILU0Preconditioner.from_stencil(COEFFS)),
+        ):
+            for backend in ("scalar", "vector"):
+                suite = KernelSuite(backend)
+                M = make(suite)
+                M.apply(x)  # warm
+                t0 = time.perf_counter()
+                for _ in range(5):
+                    M.apply(x)
+                timings[(name, backend)] = (time.perf_counter() - t0) / 5
+
+        spai_gain = timings[("spai", "scalar")] / timings[("spai", "vector")]
+        ilu_gain = timings[("ilu0", "scalar")] / timings[("ilu0", "vector")]
+        lines = [
+            "SIMD angle — preconditioner apply time, scalar vs vector backend",
+            f"  SPAI : {1e3 * timings[('spai', 'scalar')]:8.3f} ms -> "
+            f"{1e3 * timings[('spai', 'vector')]:8.3f} ms "
+            f"({spai_gain:.1f}x from vectorization)",
+            f"  ILU0 : {1e3 * timings[('ilu0', 'scalar')]:8.3f} ms -> "
+            f"{1e3 * timings[('ilu0', 'vector')]:8.3f} ms "
+            f"({ilu_gain:.1f}x — sequential, backend-independent)",
+            "  => why a SIMD-targeted code picks SPAI despite ILU's iteration edge",
+        ]
+        write_report("ablation_solvers_simd", "\n".join(lines))
+        assert spai_gain > 3.0
+        assert ilu_gain < 2.0

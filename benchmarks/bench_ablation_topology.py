@@ -1,0 +1,84 @@
+"""Ablation — process-topology sweep at fixed Np.
+
+Table I shows that at fixed processor count, flatter NX1 x NX2
+arrangements beat 1-D strips (e.g. 20 processors: 20x1 = 16.78 s,
+10x2 = 15.73 s, 5x4 = 15.39 s with Cray opt).  The driver is halo
+perimeter: a strip tile of 10x100 zones exposes twice the boundary of
+a 40x25 tile.  This ablation sweeps every factorization of the paper's
+Np values through the decomposition metrics and the cost model, and
+verifies the perimeter effect on real decomposed runs.
+"""
+
+import pytest
+
+from repro.grid import TileDecomposition
+from repro.perfmodel import CostModel
+from repro.perfmodel.paper_data import CRAY_OPT, PAPER_NX1, PAPER_NX2
+from repro.problems import GaussianPulseProblem
+from repro.v2d import V2DConfig, run_parallel
+
+MODEL = CostModel()
+
+
+def factorizations(np_: int):
+    return [
+        (n1, np_ // n1)
+        for n1 in range(1, np_ + 1)
+        if np_ % n1 == 0 and n1 <= PAPER_NX1 and np_ // n1 <= PAPER_NX2
+    ]
+
+
+class TestTopologyAblation:
+    def test_bench_model_sweep(self, benchmark):
+        def sweep():
+            return {
+                np_: {t: MODEL.predict(CRAY_OPT, *t).total for t in factorizations(np_)}
+                for np_ in (10, 20, 25, 40, 50)
+            }
+
+        results = benchmark(sweep)
+        assert all(results.values())
+
+    def test_halo_monotone_in_perimeter(self, write_report):
+        lines = ["ABLATION — topology sweep at fixed Np (Cray opt model)"]
+        for np_ in (20, 40, 50):
+            rows = []
+            for t in factorizations(np_):
+                d = TileDecomposition(PAPER_NX1, PAPER_NX2, *t)
+                pred = MODEL.predict(CRAY_OPT, *t)
+                rows.append((t, d.max_halo_zones(), d.max_tile_zones(), pred.total))
+            rows.sort(key=lambda r: r[1])
+            lines.append(f"  Np={np_}:")
+            for (n1, n2), halo, zones, total in rows:
+                lines.append(
+                    f"    {n1:3d}x{n2:<3d} halo={halo:4d} zones={zones:5d}  "
+                    f"T={total:6.2f} s"
+                )
+            # Among equally load-balanced factorizations, model time is
+            # non-decreasing in halo perimeter (imbalanced ones pay a
+            # separate max-tile penalty, e.g. 5x8 on the 100-zone axis).
+            balanced = [r for r in rows if r[2] == min(q[2] for q in rows)]
+            totals = [r[3] for r in balanced]
+            assert totals == sorted(totals), f"Np={np_}"
+        write_report("ablation_topology", "\n".join(lines))
+
+    def test_best_topology_is_flattish(self):
+        for np_ in (20, 40, 50):
+            best = MODEL.best_topology(CRAY_OPT, np_)
+            strip = (np_, 1)
+            assert MODEL.predict(CRAY_OPT, *best).total <= MODEL.predict(
+                CRAY_OPT, *strip
+            ).total
+            assert best != strip
+
+    def test_real_runs_message_volume_follows_perimeter(self):
+        # Scaled real runs: 4 ranks as 4x1 strip vs 2x2 square.
+        kw = dict(
+            nx1=20, nx2=20, nsteps=1, dt=1e-3, precond="jacobi", solver_tol=1e-8
+        )
+        traffic = {}
+        for topo in [(4, 1), (2, 2)]:
+            cfg = V2DConfig(nprx1=topo[0], nprx2=topo[1], **kw)
+            reports = run_parallel(cfg, GaussianPulseProblem())
+            traffic[topo] = sum(r.counters.bytes_sent for r in reports)
+        assert traffic[(2, 2)] < traffic[(4, 1)]

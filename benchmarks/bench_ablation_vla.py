@@ -1,0 +1,73 @@
+"""Ablation — vector-length-agnostic (VLA) sweep, 128-2048 bits.
+
+The Armv8.2-A SVE ISA "allows for vector lengths anywhere from
+128-2048 bits and enables vector length agnostic (VLA) programming";
+the A64FX implements 512.  This ablation sweeps the model's vector
+width through the architectural range (kernel-time ratios and SIMD
+instruction counts) and checks the substrate's VLA accounting: results
+are identical at every width, only the packed-op count changes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.backend import VectorBackend
+from repro.kernels import KernelSuite
+from repro.monitor import Counters
+from repro.perfmodel import A64FX, KernelTimeModel
+
+WIDTHS = (128, 256, 512, 1024, 2048)
+
+
+class TestVLAAblation:
+    def test_bench_model_sweep(self, benchmark):
+        km = KernelTimeModel()
+
+        def sweep():
+            return {k: km.vla_sweep(k, WIDTHS) for k in km.scalar_cpe}
+
+        results = benchmark(sweep)
+        assert set(results) == {"MATVEC", "DPROD", "DAXPY", "DSCAL", "DDAXPY"}
+
+    def test_ratio_improves_with_width(self, write_report):
+        km = KernelTimeModel()
+        lines = ["ABLATION — VLA width sweep (modeled SVE/no-SVE ratio)"]
+        header = "  kernel  " + "".join(f"{b:>8}" for b in WIDTHS)
+        lines.append(header)
+        for k in km.scalar_cpe:
+            sweep = km.vla_sweep(k, WIDTHS)
+            lines.append("  " + f"{k:<8}" + "".join(f"{sweep[b]:>8.3f}" for b in WIDTHS))
+            vals = [sweep[b] for b in WIDTHS]
+            assert all(a >= b for a, b in zip(vals, vals[1:]))
+            # the A64FX point reproduces Table II
+        write_report("ablation_vla", "\n".join(lines))
+
+    def test_a64fx_point_matches_table2(self):
+        km = KernelTimeModel()
+        assert km.vla_sweep("MATVEC")[512] == pytest.approx(0.16, abs=0.01)
+
+    def test_substrate_results_width_invariant(self):
+        rng = np.random.default_rng(0)
+        x, y = rng.standard_normal(1000), rng.standard_normal(1000)
+        base = VectorBackend(512).dot(x, y)
+        for bits in WIDTHS:
+            assert VectorBackend(bits).dot(x, y) == base
+
+    def test_simd_op_accounting_scales_with_lanes(self):
+        x, y = np.ones(1024), np.ones(1024)
+        ops = {}
+        for bits in WIDTHS:
+            c = Counters()
+            KernelSuite(VectorBackend(bits), counters=c).dprod(x, y)
+            ops[bits] = c.vector_ops
+        assert ops[128] == 512 and ops[512] == 128 and ops[2048] == 32
+        # flop counts identical regardless of width
+        c1, c2 = Counters(), Counters()
+        KernelSuite(VectorBackend(128), counters=c1).dprod(x, y)
+        KernelSuite(VectorBackend(2048), counters=c2).dprod(x, y)
+        assert c1.flops == c2.flops
+
+    def test_peak_flops_scale_with_width(self):
+        narrow = A64FX(sve_bits=128)
+        wide = A64FX(sve_bits=2048)
+        assert wide.peak_flops(1, True) == 16 * narrow.peak_flops(1, True)

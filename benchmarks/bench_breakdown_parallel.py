@@ -1,0 +1,82 @@
+"""Sec. II-E, 20-processor breakdown — compute shrinks, MPI appears.
+
+Paper: "When using 20 processors, in a 5x4 configuration,
+approximately 7.5 seconds out of 15 were spent in the matrix-vector
+multiplications at maximum per processor, with preconditioning taking
+about 0.8 seconds at maximum.  As to be expected with multiple
+processors, a significant amount of time was taken by MPI calls."
+
+Reproduced with the model at the paper's exact 5x4 topology, and with
+a real decomposed run (scaled grid, 5x2 = 10 rank threads) whose
+per-rank profiler and MPI counters must show the same structure:
+per-rank Matvec time shrinking with the tile, nonzero halo/reduction
+traffic on every rank.
+"""
+
+import pytest
+
+from repro.monitor import Counters
+from repro.perfmodel import CostModel, breakdown_report
+from repro.perfmodel.paper_data import CRAY_OPT, PAPER_BREAKDOWN_20PROC
+from repro.problems import GaussianPulseProblem
+from repro.v2d import V2DConfig, run_parallel
+
+CFG = V2DConfig(
+    nx1=50, nx2=20, extent1=(0.0, 2.0), extent2=(0.0, 1.0),
+    nsteps=2, dt=1e-3, precond="jacobi", solver_tol=1e-9,
+    nprx1=5, nprx2=2,
+)
+
+
+def run_decomposed():
+    return run_parallel(CFG, GaussianPulseProblem())
+
+
+class TestParallelBreakdown:
+    def test_regenerate_breakdown(self, benchmark, write_report):
+        reports = benchmark.pedantic(run_decomposed, rounds=1, iterations=1)
+        assert len(reports) == 10
+
+        merged = Counters()
+        for r in reports:
+            merged.merge(r.counters)
+        lines = [
+            breakdown_report(CostModel()),
+            "",
+            f"Real decomposed run ({CFG.nprx1}x{CFG.nprx2} = {CFG.nranks} ranks):",
+            f"  messages: {merged.messages_sent}, bytes: {merged.bytes_sent:,}, "
+            f"reductions: {merged.reductions}, halo exchanges: {merged.halo_exchanges}",
+        ]
+        for r in reports[:3]:
+            mv = r.matvec_fraction()
+            lines.append(
+                f"  rank {r.rank}: wall {r.wall_seconds:6.3f} s, "
+                f"Matvec {100 * (mv or 0):4.1f}% of rank time"
+            )
+        write_report("breakdown_parallel", "\n".join(lines))
+
+        # every rank communicated and converged
+        assert all(r.all_converged for r in reports)
+        assert merged.halo_exchanges > 0
+        assert merged.reductions > 0
+        assert all(r.counters.messages_sent > 0 for r in reports)
+
+    def test_model_20proc_numbers(self):
+        p = CostModel().predict(CRAY_OPT, 5, 4)
+        assert p.total == pytest.approx(PAPER_BREAKDOWN_20PROC["total"], rel=0.1)
+        assert p.matvec == pytest.approx(PAPER_BREAKDOWN_20PROC["matvec"], rel=0.15)
+        assert p.precond == pytest.approx(PAPER_BREAKDOWN_20PROC["precond"], rel=0.2)
+
+    def test_mpi_share_grows_with_ranks(self):
+        model = CostModel()
+        shares = []
+        for topo in [(5, 2), (5, 4), (10, 4)]:
+            p = model.predict(CRAY_OPT, *topo)
+            shares.append(p.mpi / p.total)
+        assert shares == sorted(shares), "MPI share must grow with rank count"
+
+    def test_per_rank_matvec_time_shrinks(self):
+        model = CostModel()
+        serial = model.predict(CRAY_OPT, 1, 1)
+        par = model.predict(CRAY_OPT, 5, 4)
+        assert par.matvec < serial.matvec / 15  # ~1/20 with balanced tiles

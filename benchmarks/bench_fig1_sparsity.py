@@ -1,0 +1,79 @@
+"""Fig. 1 — the sparsity pattern of the V2D system matrix.
+
+The paper shows the upper-left 400 x 400 block of the would-be
+40,000 x 40,000 matrix: a main diagonal, two adjacent diagonals, and
+two outlying diagonals at distance x1 = 200.  This benchmark
+regenerates the pattern (never forming the matrix), asserts the exact
+band structure, renders a coarse ASCII view, and times both the
+analytic pattern construction and a real sparse assembly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.linalg import assemble_csr, band_offsets, pattern_report, sparsity_block
+from repro.linalg.banded import stencil_to_bands
+from repro.perfmodel.paper_data import PAPER_NCOMP, PAPER_NX1, PAPER_NX2
+from repro.testing import diffusion_coeffs
+
+
+def render_ascii(pat: np.ndarray, cells: int = 40) -> str:
+    """Coarse ASCII rendering of a boolean pattern (Fig. 1 style)."""
+    n = pat.shape[0]
+    step = max(n // cells, 1)
+    lines = []
+    for i in range(0, n - step + 1, step):
+        row = "".join(
+            "#" if pat[i : i + step, j : j + step].any() else "."
+            for j in range(0, n - step + 1, step)
+        )
+        lines.append(row)
+    return "\n".join(lines)
+
+
+class TestFig1:
+    def test_paper_band_structure(self):
+        offs = band_offsets(PAPER_NCOMP, PAPER_NX1, PAPER_NX2)
+        assert offs == [-200, -1, 0, 1, 200], (
+            "five bands: diagonal, two adjacent, two outlying at distance x1"
+        )
+
+    def test_block_matches_paper_view(self, benchmark, write_report):
+        pat = benchmark(sparsity_block, PAPER_NX1, PAPER_NX2, PAPER_NCOMP, 400)
+        # Five bands visible in the 400x400 corner.
+        assert pat[0, 0] and pat[50, 51] and pat[50, 49]
+        assert pat[0, 200] and pat[250, 50]
+        # Nothing between the adjacent and outlying diagonals.
+        assert not pat[0, 100]
+        nnz_per_row = pat.sum(axis=1)
+        assert nnz_per_row.max() <= 5
+        report = "\n".join(
+            [
+                "FIG. 1 — sparsity pattern, upper-left 400x400 of 40,000x40,000",
+                pattern_report(PAPER_NX1, PAPER_NX2, PAPER_NCOMP),
+                "",
+                render_ascii(pat),
+            ]
+        )
+        write_report("fig1_sparsity", report)
+
+    def test_pattern_agrees_with_real_assembly(self):
+        # The analytic pattern must equal the nonzero pattern of an
+        # actually assembled diffusion system (small instance).
+        coeffs = diffusion_coeffs(ns=2, n1=10, n2=6, coupled=False)
+        A = assemble_csr(coeffs)
+        pat = sparsity_block(10, 6, 2, block=A.shape[0])
+        np.testing.assert_array_equal(pat, A.toarray() != 0.0)
+
+    def test_full_size_band_count(self):
+        # Full paper-size banded form: exactly 5 bands, 40,000 rows.
+        coeffs = diffusion_coeffs(ns=2, n1=PAPER_NX1, n2=PAPER_NX2, coupled=False)
+        offsets, bands = stencil_to_bands(coeffs)
+        assert len(offsets) == 5
+        assert bands[0].shape == (40_000,)
+
+    def test_bench_full_assembly(self, benchmark):
+        coeffs = diffusion_coeffs(ns=2, n1=PAPER_NX1, n2=PAPER_NX2, coupled=False)
+        result = benchmark(assemble_csr, coeffs)
+        assert result.shape == (40_000, 40_000)
+        assert result.nnz == pytest.approx(5 * 40_000, rel=0.02)

@@ -1,0 +1,84 @@
+"""Table I — times by compiler x process topology.
+
+Absolute A64FX seconds come from the calibrated machine/compiler model
+(:mod:`repro.perfmodel`); this benchmark regenerates the full 12 x 4
+table, checks every published cell against the model (<= 15 % per
+cell), and asserts the paper's qualitative findings as invariants:
+
+* T-I.a  GNU slowest at every topology; Cray(opt) fastest for
+  Np <= 25; Fujitsu fastest for Np >= 40.
+* T-I.b  strong-scaling efficiency decays; GNU/Cray turn upward past
+  their knee while Fujitsu still improves at 50.
+* T-I.c  flatter topologies (NX2 > 1) are no slower than 1-D strips
+  at fixed Np.
+"""
+
+import numpy as np
+import pytest
+
+from repro.perfmodel import CostModel, PAPER_TABLE1, table1_report
+from repro.perfmodel.paper_data import CRAY_OPT, FUJITSU, GNU
+from repro.perfmodel.tables import table1_model
+
+MODEL = CostModel()
+
+
+class TestTable1:
+    def test_regenerate_table1(self, benchmark, write_report):
+        rows = benchmark(table1_model, MODEL)
+        assert len(rows) == 12
+        errs = [
+            abs(pred - paper) / paper
+            for r in rows
+            for paper, pred in r["cells"].values()
+            if paper is not None
+        ]
+        assert max(errs) < 0.15
+        assert float(np.mean(errs)) < 0.04
+        write_report("table1_compilers", table1_report(MODEL))
+
+    def test_invariant_a_compiler_ordering(self):
+        for row in PAPER_TABLE1:
+            t = {
+                k: MODEL.predict(k, row.nx1, row.nx2).total
+                for k in (GNU, FUJITSU, CRAY_OPT)
+            }
+            assert t[GNU] == max(t.values())
+            if row.np_ <= 25:
+                assert t[CRAY_OPT] == min(t.values())
+            if row.np_ >= 40:
+                assert t[FUJITSU] == min(t.values())
+
+    def test_invariant_b_scaling_knee(self):
+        series = {
+            k: [MODEL.predict(k, r.nx1, r.nx2).total for r in PAPER_TABLE1]
+            for k in (GNU, FUJITSU, CRAY_OPT)
+        }
+        # Efficiency at Np=50 well below 100 %:
+        for k, ts in series.items():
+            eff50 = ts[0] / (50 * ts[-1])
+            assert eff50 < 0.8, f"{k} unrealistically efficient at Np=50"
+        # Knee: GNU/Cray worse at 50x1 than at their minimum; Fujitsu
+        # monotone down to 50.
+        assert MODEL.predict(GNU, 50, 1).total > MODEL.predict(GNU, 40, 1).total
+        assert MODEL.predict(CRAY_OPT, 50, 1).total > MODEL.predict(CRAY_OPT, 25, 1).total
+        assert MODEL.predict(FUJITSU, 50, 1).total < MODEL.predict(FUJITSU, 40, 1).total
+
+    def test_invariant_c_topology(self):
+        for k in (GNU, FUJITSU, CRAY_OPT):
+            for strip, flat in [((20, 1), (5, 4)), ((40, 1), (10, 4)), ((50, 1), (10, 5))]:
+                assert (
+                    MODEL.predict(k, *flat).total
+                    <= MODEL.predict(k, *strip).total + 1e-9
+                )
+
+    def test_paper_cells_tracked(self):
+        # Row-by-row agreement on the published Cray(no-opt) cells too.
+        from repro.perfmodel.paper_data import CRAY_NOOPT
+
+        for row in PAPER_TABLE1:
+            paper = row.time(CRAY_NOOPT)
+            if paper is None:
+                continue
+            pred = MODEL.predict(CRAY_NOOPT, row.nx1, row.nx2).total
+            assert pred == pytest.approx(paper, rel=0.05)

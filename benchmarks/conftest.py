@@ -1,0 +1,41 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark module regenerates one artifact of the paper (a table,
+a figure, or a Sec. II-E breakdown) and asserts its *shape invariants*
+-- who wins, by roughly what factor, where crossovers fall -- rather
+than absolute seconds (our substrate is a Python simulator, not the
+authors' A64FX testbed; the calibrated machine model carries the
+absolute-seconds side).
+
+Reports are printed with ``-s`` (or captured in the pytest summary);
+each module also writes its rendered report under
+``benchmarks/_reports/`` so a run leaves the regenerated tables on
+disk.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+REPORT_DIR = Path(__file__).parent / "_reports"
+
+
+@pytest.fixture(scope="session")
+def report_dir() -> Path:
+    REPORT_DIR.mkdir(exist_ok=True)
+    return REPORT_DIR
+
+
+@pytest.fixture(scope="session")
+def write_report(report_dir):
+    """``write_report(name, text)``: persist + echo a rendered artifact."""
+
+    def _write(name: str, text: str) -> Path:
+        path = report_dir / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[report written to {path}]")
+        return path
+
+    return _write

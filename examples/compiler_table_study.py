@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""The Table I study: compilers x topologies, model + real runs.
+
+Part 1 regenerates the paper's Table I from the calibrated A64FX /
+Ookami model, with the published values side by side, plus the
+Sec. II-E breakdowns and the SVE-dilution summary.
+
+Part 2 runs the *actual* simulator on a scaled problem across process
+topologies and backends, demonstrating the same qualitative effects on
+this substrate: identical physics at every topology, message traffic
+scaling with halo perimeter, and a large vector-vs-scalar gap.
+
+Usage::
+
+    python examples/compiler_table_study.py [--skip-real]
+"""
+
+import sys
+
+from repro.monitor import Counters
+from repro.perfmodel import (
+    CostModel,
+    breakdown_report,
+    dilution_report,
+    table1_report,
+)
+from repro.problems import GaussianPulseProblem
+from repro.v2d import V2DConfig, run_parallel
+
+
+def real_topology_study() -> None:
+    kw = dict(
+        nx1=40, nx2=20, extent1=(0.0, 2.0), extent2=(0.0, 1.0),
+        nsteps=2, dt=1e-3, precond="jacobi", solver_tol=1e-9,
+    )
+    print("Real scaled runs (40x20x2 zones, 2 steps = 6 solves):")
+    print(f"{'topology':>9} {'backend':>8} {'wall(s)':>9} {'energy':>12} "
+          f"{'msgs':>7} {'reductions':>11}")
+    for backend in ("vector", "scalar"):
+        for nprx1, nprx2 in [(1, 1), (4, 1), (2, 2)]:
+            cfg = V2DConfig(backend=backend, nprx1=nprx1, nprx2=nprx2, **kw)
+            reports = run_parallel(cfg, GaussianPulseProblem())
+            merged = Counters()
+            for r in reports:
+                merged.merge(r.counters)
+            r0 = reports[0]
+            print(f"{nprx1:>6}x{nprx2:<2} {backend:>8} {r0.wall_seconds:>9.3f} "
+                  f"{r0.final_energy:>12.6f} {merged.messages_sent:>7} "
+                  f"{merged.reductions:>11}")
+    print("\n(note: identical 'energy' across topologies = the physics is")
+    print(" decomposition-invariant; messages grow with tile count;")
+    print(" the scalar column is the no-SVE analogue)")
+
+
+def main(argv: list[str]) -> int:
+    model = CostModel()
+    print(table1_report(model))
+    print()
+    print(breakdown_report(model))
+    print()
+    print(dilution_report(model))
+    print()
+    for np_ in (20, 40, 50):
+        best = model.best_topology("cray-opt", np_)
+        print(f"Model-preferred topology for Np={np_} (Cray opt): "
+              f"{best[0]}x{best[1]}")
+    print()
+    if "--skip-real" not in argv:
+        real_topology_study()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Sod shock tube: the hydrodynamics module against the exact solution.
+
+V2D couples Eulerian hydrodynamics to its radiation solver; this
+example validates the hydro substrate alone on the canonical Riemann
+problem (rho, v, p) = (1, 0, 1) | (0.125, 0, 0.1), comparing the HLLC
++ MUSCL solution at t = 0.2 to the exact solver and printing an ASCII
+density profile.
+
+Usage::
+
+    python examples/sod_shock_tube.py [nx] [hll|hllc] [pcm|minmod|mc]
+"""
+
+import sys
+
+import numpy as np
+
+from repro.grid import Mesh2D
+from repro.hydro import HydroBC, HydroSolver2D, IdealGasEOS, exact_riemann
+
+
+def ascii_profile(x: np.ndarray, rho: np.ndarray, rho_ex: np.ndarray,
+                  width: int = 72, height: int = 16) -> str:
+    lines = []
+    lo, hi = 0.0, 1.1
+    cols = np.linspace(x[0], x[-1], width)
+    num = np.interp(cols, x, rho)
+    exa = np.interp(cols, x, rho_ex)
+    for row in range(height, -1, -1):
+        level = lo + (hi - lo) * row / height
+        line = []
+        for k in range(width):
+            n_hit = abs(num[k] - level) < (hi - lo) / (2 * height)
+            e_hit = abs(exa[k] - level) < (hi - lo) / (2 * height)
+            line.append("*" if n_hit else ("-" if e_hit else " "))
+        lines.append(f"{level:5.2f} |" + "".join(line))
+    lines.append("      +" + "-" * width)
+    lines.append("       numerical: *   exact: -")
+    return "\n".join(lines)
+
+
+def main(argv: list[str]) -> int:
+    nx = int(argv[1]) if len(argv) > 1 else 200
+    riemann = argv[2] if len(argv) > 2 else "hllc"
+    reconstruction = argv[3] if len(argv) > 3 else "minmod"
+
+    mesh = Mesh2D.uniform(nx, 4, extent1=(0, 1), extent2=(0, 0.1))
+    solver = HydroSolver2D(
+        mesh, IdealGasEOS(1.4), reconstruction=reconstruction,
+        riemann=riemann, bc=HydroBC.OUTFLOW, cfl=0.4,
+    )
+    w = np.empty((4, nx, 4))
+    left = mesh.x1c[:, None] < 0.5
+    w[0] = np.where(left, 1.0, 0.125)
+    w[1] = w[2] = 0.0
+    w[3] = np.where(left, 1.0, 0.1)
+    solver.set_primitive(w)
+
+    steps = solver.run(t_end=0.2)
+    rho = solver.primitive()[0, :, 1]
+
+    xi = (mesh.x1c - 0.5) / 0.2
+    rho_ex, v_ex, p_ex = exact_riemann((1, 0, 1), (0.125, 0, 0.1), xi)
+    err = float(np.abs(rho - rho_ex).mean())
+
+    print(f"Sod shock tube: nx={nx}, {riemann}/{reconstruction}, "
+          f"{steps} steps to t=0.2")
+    print(f"density L1 error vs exact solution: {err:.4f}\n")
+    print(ascii_profile(mesh.x1c, rho, rho_ex))
+    return 0 if err < 0.02 else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

@@ -1,0 +1,7 @@
+"""Legacy-path shim: enables `pip install -e . --no-use-pep517` on
+environments whose setuptools lacks PEP 660 editable-wheel support
+(metadata lives in pyproject.toml)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,71 @@
+"""repro: a reproduction of the V2D / SVE performance study (CLUSTER 2022).
+
+A Python re-implementation of the system behind *"Performance of an
+Astrophysical Radiation Hydrodynamics Code under Scalable Vector
+Extension Optimization"*: the V2D radiation-hydrodynamics code (2-D
+multigroup flux-limited diffusion with a matrix-free, SPAI-
+preconditioned, ganged-reduction BiCGSTAB solver and NPRX1 x NPRX2
+domain decomposition), its five Table-II linear-algebra kernels under
+interchangeable scalar / vectorized execution backends (the SVE
+substitute), a software performance-monitoring stack (perf/PAPI/TAU
+substitutes), and an analytic A64FX + Ookami machine model that
+regenerates the paper's Table I and Table II.
+
+Quick start::
+
+    from repro import GaussianPulseProblem, V2DConfig, Simulation
+
+    config = V2DConfig(nx1=64, nx2=32, nsteps=10)
+    sim = Simulation(config, GaussianPulseProblem())
+    report = sim.run()
+    print(report.summary())
+
+See ``DESIGN.md`` for the system inventory and ``EXPERIMENTS.md`` for
+the paper-vs-measured record of every table and figure.
+"""
+
+__version__ = "1.0.0"
+
+from repro.backend import (
+    Backend,
+    ScalarBackend,
+    VectorBackend,
+    available_backends,
+    get_backend,
+    use_backend,
+)
+from repro.grid import Field, Mesh2D, Tile, TileDecomposition
+from repro.kernels import KernelDriver, KernelSuite
+from repro.monitor import Counters, Profiler, perf_stat
+from repro.parallel import CartComm, Communicator, HaloExchanger, run_spmd
+
+__all__ = [
+    "__version__",
+    "Backend",
+    "ScalarBackend",
+    "VectorBackend",
+    "get_backend",
+    "use_backend",
+    "available_backends",
+    "Mesh2D",
+    "Field",
+    "Tile",
+    "TileDecomposition",
+    "KernelSuite",
+    "KernelDriver",
+    "Counters",
+    "Profiler",
+    "perf_stat",
+    "Communicator",
+    "CartComm",
+    "HaloExchanger",
+    "run_spmd",
+]
+
+try:  # high-level simulation API (depends on every substrate)
+    from repro.problems import GaussianPulseProblem  # noqa: F401
+    from repro.v2d import Simulation, V2DConfig  # noqa: F401
+
+    __all__ += ["GaussianPulseProblem", "Simulation", "V2DConfig"]
+except ImportError:  # pragma: no cover - only during bootstrap
+    pass

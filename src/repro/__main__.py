@@ -1,0 +1,146 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands regenerate the paper's artifacts or run the simulator:
+
+* ``table1``      -- Table I (paper vs calibrated model)
+* ``table2``      -- Table II (paper vs kernel model)
+* ``breakdown``   -- the Sec. II-E time attributions
+* ``dilution``    -- the kernel-vs-application SVE summary
+* ``fig1``        -- the sparsity-pattern report
+* ``calibration`` -- the Table-I fit coefficients and residuals
+* ``scaling``     -- the future-work projection (larger problem, more ranks)
+* ``run``         -- run the Gaussian-pulse problem at a chosen scale
+* ``driver``      -- the Sec. II-F kernel driver on this substrate
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.problems import GaussianPulseProblem
+    from repro.v2d import Simulation, V2DConfig, run_parallel
+
+    cfg = V2DConfig(
+        nx1=args.nx1, nx2=args.nx2, nsteps=args.nsteps, dt=args.dt,
+        nprx1=args.nprx1, nprx2=args.nprx2,
+        backend=args.backend, precond=args.precond,
+        ganged=not args.classic, solver_tol=args.tol,
+    )
+    problem = GaussianPulseProblem()
+    if cfg.nranks == 1:
+        report = Simulation(cfg, problem).run()
+    else:
+        report = run_parallel(cfg, problem)[0]
+    print(report.summary())
+    if args.profile:
+        print()
+        print(report.flat_profile())
+    return 0 if report.all_converged else 1
+
+
+def _cmd_driver(args: argparse.Namespace) -> int:
+    from repro.kernels import KernelDriver
+    from repro.kernels.driver import format_table2
+
+    driver = KernelDriver(n=args.n, reps=args.reps,
+                          band_offset=min(200, args.n - 1))
+    no_sve, sve, _ratios = driver.compare()
+    print(format_table2(no_sve, sve))
+    return 0
+
+
+def _cmd_scaling(args: argparse.Namespace) -> int:
+    from repro.perfmodel import CostModel
+
+    model = CostModel()
+    print(
+        f"Future-work projection: problem scaled {args.scale}x per "
+        f"direction ({200 * args.scale}x{100 * args.scale} zones)"
+    )
+    print(f"{'Np':>4} {'topology':>10} {'fujitsu':>9} {'cray-opt':>9}")
+    fu = model.scaling_study("fujitsu", scale=args.scale)
+    cr = model.scaling_study("cray-opt", scale=args.scale)
+    for f, c in zip(fu, cr):
+        print(
+            f"{f.np_:>4} {f.nprx1:>5}x{f.nprx2:<4} {f.total:>9.2f} {c.total:>9.2f}"
+        )
+    return 0
+
+
+def _report_cmd(name: str):
+    def run(_args: argparse.Namespace) -> int:
+        from repro.perfmodel import (
+            breakdown_report,
+            dilution_report,
+            table1_report,
+            table2_report,
+        )
+        from repro.perfmodel.calibrate import calibration_report
+
+        if name == "fig1":
+            from repro.linalg import pattern_report
+
+            print(pattern_report(200, 100, 2))
+            return 0
+        if name == "roofline":
+            from repro.perfmodel import RooflineModel
+
+            print(RooflineModel().report())
+            return 0
+        fn = {
+            "table1": table1_report,
+            "table2": table2_report,
+            "breakdown": breakdown_report,
+            "dilution": dilution_report,
+            "calibration": calibration_report,
+        }[name]
+        print(fn())
+        return 0
+
+    return run
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="V2D / SVE study reproduction"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    for name in ("table1", "table2", "breakdown", "dilution", "calibration",
+                 "fig1", "roofline"):
+        p = sub.add_parser(name, help=f"print the {name} report")
+        p.set_defaults(fn=_report_cmd(name))
+
+    p = sub.add_parser("scaling", help="future-work scaling projection")
+    p.add_argument("--scale", type=int, default=2)
+    p.set_defaults(fn=_cmd_scaling)
+
+    p = sub.add_parser("run", help="run the Gaussian-pulse problem")
+    p.add_argument("--nx1", type=int, default=48)
+    p.add_argument("--nx2", type=int, default=48)
+    p.add_argument("--nsteps", type=int, default=5)
+    p.add_argument("--dt", type=float, default=2e-4)
+    p.add_argument("--nprx1", type=int, default=1)
+    p.add_argument("--nprx2", type=int, default=1)
+    p.add_argument("--backend", choices=("vector", "scalar"), default="vector")
+    p.add_argument("--precond", choices=("spai", "jacobi", "none"), default="spai")
+    p.add_argument("--classic", action="store_true",
+                   help="textbook BiCGSTAB instead of ganged reductions")
+    p.add_argument("--tol", type=float, default=1e-10)
+    p.add_argument("--profile", action="store_true")
+    p.set_defaults(fn=_cmd_run)
+
+    p = sub.add_parser("driver", help="the Sec. II-F kernel driver")
+    p.add_argument("--n", type=int, default=1000)
+    p.add_argument("--reps", type=int, default=50)
+    p.set_defaults(fn=_cmd_driver)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,42 @@
+"""Execution backends: the SVE-substitute layer.
+
+The paper's independent variable is *code generation*: the same Fortran
+kernels compiled scalar (no SVE) or vectorized (SVE, 512-bit packed
+doubles).  Python cannot express vector intrinsics, so this package
+substitutes the same transformation one level up:
+
+* :class:`~repro.backend.scalar.ScalarBackend` executes every primitive
+  as an explicit element-by-element Python loop -- the analogue of
+  unvectorized scalar code.
+* :class:`~repro.backend.vector.VectorBackend` executes the same
+  primitives as whole-array NumPy operations (in place where possible)
+  -- the analogue of SVE codegen, including a configurable
+  vector-length parameter (128-2048 bit, the Armv8-A VLA range) used
+  for SIMD instruction accounting.
+
+Both backends produce *bit-identical results* for every primitive
+(asserted by the test suite); only their execution strategy differs,
+which is precisely the SVE-on/SVE-off contract.
+"""
+
+from repro.backend.base import Backend
+from repro.backend.dispatch import (
+    available_backends,
+    default_backend,
+    get_backend,
+    register_backend,
+    use_backend,
+)
+from repro.backend.scalar import ScalarBackend
+from repro.backend.vector import VectorBackend
+
+__all__ = [
+    "Backend",
+    "ScalarBackend",
+    "VectorBackend",
+    "get_backend",
+    "register_backend",
+    "available_backends",
+    "default_backend",
+    "use_backend",
+]

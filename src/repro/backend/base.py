@@ -1,0 +1,207 @@
+"""Abstract execution backend.
+
+A backend supplies the primitive array operations out of which the V2D
+solver kernels (:mod:`repro.kernels`) are composed.  The five named
+routines of the paper's Table II map onto these primitives:
+
+=========  =====================================  ==========================
+Routine    Meaning (paper Sec. II-F)              Backend primitive
+=========  =====================================  ==========================
+MATVEC     matrix-vector product (matrix-free)    :meth:`Backend.stencil_apply`,
+                                                  :meth:`Backend.banded_matvec`
+DPROD      dot product (ganged reductions)        :meth:`Backend.dot`,
+                                                  :meth:`Backend.multi_dot`
+DAXPY      ``a*x + y``                            :meth:`Backend.axpy`
+DSCAL      ``c - d*y``                            :meth:`Backend.dscal`
+DDAXPY     ``a*x + b*y + z``                      :meth:`Backend.ddaxpy`
+=========  =====================================  ==========================
+
+All primitives accept and return ``float64`` NumPy arrays; scalar
+backends still *store* data in NumPy arrays (as V2D stores vectors in
+Fortran arrays) but traverse them with explicit loops.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from typing import Sequence
+
+import numpy as np
+
+Array = np.ndarray
+
+
+class Backend(ABC):
+    """Primitive-operation provider; see module docstring.
+
+    Parameters
+    ----------
+    vector_bits:
+        SIMD register width in bits.  The A64FX implements 512-bit SVE;
+        the VLA programming model allows 128-2048.  Scalar execution is
+        modelled as 64-bit (one double per "vector").
+    """
+
+    #: short registry name, e.g. ``"scalar"`` / ``"vector"``
+    name: str = "abstract"
+    #: whether primitives execute as packed array operations
+    vectorized: bool = False
+
+    def __init__(self, vector_bits: int = 64) -> None:
+        if vector_bits % 64 != 0 or not 64 <= vector_bits <= 2048:
+            raise ValueError(
+                f"vector_bits must be a multiple of 64 in [64, 2048], got {vector_bits}"
+            )
+        self.vector_bits = int(vector_bits)
+
+    # ------------------------------------------------------------------
+    # SIMD accounting
+    # ------------------------------------------------------------------
+    @property
+    def lanes(self) -> int:
+        """Double-precision lanes per vector operation."""
+        return self.vector_bits // 64
+
+    def vector_op_count(self, n: int) -> int:
+        """Number of SIMD instructions to process ``n`` elements.
+
+        With SVE's vector-length-agnostic predication a loop over ``n``
+        elements issues ``ceil(n / lanes)`` whole-vector operations (the
+        tail is predicated, not peeled).
+        """
+        return math.ceil(n / self.lanes) if n > 0 else 0
+
+    # ------------------------------------------------------------------
+    # Reductions
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def dot(self, x: Array, y: Array) -> float:
+        """Return the inner product of ``x`` and ``y`` (any equal shape)."""
+
+    @abstractmethod
+    def multi_dot(self, pairs: Sequence[tuple[Array, Array]]) -> Array:
+        """Ganged inner products: one fused pass over all pairs.
+
+        This is the primitive behind V2D's restructured BiCGSTAB, which
+        "gangs inner products to reduce the number of parallel global
+        reduction operations".  Returns a 1-D array of ``len(pairs)``
+        partial results (local to this rank; the communicator reduces).
+        """
+
+    @abstractmethod
+    def norm2(self, x: Array) -> float:
+        """Euclidean norm of ``x``."""
+
+    # ------------------------------------------------------------------
+    # BLAS-1 style updates
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def axpy(self, a: float, x: Array, y: Array, out: Array | None = None) -> Array:
+        """``out = a*x + y`` (DAXPY)."""
+
+    @abstractmethod
+    def dscal(self, c: Array, d: float, y: Array, out: Array | None = None) -> Array:
+        """``out = c - d*y`` (the paper's DSCAL routine)."""
+
+    @abstractmethod
+    def ddaxpy(
+        self,
+        a: float,
+        x: Array,
+        b: float,
+        y: Array,
+        z: Array,
+        out: Array | None = None,
+    ) -> Array:
+        """``out = a*x + b*y + z`` (DDAXPY)."""
+
+    @abstractmethod
+    def scale(self, alpha: float, x: Array, out: Array | None = None) -> Array:
+        """``out = alpha * x``."""
+
+    @abstractmethod
+    def copy(self, x: Array, out: Array | None = None) -> Array:
+        """Copy ``x`` into ``out`` (or a new array)."""
+
+    @abstractmethod
+    def fill(self, x: Array, value: float) -> Array:
+        """Set every element of ``x`` to ``value`` in place."""
+
+    @abstractmethod
+    def add(self, x: Array, y: Array, out: Array | None = None) -> Array:
+        """``out = x + y``."""
+
+    @abstractmethod
+    def sub(self, x: Array, y: Array, out: Array | None = None) -> Array:
+        """``out = x - y``."""
+
+    @abstractmethod
+    def mul(self, x: Array, y: Array, out: Array | None = None) -> Array:
+        """Hadamard product ``out = x * y``."""
+
+    # ------------------------------------------------------------------
+    # Matrix-free operator application
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def stencil_apply(
+        self,
+        diag: Array,
+        west: Array,
+        east: Array,
+        south: Array,
+        north: Array,
+        x: Array,
+        out: Array | None = None,
+    ) -> Array:
+        """Apply a 5-point stencil to a ghost-padded field.
+
+        ``x`` has shape ``(nx1 + 2, nx2 + 2)`` (one ghost layer on every
+        side); the five coefficient arrays and ``out`` have the interior
+        shape ``(nx1, nx2)``.  For interior index ``(i, j)``::
+
+            out[i,j] = diag[i,j]*x[i+1,j+1]
+                     + west[i,j]*x[i,  j+1] + east[i,j]*x[i+2,j+1]
+                     + south[i,j]*x[i+1,j ] + north[i,j]*x[i+1,j+2]
+
+        This is V2D's Matvec: the finite-difference diffusion operator
+        applied to a column vector stored with the spatial shape of the
+        grid -- the sparse matrix is never formed.
+        """
+
+    @abstractmethod
+    def banded_matvec(
+        self,
+        offsets: Sequence[int],
+        bands: Sequence[Array],
+        x: Array,
+        out: Array | None = None,
+    ) -> Array:
+        """Matvec with a matrix stored as diagonals (driver-program path).
+
+        ``bands[k][i]`` multiplies ``x[i + offsets[k]]``; rows whose
+        off-diagonal index falls outside ``[0, n)`` skip that band.
+        Used by the stand-alone Table-II driver, which exercises the
+        kernels on a 1000-equation banded system.
+        """
+
+    # ------------------------------------------------------------------
+    # Helpers shared by concrete backends
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _check_same_shape(*arrays: Array) -> None:
+        shape = arrays[0].shape
+        for a in arrays[1:]:
+            if a.shape != shape:
+                raise ValueError(f"shape mismatch: {shape} vs {a.shape}")
+
+    @staticmethod
+    def _out_like(x: Array, out: Array | None) -> Array:
+        if out is None:
+            return np.empty_like(x)
+        if out.shape != x.shape:
+            raise ValueError(f"out shape {out.shape} != operand shape {x.shape}")
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(vector_bits={self.vector_bits})"

@@ -1,0 +1,91 @@
+"""Backend registry and selection.
+
+V2D selects its code path at build time (compiler flags); we select at
+run time through a small registry.  ``get_backend("vector")`` is the
+SVE build, ``get_backend("scalar")`` the no-SVE build, and
+:func:`use_backend` scopes a process-wide default the way a benchmark
+harness rebuilds and reruns an executable.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Callable, Iterator
+
+from repro.backend.base import Backend
+from repro.backend.scalar import ScalarBackend
+from repro.backend.vector import VectorBackend
+
+_FACTORIES: dict[str, Callable[..., Backend]] = {}
+_lock = threading.Lock()
+
+
+def register_backend(name: str, factory: Callable[..., Backend]) -> None:
+    """Register a backend factory under ``name``.
+
+    Re-registering an existing name raises ``ValueError`` to protect
+    against accidental shadowing of the built-in backends.
+    """
+    with _lock:
+        if name in _FACTORIES:
+            raise ValueError(f"backend {name!r} already registered")
+        _FACTORIES[name] = factory
+
+
+def available_backends() -> list[str]:
+    """Names of all registered backends, sorted."""
+    with _lock:
+        return sorted(_FACTORIES)
+
+
+def get_backend(name: str | Backend, **kwargs: object) -> Backend:
+    """Instantiate a backend by registry name.
+
+    Passing an existing :class:`Backend` returns it unchanged, so APIs
+    can accept either a name or an instance (``kwargs`` must then be
+    empty).
+    """
+    if isinstance(name, Backend):
+        if kwargs:
+            raise ValueError("cannot pass constructor kwargs with a Backend instance")
+        return name
+    with _lock:
+        try:
+            factory = _FACTORIES[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown backend {name!r}; available: {sorted(_FACTORIES)}"
+            ) from None
+    return factory(**kwargs)
+
+
+register_backend("scalar", ScalarBackend)
+register_backend("vector", VectorBackend)
+
+_default = threading.local()
+
+
+def default_backend() -> Backend:
+    """The ambient backend (vector/SVE unless overridden)."""
+    bk = getattr(_default, "backend", None)
+    if bk is None:
+        bk = VectorBackend()
+        _default.backend = bk
+    return bk
+
+
+@contextmanager
+def use_backend(name: str | Backend, **kwargs: object) -> Iterator[Backend]:
+    """Scope the ambient default backend for the current thread::
+
+        with use_backend("scalar"):
+            run_driver()          # everything executes unvectorized
+    """
+    new = get_backend(name, **kwargs)
+    old = getattr(_default, "backend", None)
+    _default.backend = new
+    try:
+        yield new
+    finally:
+        _default.backend = old

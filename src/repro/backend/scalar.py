@@ -1,0 +1,193 @@
+"""Scalar (unvectorized) backend: the no-SVE proxy.
+
+Every primitive walks its operands element by element in an explicit
+Python loop, exactly as a compiler emits scalar code when SVE (and
+auto-vectorization generally) is disabled.  Data still lives in NumPy
+``float64`` arrays -- mirroring V2D, whose vectors are ordinary Fortran
+arrays regardless of how the loops over them are compiled.
+
+Elementwise primitives produce results bit-identical to
+:class:`~repro.backend.vector.VectorBackend` (same operations, same
+order per element).  Reductions agree to within floating-point
+reassociation error: this backend sums left-to-right (scalar code),
+while the vector backend accumulates lane-wise (as SVE reductions do)
+via NumPy's pairwise summation.  The test suite pins both contracts.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.backend.base import Array, Backend
+
+
+class ScalarBackend(Backend):
+    """Element-at-a-time execution (one double per 'vector' op)."""
+
+    name = "scalar"
+    vectorized = False
+
+    def __init__(self, vector_bits: int = 64) -> None:
+        if vector_bits != 64:
+            raise ValueError("ScalarBackend is by definition 64-bit (one lane)")
+        super().__init__(vector_bits=64)
+
+    # -- reductions -----------------------------------------------------
+    def dot(self, x: Array, y: Array) -> float:
+        self._check_same_shape(x, y)
+        xf, yf = x.ravel(), y.ravel()
+        acc = 0.0
+        for i in range(xf.shape[0]):
+            acc += xf[i] * yf[i]
+        return acc
+
+    def multi_dot(self, pairs: Sequence[tuple[Array, Array]]) -> Array:
+        if not pairs:
+            return np.zeros(0)
+        n = pairs[0][0].size
+        flats = []
+        for x, y in pairs:
+            self._check_same_shape(x, y)
+            if x.size != n:
+                raise ValueError("ganged dot products require equal-length operands")
+            flats.append((x.ravel(), y.ravel()))
+        # One fused sweep: a single pass of the index over all pairs, the
+        # way V2D's ganged DPROD touches each vector pair once per element.
+        accs = [0.0] * len(flats)
+        for i in range(n):
+            for k, (xf, yf) in enumerate(flats):
+                accs[k] += xf[i] * yf[i]
+        return np.array(accs)
+
+    def norm2(self, x: Array) -> float:
+        return float(np.sqrt(self.dot(x, x)))
+
+    # -- BLAS-1 updates --------------------------------------------------
+    def axpy(self, a: float, x: Array, y: Array, out: Array | None = None) -> Array:
+        self._check_same_shape(x, y)
+        out = self._out_like(x, out)
+        xf, yf, of = x.ravel(), y.ravel(), out.ravel()
+        for i in range(xf.shape[0]):
+            of[i] = a * xf[i] + yf[i]
+        return out
+
+    def dscal(self, c: Array, d: float, y: Array, out: Array | None = None) -> Array:
+        self._check_same_shape(c, y)
+        out = self._out_like(c, out)
+        cf, yf, of = c.ravel(), y.ravel(), out.ravel()
+        for i in range(cf.shape[0]):
+            of[i] = cf[i] - d * yf[i]
+        return out
+
+    def ddaxpy(
+        self,
+        a: float,
+        x: Array,
+        b: float,
+        y: Array,
+        z: Array,
+        out: Array | None = None,
+    ) -> Array:
+        self._check_same_shape(x, y, z)
+        out = self._out_like(x, out)
+        xf, yf, zf, of = x.ravel(), y.ravel(), z.ravel(), out.ravel()
+        for i in range(xf.shape[0]):
+            of[i] = a * xf[i] + b * yf[i] + zf[i]
+        return out
+
+    def scale(self, alpha: float, x: Array, out: Array | None = None) -> Array:
+        out = self._out_like(x, out)
+        xf, of = x.ravel(), out.ravel()
+        for i in range(xf.shape[0]):
+            of[i] = alpha * xf[i]
+        return out
+
+    def copy(self, x: Array, out: Array | None = None) -> Array:
+        out = self._out_like(x, out)
+        xf, of = x.ravel(), out.ravel()
+        for i in range(xf.shape[0]):
+            of[i] = xf[i]
+        return out
+
+    def fill(self, x: Array, value: float) -> Array:
+        xf = x.ravel()
+        for i in range(xf.shape[0]):
+            xf[i] = value
+        return x
+
+    def add(self, x: Array, y: Array, out: Array | None = None) -> Array:
+        self._check_same_shape(x, y)
+        out = self._out_like(x, out)
+        xf, yf, of = x.ravel(), y.ravel(), out.ravel()
+        for i in range(xf.shape[0]):
+            of[i] = xf[i] + yf[i]
+        return out
+
+    def sub(self, x: Array, y: Array, out: Array | None = None) -> Array:
+        self._check_same_shape(x, y)
+        out = self._out_like(x, out)
+        xf, yf, of = x.ravel(), y.ravel(), out.ravel()
+        for i in range(xf.shape[0]):
+            of[i] = xf[i] - yf[i]
+        return out
+
+    def mul(self, x: Array, y: Array, out: Array | None = None) -> Array:
+        self._check_same_shape(x, y)
+        out = self._out_like(x, out)
+        xf, yf, of = x.ravel(), y.ravel(), out.ravel()
+        for i in range(xf.shape[0]):
+            of[i] = xf[i] * yf[i]
+        return out
+
+    # -- matrix-free operators --------------------------------------------
+    def stencil_apply(
+        self,
+        diag: Array,
+        west: Array,
+        east: Array,
+        south: Array,
+        north: Array,
+        x: Array,
+        out: Array | None = None,
+    ) -> Array:
+        self._check_same_shape(diag, west, east, south, north)
+        n1, n2 = diag.shape
+        if x.shape != (n1 + 2, n2 + 2):
+            raise ValueError(
+                f"ghost-padded field must be {(n1 + 2, n2 + 2)}, got {x.shape}"
+            )
+        out = self._out_like(diag, out)
+        for i in range(n1):
+            for j in range(n2):
+                out[i, j] = (
+                    diag[i, j] * x[i + 1, j + 1]
+                    + west[i, j] * x[i, j + 1]
+                    + east[i, j] * x[i + 2, j + 1]
+                    + south[i, j] * x[i + 1, j]
+                    + north[i, j] * x[i + 1, j + 2]
+                )
+        return out
+
+    def banded_matvec(
+        self,
+        offsets: Sequence[int],
+        bands: Sequence[Array],
+        x: Array,
+        out: Array | None = None,
+    ) -> Array:
+        if len(offsets) != len(bands):
+            raise ValueError("offsets and bands must pair up")
+        if out is x:
+            raise ValueError("banded_matvec cannot write its result over x")
+        n = x.shape[0]
+        out = self._out_like(x, out)
+        for i in range(n):
+            acc = 0.0
+            for off, band in zip(offsets, bands):
+                j = i + off
+                if 0 <= j < n:
+                    acc += band[i] * x[j]
+            out[i] = acc
+        return out

@@ -1,0 +1,36 @@
+"""Structured-grid substrate.
+
+V2D is "generically written to allow various coordinate systems", with
+orthogonal x1 and x2 directions, and is domain decomposed with a
+Cartesian 2-D spatial tile decomposition controlled by the runtime
+parameters NPRX1 and NPRX2.  This package reproduces that machinery:
+
+* :mod:`repro.grid.geometry` -- Cartesian / cylindrical / spherical
+  orthogonal coordinate systems (face areas, cell volumes).
+* :mod:`repro.grid.mesh` -- the 2-D zone-centred mesh.
+* :mod:`repro.grid.field` -- ghost-padded multi-species fields.
+* :mod:`repro.grid.decomposition` -- the NPRX1 x NPRX2 tiling.
+"""
+
+from repro.grid.decomposition import Tile, TileDecomposition
+from repro.grid.field import Field
+from repro.grid.geometry import (
+    Cartesian,
+    CoordinateSystem,
+    Cylindrical,
+    SphericalPolar,
+    get_coordinate_system,
+)
+from repro.grid.mesh import Mesh2D
+
+__all__ = [
+    "Mesh2D",
+    "Field",
+    "Tile",
+    "TileDecomposition",
+    "CoordinateSystem",
+    "Cartesian",
+    "Cylindrical",
+    "SphericalPolar",
+    "get_coordinate_system",
+]

@@ -1,0 +1,183 @@
+"""The NPRX1 x NPRX2 tile decomposition.
+
+V2D domain decomposes its grid into a Cartesian 2-D arrangement of
+tiles "controlled by adjustable runtime parameters NPRX1 and NPRX2 ...
+Thus the process topology may be varied to better apportion the load
+among processors."  Table I's rows are exactly such topology
+variations (e.g. 20 processors as 20x1, 10x2 or 5x4).
+
+Zones are split as evenly as possible: with ``n`` zones over ``p``
+tiles, the first ``n % p`` tiles get ``ceil(n/p)`` zones and the rest
+``floor(n/p)``.  Ranks map to tile coordinates in row-major order with
+the x1 tile index fastest, matching the dictionary ordering of the
+assembled system.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+
+
+def split_evenly(n: int, parts: int) -> list[tuple[int, int]]:
+    """Balanced 1-D split: list of ``(start, stop)`` zone ranges.
+
+    Raises ``ValueError`` when there are more parts than zones, which
+    would leave idle processors holding empty tiles.
+    """
+    if parts < 1:
+        raise ValueError("need at least one part")
+    if parts > n:
+        raise ValueError(f"cannot split {n} zones into {parts} non-empty tiles")
+    base, extra = divmod(n, parts)
+    ranges = []
+    start = 0
+    for p in range(parts):
+        size = base + (1 if p < extra else 0)
+        ranges.append((start, start + size))
+        start += size
+    return ranges
+
+
+@dataclass(frozen=True)
+class Tile:
+    """One rank's rectangle of the global zone index space."""
+
+    rank: int
+    p1: int            # tile coordinate along x1 (0 .. nprx1-1)
+    p2: int            # tile coordinate along x2 (0 .. nprx2-1)
+    i1: tuple[int, int]  # global zone range [start, stop) along x1
+    i2: tuple[int, int]  # global zone range [start, stop) along x2
+
+    @property
+    def nx1(self) -> int:
+        return self.i1[1] - self.i1[0]
+
+    @property
+    def nx2(self) -> int:
+        return self.i2[1] - self.i2[0]
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (self.nx1, self.nx2)
+
+    @property
+    def nzones(self) -> int:
+        return self.nx1 * self.nx2
+
+    @property
+    def slice1(self) -> slice:
+        return slice(self.i1[0], self.i1[1])
+
+    @property
+    def slice2(self) -> slice:
+        return slice(self.i2[0], self.i2[1])
+
+    def perimeter_zones(self, nprx1: int, nprx2: int) -> int:
+        """Zones on interior tile boundaries (halo volume this tile sends).
+
+        Faces on the physical domain boundary carry no communication.
+        """
+        n = 0
+        if self.p1 > 0:
+            n += self.nx2
+        if self.p1 < nprx1 - 1:
+            n += self.nx2
+        if self.p2 > 0:
+            n += self.nx1
+        if self.p2 < nprx2 - 1:
+            n += self.nx1
+        return n
+
+
+@dataclass(frozen=True)
+class TileDecomposition:
+    """Cartesian decomposition of an ``nx1 x nx2`` grid into
+    ``nprx1 x nprx2`` tiles."""
+
+    nx1: int
+    nx2: int
+    nprx1: int
+    nprx2: int
+
+    def __post_init__(self) -> None:
+        # Validate both splits up front; split_evenly raises on
+        # over-decomposition (more tiles than zones in a direction).
+        split_evenly(self.nx1, self.nprx1)
+        split_evenly(self.nx2, self.nprx2)
+
+    @property
+    def nranks(self) -> int:
+        return self.nprx1 * self.nprx2
+
+    @cached_property
+    def _ranges1(self) -> list[tuple[int, int]]:
+        return split_evenly(self.nx1, self.nprx1)
+
+    @cached_property
+    def _ranges2(self) -> list[tuple[int, int]]:
+        return split_evenly(self.nx2, self.nprx2)
+
+    # ------------------------------------------------------------------
+    # Rank <-> tile-coordinate maps (x1 index fastest)
+    # ------------------------------------------------------------------
+    def coords_of(self, rank: int) -> tuple[int, int]:
+        if not 0 <= rank < self.nranks:
+            raise ValueError(f"rank {rank} out of range [0, {self.nranks})")
+        return rank % self.nprx1, rank // self.nprx1
+
+    def rank_of(self, p1: int, p2: int) -> int:
+        if not (0 <= p1 < self.nprx1 and 0 <= p2 < self.nprx2):
+            raise ValueError(f"tile coordinate ({p1},{p2}) out of range")
+        return p2 * self.nprx1 + p1
+
+    def tile(self, rank: int) -> Tile:
+        p1, p2 = self.coords_of(rank)
+        return Tile(rank=rank, p1=p1, p2=p2, i1=self._ranges1[p1], i2=self._ranges2[p2])
+
+    def tiles(self) -> list[Tile]:
+        return [self.tile(r) for r in range(self.nranks)]
+
+    # ------------------------------------------------------------------
+    # Neighbours
+    # ------------------------------------------------------------------
+    def neighbor(self, rank: int, d1: int, d2: int) -> int | None:
+        """Rank offset by (d1, d2) tile steps, or ``None`` at the edge."""
+        p1, p2 = self.coords_of(rank)
+        q1, q2 = p1 + d1, p2 + d2
+        if 0 <= q1 < self.nprx1 and 0 <= q2 < self.nprx2:
+            return self.rank_of(q1, q2)
+        return None
+
+    def neighbors(self, rank: int) -> dict[str, int | None]:
+        """The four face neighbours: west/east along x1, south/north along x2."""
+        return {
+            "west": self.neighbor(rank, -1, 0),
+            "east": self.neighbor(rank, +1, 0),
+            "south": self.neighbor(rank, 0, -1),
+            "north": self.neighbor(rank, 0, +1),
+        }
+
+    # ------------------------------------------------------------------
+    # Load / communication metrics (consumed by the performance model)
+    # ------------------------------------------------------------------
+    def max_tile_zones(self) -> int:
+        """Zones on the most loaded rank (sets the parallel compute time)."""
+        return max(t.nzones for t in self.tiles())
+
+    def max_halo_zones(self) -> int:
+        """Largest per-rank halo volume in zones."""
+        return max(t.perimeter_zones(self.nprx1, self.nprx2) for t in self.tiles())
+
+    def max_neighbor_count(self) -> int:
+        """Most messages any rank sends per halo exchange."""
+        best = 0
+        for r in range(self.nranks):
+            best = max(best, sum(1 for v in self.neighbors(r).values() if v is not None))
+        return best
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"TileDecomposition({self.nx1}x{self.nx2} zones, "
+            f"{self.nprx1}x{self.nprx2} tiles)"
+        )

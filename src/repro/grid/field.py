@@ -1,0 +1,143 @@
+"""Ghost-padded multi-species fields.
+
+V2D stores solver vectors "as Fortran arrays defined with the same
+spatial shape as the 2D grid".  :class:`Field` is that storage: an
+``(ns, nx1 + 2g, nx2 + 2g)`` array with ``g`` ghost layers, plus zero-
+copy views of the interior and of the boundary strips the halo
+exchange reads and writes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+Array = np.ndarray
+
+#: Sides in the order (axis, low/high) used across the halo machinery.
+SIDES: tuple[str, ...] = ("west", "east", "south", "north")
+
+
+class Field:
+    """Multi-species zone-centred field with ghost zones.
+
+    Parameters
+    ----------
+    nspec:
+        Number of species (leading axis).
+    shape:
+        Interior zone shape ``(nx1, nx2)``.
+    nghost:
+        Ghost layers per side (the 5-point diffusion stencil needs 1;
+        the MUSCL hydro reconstruction needs 2).
+    """
+
+    def __init__(self, nspec: int, shape: tuple[int, int], nghost: int = 1) -> None:
+        if nspec < 1:
+            raise ValueError("need at least one species")
+        if nghost < 1:
+            raise ValueError("need at least one ghost layer")
+        nx1, nx2 = shape
+        if nx1 < 1 or nx2 < 1:
+            raise ValueError("interior shape must be positive")
+        self.nspec = nspec
+        self.nghost = nghost
+        self._shape = (nx1, nx2)
+        self.data = np.zeros((nspec, nx1 + 2 * nghost, nx2 + 2 * nghost))
+
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> tuple[int, int]:
+        """Interior shape ``(nx1, nx2)``."""
+        return self._shape
+
+    @property
+    def interior(self) -> Array:
+        """Zero-copy ``(ns, nx1, nx2)`` view of the interior zones."""
+        g = self.nghost
+        return self.data[:, g:-g, g:-g]
+
+    @interior.setter
+    def interior(self, values: Array) -> None:
+        self.interior[...] = values
+
+    # ------------------------------------------------------------------
+    # Boundary strips (for halo exchange and boundary conditions).
+    # "send" strips are interior zones adjacent to a side; "ghost"
+    # strips are the ghost zones on that side.  Both are views.
+    # ------------------------------------------------------------------
+    def send_strip(self, side: str, width: int | None = None) -> Array:
+        g = self.nghost
+        w = g if width is None else width
+        if not 1 <= w <= g:
+            raise ValueError(f"strip width {w} outside [1, {g}]")
+        if side == "west":
+            return self.data[:, g : g + w, g:-g]
+        if side == "east":
+            return self.data[:, -g - w : -g, g:-g]
+        if side == "south":
+            return self.data[:, g:-g, g : g + w]
+        if side == "north":
+            return self.data[:, g:-g, -g - w : -g]
+        raise ValueError(f"unknown side {side!r}")
+
+    def ghost_strip(self, side: str, width: int | None = None) -> Array:
+        g = self.nghost
+        w = g if width is None else width
+        if not 1 <= w <= g:
+            raise ValueError(f"strip width {w} outside [1, {g}]")
+        # The width-w ghost strip nearest the interior on each side.
+        hi = None if w == g else -g + w
+        if side == "west":
+            return self.data[:, g - w : g, g:-g]
+        if side == "east":
+            return self.data[:, -g:hi, g:-g]
+        if side == "south":
+            return self.data[:, g:-g, g - w : g]
+        if side == "north":
+            return self.data[:, g:-g, -g:hi]
+        raise ValueError(f"unknown side {side!r}")
+
+    # ------------------------------------------------------------------
+    def fill_ghosts_zero(self) -> None:
+        """Zero every ghost zone (Dirichlet-0 exterior)."""
+        g = self.nghost
+        self.data[:, :g, :] = 0.0
+        self.data[:, -g:, :] = 0.0
+        self.data[:, :, :g] = 0.0
+        self.data[:, :, -g:] = 0.0
+
+    def reflect_side(self, side: str) -> None:
+        """Mirror interior zones into this side's ghosts (Neumann-0)."""
+        g = self.nghost
+        if side == "west":
+            self.data[:, :g, g:-g] = self.data[:, 2 * g - 1 : g - 1 : -1, g:-g]
+        elif side == "east":
+            self.data[:, -g:, g:-g] = self.data[:, -g - 1 : -2 * g - 1 : -1, g:-g]
+        elif side == "south":
+            self.data[:, g:-g, :g] = self.data[:, g:-g, 2 * g - 1 : g - 1 : -1]
+        elif side == "north":
+            self.data[:, g:-g, -g:] = self.data[:, g:-g, -g - 1 : -2 * g - 1 : -1]
+        else:
+            raise ValueError(f"unknown side {side!r}")
+
+    def zero_side(self, side: str) -> None:
+        """Zero this side's ghost zones (Dirichlet-0)."""
+        g = self.nghost
+        if side == "west":
+            self.data[:, :g, :] = 0.0
+        elif side == "east":
+            self.data[:, -g:, :] = 0.0
+        elif side == "south":
+            self.data[:, :, :g] = 0.0
+        elif side == "north":
+            self.data[:, :, -g:] = 0.0
+        else:
+            raise ValueError(f"unknown side {side!r}")
+
+    def copy(self) -> "Field":
+        f = Field(self.nspec, self._shape, self.nghost)
+        f.data[...] = self.data
+        return f
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Field(nspec={self.nspec}, shape={self._shape}, nghost={self.nghost})"

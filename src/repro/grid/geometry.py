@@ -1,0 +1,154 @@
+"""Orthogonal coordinate systems.
+
+V2D treats x1 and x2 as always-orthogonal directions and supports
+several coordinate systems through geometry factors.  A finite-volume
+discretization on an orthogonal grid needs, per zone, the cell volume
+and the face areas transverse to each direction; the divergence of a
+flux F is then::
+
+    (div F)_ij = [ A1_{i+1/2} F1_{i+1/2} - A1_{i-1/2} F1_{i-1/2}
+                 + A2_{j+1/2} F2_{j+1/2} - A2_{j-1/2} F2_{j-1/2} ] / V_ij
+
+Each system maps (x1, x2) to physical coordinates:
+
+* :class:`Cartesian`       -- x1 = x, x2 = y
+* :class:`Cylindrical`     -- x1 = r (cylindrical radius), x2 = z
+* :class:`SphericalPolar`  -- x1 = r (spherical radius), x2 = theta
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+Array = np.ndarray
+
+
+class CoordinateSystem(ABC):
+    """Geometry-factor provider for an orthogonal (x1, x2) grid.
+
+    All methods take *face* coordinate arrays: ``x1f`` of length
+    ``nx1 + 1`` and ``x2f`` of length ``nx2 + 1``, and return arrays
+    broadcastable against ``(nx1, nx2)`` zone-centred fields.
+    """
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def cell_volumes(self, x1f: Array, x2f: Array) -> Array:
+        """``(nx1, nx2)`` zone volumes (per unit length/radian in the
+        suppressed third dimension)."""
+
+    @abstractmethod
+    def face_areas_x1(self, x1f: Array, x2f: Array) -> Array:
+        """``(nx1 + 1, nx2)`` areas of the faces normal to x1."""
+
+    @abstractmethod
+    def face_areas_x2(self, x1f: Array, x2f: Array) -> Array:
+        """``(nx1, nx2 + 1)`` areas of the faces normal to x2."""
+
+    def validate(self, x1f: Array, x2f: Array) -> None:
+        """Reject non-monotonic or out-of-domain face coordinates."""
+        if np.any(np.diff(x1f) <= 0) or np.any(np.diff(x2f) <= 0):
+            raise ValueError("face coordinates must be strictly increasing")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+class Cartesian(CoordinateSystem):
+    """Planar (x, y) geometry; all factors are products of widths."""
+
+    name = "cartesian"
+
+    def cell_volumes(self, x1f: Array, x2f: Array) -> Array:
+        d1 = np.diff(x1f)
+        d2 = np.diff(x2f)
+        return np.outer(d1, d2)
+
+    def face_areas_x1(self, x1f: Array, x2f: Array) -> Array:
+        d2 = np.diff(x2f)
+        return np.broadcast_to(d2, (x1f.shape[0], d2.shape[0])).copy()
+
+    def face_areas_x2(self, x1f: Array, x2f: Array) -> Array:
+        d1 = np.diff(x1f)
+        return np.broadcast_to(d1[:, None], (d1.shape[0], x2f.shape[0])).copy()
+
+
+class Cylindrical(CoordinateSystem):
+    """(r, z) geometry, axisymmetric; per radian of azimuth.
+
+    Volumes are ``0.5 (r_{i+1}^2 - r_i^2) dz``; radial faces have area
+    ``r dz``; axial faces ``0.5 (r_{i+1}^2 - r_i^2)``.
+    """
+
+    name = "cylindrical"
+
+    def validate(self, x1f: Array, x2f: Array) -> None:
+        super().validate(x1f, x2f)
+        if x1f[0] < 0:
+            raise ValueError("cylindrical radius faces must satisfy r >= 0")
+
+    def cell_volumes(self, x1f: Array, x2f: Array) -> Array:
+        r2 = 0.5 * np.diff(x1f**2)
+        dz = np.diff(x2f)
+        return np.outer(r2, dz)
+
+    def face_areas_x1(self, x1f: Array, x2f: Array) -> Array:
+        dz = np.diff(x2f)
+        return np.outer(x1f, dz)
+
+    def face_areas_x2(self, x1f: Array, x2f: Array) -> Array:
+        r2 = 0.5 * np.diff(x1f**2)
+        return np.broadcast_to(r2[:, None], (r2.shape[0], x2f.shape[0])).copy()
+
+
+class SphericalPolar(CoordinateSystem):
+    """(r, theta) geometry, axisymmetric; per radian of azimuth.
+
+    Volumes are ``(1/3)(r_{i+1}^3 - r_i^3)(cos th_j - cos th_{j+1})``;
+    radial faces ``r^2 (cos th_j - cos th_{j+1})``; polar faces
+    ``0.5 (r_{i+1}^2 - r_i^2) sin th``.
+    """
+
+    name = "spherical"
+
+    def validate(self, x1f: Array, x2f: Array) -> None:
+        super().validate(x1f, x2f)
+        if x1f[0] < 0:
+            raise ValueError("spherical radius faces must satisfy r >= 0")
+        if x2f[0] < 0 or x2f[-1] > np.pi + 1e-12:
+            raise ValueError("polar angle faces must lie in [0, pi]")
+
+    def cell_volumes(self, x1f: Array, x2f: Array) -> Array:
+        r3 = np.diff(x1f**3) / 3.0
+        dmu = -np.diff(np.cos(x2f))  # cos decreases with theta
+        return np.outer(r3, dmu)
+
+    def face_areas_x1(self, x1f: Array, x2f: Array) -> Array:
+        dmu = -np.diff(np.cos(x2f))
+        return np.outer(x1f**2, dmu)
+
+    def face_areas_x2(self, x1f: Array, x2f: Array) -> Array:
+        r2 = 0.5 * np.diff(x1f**2)
+        return np.outer(r2, np.sin(x2f))
+
+
+_SYSTEMS: dict[str, type[CoordinateSystem]] = {
+    "cartesian": Cartesian,
+    "cylindrical": Cylindrical,
+    "spherical": SphericalPolar,
+}
+
+
+def get_coordinate_system(name: str | CoordinateSystem) -> CoordinateSystem:
+    """Look up a coordinate system by name (or pass through an instance)."""
+    if isinstance(name, CoordinateSystem):
+        return name
+    try:
+        return _SYSTEMS[name]()
+    except KeyError:
+        raise KeyError(
+            f"unknown coordinate system {name!r}; available: {sorted(_SYSTEMS)}"
+        ) from None

@@ -1,0 +1,196 @@
+"""The 2-D zone-centred mesh.
+
+A :class:`Mesh2D` owns face coordinates in both directions, the derived
+zone-centre coordinates and widths, and the geometry factors (volumes,
+face areas) of its coordinate system.  Meshes can describe either the
+*global* problem or a single decomposed tile of it: a tile mesh is
+produced by :meth:`Mesh2D.subset` and remembers its offset in the
+global zone index space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+
+import numpy as np
+
+from repro.grid.geometry import CoordinateSystem, get_coordinate_system
+
+Array = np.ndarray
+
+
+@dataclass(frozen=True)
+class Mesh2D:
+    """Structured orthogonal 2-D mesh.
+
+    Parameters
+    ----------
+    x1f, x2f:
+        Strictly increasing face coordinates, lengths ``nx1 + 1`` and
+        ``nx2 + 1``.
+    coord:
+        Coordinate system name or instance (default Cartesian).
+    i1_offset, i2_offset:
+        Index of this mesh's first zone within the global grid (both 0
+        for a global mesh).
+    """
+
+    x1f: Array
+    x2f: Array
+    coord: CoordinateSystem
+    i1_offset: int = 0
+    i2_offset: int = 0
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @staticmethod
+    def uniform(
+        nx1: int,
+        nx2: int,
+        extent1: tuple[float, float] = (0.0, 1.0),
+        extent2: tuple[float, float] = (0.0, 1.0),
+        coord: str | CoordinateSystem = "cartesian",
+    ) -> "Mesh2D":
+        """Uniformly spaced mesh with ``nx1 x nx2`` zones."""
+        if nx1 < 1 or nx2 < 1:
+            raise ValueError("mesh needs at least one zone per direction")
+        if extent1[1] <= extent1[0] or extent2[1] <= extent2[0]:
+            raise ValueError("extents must be increasing intervals")
+        x1f = np.linspace(extent1[0], extent1[1], nx1 + 1)
+        x2f = np.linspace(extent2[0], extent2[1], nx2 + 1)
+        return Mesh2D(x1f=x1f, x2f=x2f, coord=get_coordinate_system(coord))
+
+    @staticmethod
+    def stretched(
+        nx1: int,
+        nx2: int,
+        extent1: tuple[float, float] = (0.0, 1.0),
+        extent2: tuple[float, float] = (0.0, 1.0),
+        ratio1: float = 1.0,
+        ratio2: float = 1.0,
+        coord: str | CoordinateSystem = "cartesian",
+    ) -> "Mesh2D":
+        """Geometrically stretched mesh.
+
+        ``ratio`` is the width ratio of the last zone to the first in
+        that direction (1.0 = uniform); widths grow geometrically.
+        Core-collapse grids use exactly this kind of stretching to
+        resolve the core while reaching large radii.
+        """
+        if nx1 < 1 or nx2 < 1:
+            raise ValueError("mesh needs at least one zone per direction")
+        if ratio1 <= 0 or ratio2 <= 0:
+            raise ValueError("stretch ratios must be positive")
+
+        def faces(n: int, lo: float, hi: float, ratio: float) -> Array:
+            if hi <= lo:
+                raise ValueError("extents must be increasing intervals")
+            if n == 1 or ratio == 1.0:
+                return np.linspace(lo, hi, n + 1)
+            q = ratio ** (1.0 / (n - 1))        # zone-to-zone growth factor
+            widths = q ** np.arange(n)
+            widths *= (hi - lo) / widths.sum()
+            return lo + np.concatenate([[0.0], np.cumsum(widths)])
+
+        return Mesh2D(
+            x1f=faces(nx1, extent1[0], extent1[1], ratio1),
+            x2f=faces(nx2, extent2[0], extent2[1], ratio2),
+            coord=get_coordinate_system(coord),
+        )
+
+    def __post_init__(self) -> None:
+        coord = get_coordinate_system(self.coord)
+        object.__setattr__(self, "coord", coord)
+        x1f = np.asarray(self.x1f, dtype=float)
+        x2f = np.asarray(self.x2f, dtype=float)
+        object.__setattr__(self, "x1f", x1f)
+        object.__setattr__(self, "x2f", x2f)
+        coord.validate(x1f, x2f)
+
+    # ------------------------------------------------------------------
+    # Basic queries
+    # ------------------------------------------------------------------
+    @property
+    def nx1(self) -> int:
+        return self.x1f.shape[0] - 1
+
+    @property
+    def nx2(self) -> int:
+        return self.x2f.shape[0] - 1
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (self.nx1, self.nx2)
+
+    @property
+    def nzones(self) -> int:
+        return self.nx1 * self.nx2
+
+    @cached_property
+    def x1c(self) -> Array:
+        """Zone-centre coordinates along x1."""
+        return 0.5 * (self.x1f[:-1] + self.x1f[1:])
+
+    @cached_property
+    def x2c(self) -> Array:
+        return 0.5 * (self.x2f[:-1] + self.x2f[1:])
+
+    @cached_property
+    def dx1(self) -> Array:
+        return np.diff(self.x1f)
+
+    @cached_property
+    def dx2(self) -> Array:
+        return np.diff(self.x2f)
+
+    # ------------------------------------------------------------------
+    # Geometry factors
+    # ------------------------------------------------------------------
+    @cached_property
+    def volumes(self) -> Array:
+        """``(nx1, nx2)`` zone volumes."""
+        return self.coord.cell_volumes(self.x1f, self.x2f)
+
+    @cached_property
+    def areas_x1(self) -> Array:
+        """``(nx1 + 1, nx2)`` x1-face areas."""
+        return self.coord.face_areas_x1(self.x1f, self.x2f)
+
+    @cached_property
+    def areas_x2(self) -> Array:
+        """``(nx1, nx2 + 1)`` x2-face areas."""
+        return self.coord.face_areas_x2(self.x1f, self.x2f)
+
+    def centers(self) -> tuple[Array, Array]:
+        """Meshgrid of zone-centre coordinates, each ``(nx1, nx2)``."""
+        return np.meshgrid(self.x1c, self.x2c, indexing="ij")
+
+    # ------------------------------------------------------------------
+    # Decomposition support
+    # ------------------------------------------------------------------
+    def subset(self, i1: slice, i2: slice) -> "Mesh2D":
+        """Tile mesh covering the zone ranges ``i1`` x ``i2``.
+
+        Slices must have unit step and lie inside the mesh.
+        """
+        s1 = range(*i1.indices(self.nx1))
+        s2 = range(*i2.indices(self.nx2))
+        if s1.step != 1 or s2.step != 1 or len(s1) == 0 or len(s2) == 0:
+            raise ValueError("subset slices must be non-empty with unit step")
+        return Mesh2D(
+            x1f=self.x1f[s1.start : s1.stop + 1],
+            x2f=self.x2f[s2.start : s2.stop + 1],
+            coord=self.coord,
+            i1_offset=self.i1_offset + s1.start,
+            i2_offset=self.i2_offset + s2.start,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Mesh2D({self.nx1}x{self.nx2} {self.coord.name}, "
+            f"x1=[{self.x1f[0]:g},{self.x1f[-1]:g}], "
+            f"x2=[{self.x2f[0]:g},{self.x2f[-1]:g}], "
+            f"offset=({self.i1_offset},{self.i2_offset}))"
+        )

@@ -1,0 +1,38 @@
+"""2-D Eulerian hydrodynamics.
+
+V2D "solves the equations of Eulerian hydrodynamics and multi-species
+flux-limited diffusive radiation transport" -- the radiation test
+problem of the paper "does not involve hydrodynamic evolution", but
+the hydro module is part of the code whose complexity dilutes the SVE
+speedup, so it is built (and exercised by tests, an example, and the
+radiative-shock coupled problem).
+
+* :mod:`repro.hydro.eos` -- ideal-gas (gamma-law) equation of state.
+* :mod:`repro.hydro.state` -- conserved/primitive variable handling.
+* :mod:`repro.hydro.reconstruct` -- piecewise-constant and MUSCL
+  (minmod / MC limiter) reconstruction.
+* :mod:`repro.hydro.riemann` -- HLL and HLLC approximate Riemann
+  solvers, plus the exact solver for validation (Sod shock tube).
+* :mod:`repro.hydro.solver` -- dimensionally split finite-volume update
+  with CFL control and decomposed-grid support.
+"""
+
+from repro.hydro.eos import IdealGasEOS
+from repro.hydro.reconstruct import Reconstruction, reconstruct_faces
+from repro.hydro.riemann import hll_flux, hllc_flux
+from repro.hydro.riemann_exact import exact_riemann
+from repro.hydro.solver import HydroBC, HydroSolver2D
+from repro.hydro.state import conserved_to_primitive, primitive_to_conserved
+
+__all__ = [
+    "IdealGasEOS",
+    "conserved_to_primitive",
+    "primitive_to_conserved",
+    "Reconstruction",
+    "reconstruct_faces",
+    "hll_flux",
+    "hllc_flux",
+    "exact_riemann",
+    "HydroSolver2D",
+    "HydroBC",
+]

@@ -1,0 +1,48 @@
+"""Gamma-law (ideal gas) equation of state.
+
+The only microphysics the hydro module needs: closing the Euler
+equations with ``p = (gamma - 1) rho e`` and providing sound speeds for
+wave-speed estimates and the CFL condition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+Array = np.ndarray
+
+
+@dataclass(frozen=True)
+class IdealGasEOS:
+    """``p = (gamma - 1) * rho * e`` with adiabatic index ``gamma``."""
+
+    gamma: float = 1.4
+
+    def __post_init__(self) -> None:
+        if self.gamma <= 1.0:
+            raise ValueError("gamma must exceed 1")
+
+    def pressure(self, rho: Array, eint: Array) -> Array:
+        """Pressure from density and *specific* internal energy."""
+        return (self.gamma - 1.0) * rho * eint
+
+    def internal_energy(self, rho: Array, p: Array) -> Array:
+        """Specific internal energy from density and pressure."""
+        return p / ((self.gamma - 1.0) * np.maximum(rho, 1e-300))
+
+    def sound_speed(self, rho: Array, p: Array) -> Array:
+        """Adiabatic sound speed ``sqrt(gamma p / rho)``."""
+        return np.sqrt(self.gamma * np.maximum(p, 0.0) / np.maximum(rho, 1e-300))
+
+    def total_energy_density(self, rho: Array, v1: Array, v2: Array, p: Array) -> Array:
+        """Conserved total energy per volume: internal + kinetic."""
+        return p / (self.gamma - 1.0) + 0.5 * rho * (v1 * v1 + v2 * v2)
+
+    def pressure_from_conserved(
+        self, rho: Array, mom1: Array, mom2: Array, ener: Array
+    ) -> Array:
+        """Pressure from the conserved state (kinetic energy removed)."""
+        kinetic = 0.5 * (mom1 * mom1 + mom2 * mom2) / np.maximum(rho, 1e-300)
+        return (self.gamma - 1.0) * (ener - kinetic)

@@ -1,0 +1,100 @@
+"""Approximate Riemann solvers (HLL and HLLC).
+
+Both take left/right primitive face states for a sweep along x1 (the
+x2 sweep swaps components first) and return the conserved flux through
+each face.  Wave-speed estimates follow Davis/Einfeldt:
+``sL = min(v1L - cL, v1R - cR)``, ``sR = max(v1L + cL, v1R + cR)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hydro.eos import IdealGasEOS
+from repro.hydro.state import ENER, MX1, MX2, RHO, flux_x1, primitive_to_conserved
+
+Array = np.ndarray
+
+
+def _wave_speeds(wl: Array, wr: Array, eos: IdealGasEOS) -> tuple[Array, Array]:
+    cl = eos.sound_speed(wl[RHO], wl[3])
+    cr = eos.sound_speed(wr[RHO], wr[3])
+    sl = np.minimum(wl[1] - cl, wr[1] - cr)
+    sr = np.maximum(wl[1] + cl, wr[1] + cr)
+    return sl, sr
+
+
+def hll_flux(wl: Array, wr: Array, eos: IdealGasEOS) -> Array:
+    """Harten-Lax-van Leer two-wave flux."""
+    if wl.shape != wr.shape:
+        raise ValueError("left/right states must have matching shapes")
+    sl, sr = _wave_speeds(wl, wr, eos)
+    ul = primitive_to_conserved(wl, eos)
+    ur = primitive_to_conserved(wr, eos)
+    fl = flux_x1(wl, eos)
+    fr = flux_x1(wr, eos)
+
+    flux = np.empty_like(fl)
+    denom = sr - sl
+    # Avoid 0/0 where both speeds coincide (uniform states).
+    safe = np.where(np.abs(denom) < 1e-300, 1.0, denom)
+    middle = (sr * fl - sl * fr + sl * sr * (ur - ul)) / safe
+    take_l = sl >= 0.0
+    take_r = sr <= 0.0
+    flux[...] = middle
+    flux[:, take_l] = fl[:, take_l]
+    flux[:, take_r] = fr[:, take_r]
+    return flux
+
+
+def hllc_flux(wl: Array, wr: Array, eos: IdealGasEOS) -> Array:
+    """HLLC flux: restores the contact wave HLL smears.
+
+    Contact speed (Toro eq. 10.37)::
+
+        s* = [pR - pL + rhoL vL (sL - vL) - rhoR vR (sR - vR)]
+             / [rhoL (sL - vL) - rhoR (sR - vR)]
+    """
+    if wl.shape != wr.shape:
+        raise ValueError("left/right states must have matching shapes")
+    sl, sr = _wave_speeds(wl, wr, eos)
+    rl, vl, pl = wl[RHO], wl[1], wl[3]
+    rr, vr, pr = wr[RHO], wr[1], wr[3]
+
+    ql = rl * (sl - vl)
+    qr = rr * (sr - vr)
+    denom = ql - qr
+    safe = np.where(np.abs(denom) < 1e-300, 1.0, denom)
+    s_star = (pr - pl + vl * ql - vr * qr) / safe
+
+    ul = primitive_to_conserved(wl, eos)
+    ur = primitive_to_conserved(wr, eos)
+    fl = flux_x1(wl, eos)
+    fr = flux_x1(wr, eos)
+
+    def _safe(denom: Array) -> Array:
+        """Sign-preserving division guard."""
+        return np.where(np.abs(denom) < 1e-300, 1e-300, denom)
+
+    def star_state(u: Array, w: Array, s: Array, q: Array) -> Array:
+        rho, v1, p = w[RHO], w[1], w[3]
+        factor = q / _safe(s - s_star)
+        ustar = np.empty_like(u)
+        ustar[RHO] = factor
+        ustar[MX1] = factor * s_star
+        ustar[MX2] = factor * w[2]
+        e = u[ENER] / np.maximum(rho, 1e-300)
+        ustar[ENER] = factor * (
+            e + (s_star - v1) * (s_star + p / _safe(rho * (s - v1)))
+        )
+        return ustar
+
+    ul_star = star_state(ul, wl, sl, ql)
+    ur_star = star_state(ur, wr, sr, qr)
+
+    flux = np.where(s_star >= 0.0, fl + sl * (ul_star - ul), fr + sr * (ur_star - ur))
+    take_l = sl >= 0.0
+    take_r = sr <= 0.0
+    flux[:, take_l] = fl[:, take_l]
+    flux[:, take_r] = fr[:, take_r]
+    return flux

@@ -1,0 +1,156 @@
+"""Exact Riemann solver for the 1-D Euler equations (validation).
+
+Classic Godunov/Toro exact solution: Newton iteration on the star-region
+pressure, then sampling by wave pattern.  Used by the test suite to
+validate the hydro solver against the Sod shock tube, and by the
+``sod_shock_tube`` example to plot numerical vs exact profiles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+Array = np.ndarray
+
+
+@dataclass(frozen=True)
+class RiemannState:
+    """One side of the Riemann problem."""
+
+    rho: float
+    v: float
+    p: float
+
+    def __post_init__(self) -> None:
+        if self.rho <= 0 or self.p <= 0:
+            raise ValueError("density and pressure must be positive")
+
+
+def _pressure_function(p: float, side: RiemannState, gamma: float) -> tuple[float, float]:
+    """Toro's f(p) and f'(p) for one side."""
+    a = np.sqrt(gamma * side.p / side.rho)
+    if p > side.p:  # shock
+        A = 2.0 / ((gamma + 1.0) * side.rho)
+        B = (gamma - 1.0) / (gamma + 1.0) * side.p
+        sq = np.sqrt(A / (p + B))
+        f = (p - side.p) * sq
+        fp = sq * (1.0 - 0.5 * (p - side.p) / (p + B))
+    else:  # rarefaction
+        f = (
+            2.0 * a / (gamma - 1.0)
+            * ((p / side.p) ** ((gamma - 1.0) / (2.0 * gamma)) - 1.0)
+        )
+        fp = (1.0 / (side.rho * a)) * (p / side.p) ** (-(gamma + 1.0) / (2.0 * gamma))
+    return f, fp
+
+
+def _star_pressure(
+    left: RiemannState, right: RiemannState, gamma: float, tol: float = 1e-12
+) -> float:
+    """Newton iteration for the star-region pressure."""
+    # Two-rarefaction initial guess (robust for Sod-like problems).
+    al = np.sqrt(gamma * left.p / left.rho)
+    ar = np.sqrt(gamma * right.p / right.rho)
+    z = (gamma - 1.0) / (2.0 * gamma)
+    p = (
+        (al + ar - 0.5 * (gamma - 1.0) * (right.v - left.v))
+        / (al / left.p**z + ar / right.p**z)
+    ) ** (1.0 / z)
+    p = max(p, 1e-12)
+    for _ in range(100):
+        fl, fpl = _pressure_function(p, left, gamma)
+        fr, fpr = _pressure_function(p, right, gamma)
+        g = fl + fr + (right.v - left.v)
+        dp = g / (fpl + fpr)
+        p_new = max(p - dp, 1e-14)
+        if abs(p_new - p) <= tol * max(p, p_new):
+            return p_new
+        p = p_new
+    return p
+
+
+def exact_riemann(
+    left: RiemannState | tuple[float, float, float],
+    right: RiemannState | tuple[float, float, float],
+    xi: Array,
+    gamma: float = 1.4,
+) -> tuple[Array, Array, Array]:
+    """Sample the exact solution at similarity coordinates ``xi = x/t``.
+
+    Returns ``(rho, v, p)`` arrays over ``xi``.
+    """
+    if not isinstance(left, RiemannState):
+        left = RiemannState(*left)
+    if not isinstance(right, RiemannState):
+        right = RiemannState(*right)
+    xi = np.asarray(xi, dtype=float)
+
+    ps = _star_pressure(left, right, gamma)
+    fl, _ = _pressure_function(ps, left, gamma)
+    fr, _ = _pressure_function(ps, right, gamma)
+    vs = 0.5 * (left.v + right.v) + 0.5 * (fr - fl)
+
+    rho = np.empty_like(xi)
+    v = np.empty_like(xi)
+    p = np.empty_like(xi)
+
+    gm1, gp1 = gamma - 1.0, gamma + 1.0
+    al = np.sqrt(gamma * left.p / left.rho)
+    ar = np.sqrt(gamma * right.p / right.rho)
+
+    for k, x in enumerate(xi):
+        if x <= vs:
+            # Left of contact.
+            if ps > left.p:  # left shock
+                sl = left.v - al * np.sqrt(gp1 / (2 * gamma) * ps / left.p + gm1 / (2 * gamma))
+                if x <= sl:
+                    rho[k], v[k], p[k] = left.rho, left.v, left.p
+                else:
+                    rho[k] = left.rho * (
+                        (ps / left.p + gm1 / gp1) / (gm1 / gp1 * ps / left.p + 1.0)
+                    )
+                    v[k], p[k] = vs, ps
+            else:  # left rarefaction
+                head = left.v - al
+                astar = al * (ps / left.p) ** (gm1 / (2 * gamma))
+                tail = vs - astar
+                if x <= head:
+                    rho[k], v[k], p[k] = left.rho, left.v, left.p
+                elif x >= tail:
+                    rho[k] = left.rho * (ps / left.p) ** (1.0 / gamma)
+                    v[k], p[k] = vs, ps
+                else:  # inside the fan
+                    v[k] = 2.0 / gp1 * (al + gm1 / 2.0 * left.v + x)
+                    a = al - gm1 / 2.0 * (v[k] - left.v)
+                    rho[k] = left.rho * (a / al) ** (2.0 / gm1)
+                    p[k] = left.p * (a / al) ** (2.0 * gamma / gm1)
+        else:
+            # Right of contact.
+            if ps > right.p:  # right shock
+                sr = right.v + ar * np.sqrt(
+                    gp1 / (2 * gamma) * ps / right.p + gm1 / (2 * gamma)
+                )
+                if x >= sr:
+                    rho[k], v[k], p[k] = right.rho, right.v, right.p
+                else:
+                    rho[k] = right.rho * (
+                        (ps / right.p + gm1 / gp1) / (gm1 / gp1 * ps / right.p + 1.0)
+                    )
+                    v[k], p[k] = vs, ps
+            else:  # right rarefaction
+                head = right.v + ar
+                astar = ar * (ps / right.p) ** (gm1 / (2 * gamma))
+                tail = vs + astar
+                if x >= head:
+                    rho[k], v[k], p[k] = right.rho, right.v, right.p
+                elif x <= tail:
+                    rho[k] = right.rho * (ps / right.p) ** (1.0 / gamma)
+                    v[k], p[k] = vs, ps
+                else:
+                    v[k] = 2.0 / gp1 * (-ar + gm1 / 2.0 * right.v + x)
+                    a = ar + gm1 / 2.0 * (v[k] - right.v)
+                    rho[k] = right.rho * (a / ar) ** (2.0 / gm1)
+                    p[k] = right.p * (a / ar) ** (2.0 * gamma / gm1)
+    return rho, v, p

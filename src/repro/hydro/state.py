@@ -1,0 +1,78 @@
+"""Conserved / primitive variable conversions.
+
+Conserved state ``U`` has components ``(rho, mom1, mom2, E)`` on axis
+0; primitive state ``W`` has ``(rho, v1, v2, p)``.  Both are
+``(4, ...)`` float arrays of any trailing grid shape.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hydro.eos import IdealGasEOS
+
+Array = np.ndarray
+
+#: Component indices, used across the hydro package.
+RHO, MX1, MX2, ENER = 0, 1, 2, 3
+V1, V2, PRES = 1, 2, 3
+NCONS = 4
+
+
+def primitive_to_conserved(w: Array, eos: IdealGasEOS) -> Array:
+    """``(rho, v1, v2, p) -> (rho, rho v1, rho v2, E)``."""
+    if w.shape[0] != NCONS:
+        raise ValueError(f"state must have {NCONS} leading components")
+    rho, v1, v2, p = w[RHO], w[V1], w[V2], w[PRES]
+    u = np.empty_like(w)
+    u[RHO] = rho
+    u[MX1] = rho * v1
+    u[MX2] = rho * v2
+    u[ENER] = eos.total_energy_density(rho, v1, v2, p)
+    return u
+
+
+def conserved_to_primitive(
+    u: Array, eos: IdealGasEOS, pressure_floor: float = 0.0
+) -> Array:
+    """``(rho, rho v1, rho v2, E) -> (rho, v1, v2, p)``.
+
+    ``pressure_floor`` guards against negative pressures produced by
+    truncation error in near-vacuum zones.
+    """
+    if u.shape[0] != NCONS:
+        raise ValueError(f"state must have {NCONS} leading components")
+    rho = u[RHO]
+    if np.any(rho <= 0.0):
+        raise FloatingPointError("non-positive density in conserved state")
+    w = np.empty_like(u)
+    w[RHO] = rho
+    w[V1] = u[MX1] / rho
+    w[V2] = u[MX2] / rho
+    p = eos.pressure_from_conserved(rho, u[MX1], u[MX2], u[ENER])
+    w[PRES] = np.maximum(p, pressure_floor)
+    return w
+
+
+def flux_x1(w: Array, eos: IdealGasEOS) -> Array:
+    """Physical Euler flux in the x1 direction from primitives."""
+    rho, v1, v2, p = w[RHO], w[V1], w[V2], w[PRES]
+    e_tot = eos.total_energy_density(rho, v1, v2, p)
+    f = np.empty_like(w)
+    f[RHO] = rho * v1
+    f[MX1] = rho * v1 * v1 + p
+    f[MX2] = rho * v1 * v2
+    f[ENER] = (e_tot + p) * v1
+    return f
+
+
+def swap_axes_state(w: Array) -> Array:
+    """Swap the roles of x1/x2 components (for the x2 sweep).
+
+    Exchanges ``(v1, v2)`` (or ``(m1, m2)``) so the x2-direction update
+    can reuse the x1-direction flux function verbatim.
+    """
+    out = w.copy()
+    out[MX1] = w[MX2]
+    out[MX2] = w[MX1]
+    return out

@@ -1,0 +1,22 @@
+"""Checkpoint / restart I/O (the HDF5 stand-in).
+
+V2D uses HDF5 for parallel input and output.  Without the HDF5 C
+library we substitute NumPy ``.npz`` archives with the same code path:
+each rank contributes its tile, tiles are gathered collectively to
+rank 0 (the analogue of a collective parallel write), and restart
+scatters them back.
+"""
+
+from repro.io.checkpoint import (
+    Checkpoint,
+    load_checkpoint,
+    save_checkpoint,
+    gather_global_field,
+)
+
+__all__ = [
+    "Checkpoint",
+    "save_checkpoint",
+    "load_checkpoint",
+    "gather_global_field",
+]

@@ -1,0 +1,140 @@
+"""Checkpoint/restart on ``.npz`` archives.
+
+A checkpoint stores the global radiation field, material state, clock
+and step counter.  In decomposed runs the tiles are gathered to rank 0
+before writing (one collective gather per field -- the message pattern
+of a collective parallel HDF5 write) and scattered after reading.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.parallel.cart import CartComm
+
+Array = np.ndarray
+
+#: format marker stored in every archive
+FORMAT_VERSION = 1
+
+
+@dataclass
+class Checkpoint:
+    """In-memory image of a saved simulation state."""
+
+    E: Array
+    rho: Array
+    temp: Array
+    time: float
+    step: int
+    meta: dict[str, str]
+
+    @property
+    def ncomp(self) -> int:
+        return self.E.shape[0]
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return self.E.shape[1], self.E.shape[2]
+
+
+def gather_global_field(local: Array, cart: CartComm | None) -> Array | None:
+    """Gather per-tile arrays into the global array on rank 0.
+
+    ``local`` is ``(..., tile_nx1, tile_nx2)``; returns the assembled
+    ``(..., nx1, nx2)`` on rank 0 and ``None`` elsewhere.  Serial runs
+    (``cart is None``) return the input unchanged.
+    """
+    if cart is None:
+        return local
+    pieces = cart.comm.gather((cart.tile.i1, cart.tile.i2, local), root=0)
+    if pieces is None:
+        return None
+    d = cart.decomp
+    lead = local.shape[:-2]
+    out = np.zeros(lead + (d.nx1, d.nx2), dtype=local.dtype)
+    for (i1, i2, arr) in pieces:
+        out[..., i1[0] : i1[1], i2[0] : i2[1]] = arr
+    return out
+
+
+def scatter_global_field(global_arr: Array | None, cart: CartComm | None) -> Array:
+    """Inverse of :func:`gather_global_field` (root holds the array)."""
+    if cart is None:
+        assert global_arr is not None
+        return global_arr
+    if cart.rank == 0:
+        assert global_arr is not None
+        tiles = [
+            global_arr[..., t.i1[0] : t.i1[1], t.i2[0] : t.i2[1]].copy()
+            for t in cart.decomp.tiles()
+        ]
+    else:
+        tiles = None
+    return cart.comm.scatter(tiles, root=0)
+
+
+def save_checkpoint(
+    path: str | Path,
+    E: Array,
+    rho: Array,
+    temp: Array,
+    time: float,
+    step: int,
+    cart: CartComm | None = None,
+    meta: dict[str, str] | None = None,
+) -> Path | None:
+    """Write a checkpoint; returns the path on the writing rank.
+
+    In decomposed runs only rank 0 touches the filesystem; other ranks
+    participate in the gathers and return ``None``.
+    """
+    ge = gather_global_field(E, cart)
+    gr = gather_global_field(rho, cart)
+    gt = gather_global_field(temp, cart)
+    if cart is not None and cart.rank != 0:
+        return None
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    meta = dict(meta or {})
+    np.savez_compressed(
+        path,
+        format_version=FORMAT_VERSION,
+        E=ge,
+        rho=gr,
+        temp=gt,
+        time=float(time),
+        step=int(step),
+        meta_keys=np.array(sorted(meta), dtype=object),
+        meta_vals=np.array([meta[k] for k in sorted(meta)], dtype=object),
+    )
+    return path
+
+
+def load_checkpoint(path: str | Path, cart: CartComm | None = None) -> Checkpoint:
+    """Read a checkpoint; every rank receives its own tile.
+
+    In decomposed runs rank 0 reads the archive and scatters tiles; the
+    returned :class:`Checkpoint` then holds *tile-local* fields.
+    """
+    if cart is None or cart.rank == 0:
+        with np.load(path, allow_pickle=True) as z:
+            version = int(z["format_version"])
+            if version != FORMAT_VERSION:
+                raise ValueError(f"unsupported checkpoint version {version}")
+            E, rho, temp = z["E"], z["rho"], z["temp"]
+            time, step = float(z["time"]), int(z["step"])
+            meta = dict(zip(z["meta_keys"].tolist(), z["meta_vals"].tolist()))
+    else:
+        E = rho = temp = None
+        time = step = meta = None
+
+    if cart is not None:
+        time, step, meta = cart.comm.bcast((time, step, meta), root=0)
+        E = scatter_global_field(E, cart)
+        rho = scatter_global_field(rho, cart)
+        temp = scatter_global_field(temp, cart)
+    return Checkpoint(E=E, rho=rho, temp=temp, time=time, step=step, meta=meta)

@@ -1,0 +1,166 @@
+"""Multi-species grid-shaped Matvec.
+
+V2D never stores the sparse system matrix.  The operator is kept as
+five stencil-coefficient arrays per species (plus a pointwise
+species-coupling block) with the same spatial shape as the 2-D grid,
+and the Krylov solver's Matvec applies the finite-difference operator
+directly to grid-shaped vectors.  This module implements exactly that
+representation.
+
+Index conventions
+-----------------
+Fields are ``(ns, nx1, nx2)`` arrays: species index first, then the x1
+and x2 zone indices.  Ghost-padded work fields are
+``(ns, nx1 + 2, nx2 + 2)``.  With dictionary ordering (x1 fastest, then
+x2, species slowest) the equivalent assembled matrix is the five-banded
+structure of the paper's Fig. 1: bands at offsets ``0``, ``+/-1`` (x1
+neighbours) and ``+/-x1`` (x2 neighbours), with pointwise
+species-coupling entries appearing at offset ``+/- nx1*nx2`` blocks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.backend.base import Array, Backend
+from repro.kernels.suite import KernelSuite
+
+
+@dataclass
+class StencilCoefficients:
+    """Coefficients of the matrix-free operator.
+
+    Attributes
+    ----------
+    diag, west, east, south, north:
+        ``(ns, nx1, nx2)`` stencil coefficients per species.  ``west`` /
+        ``east`` couple along x1 (``i-1`` / ``i+1``), ``south`` /
+        ``north`` along x2 (``j-1`` / ``j+1``).
+    coupling:
+        Optional ``(ns, ns, nx1, nx2)`` pointwise inter-species
+        coupling; entry ``[s, sp]`` multiplies species ``sp`` in the
+        equation for species ``s``.  The ``[s, s]`` diagonal must be
+        zero (self coupling belongs in ``diag``).
+    """
+
+    diag: Array
+    west: Array
+    east: Array
+    south: Array
+    north: Array
+    coupling: Array | None = None
+
+    def __post_init__(self) -> None:
+        shape = self.diag.shape
+        if self.diag.ndim != 3:
+            raise ValueError(f"coefficients must be (ns, nx1, nx2), got {shape}")
+        for name in ("west", "east", "south", "north"):
+            arr = getattr(self, name)
+            if arr.shape != shape:
+                raise ValueError(f"{name} shape {arr.shape} != diag shape {shape}")
+        if self.coupling is not None:
+            ns = shape[0]
+            want = (ns, ns, shape[1], shape[2])
+            if self.coupling.shape != want:
+                raise ValueError(
+                    f"coupling shape {self.coupling.shape} != {want}"
+                )
+            for s in range(ns):
+                if np.any(self.coupling[s, s] != 0.0):
+                    raise ValueError(
+                        "coupling diagonal must be zero (fold it into diag)"
+                    )
+
+    @property
+    def nspec(self) -> int:
+        return self.diag.shape[0]
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """Interior grid shape ``(nx1, nx2)``."""
+        return self.diag.shape[1], self.diag.shape[2]
+
+    @property
+    def nunknowns(self) -> int:
+        return self.diag.size
+
+    @classmethod
+    def zeros(cls, ns: int, nx1: int, nx2: int, coupled: bool = False) -> "StencilCoefficients":
+        """All-zero coefficients (coupling block allocated iff ``coupled``)."""
+        mk = lambda: np.zeros((ns, nx1, nx2))  # noqa: E731
+        coupling = np.zeros((ns, ns, nx1, nx2)) if coupled else None
+        return cls(diag=mk(), west=mk(), east=mk(), south=mk(), north=mk(), coupling=coupling)
+
+    def copy(self) -> "StencilCoefficients":
+        return StencilCoefficients(
+            diag=self.diag.copy(),
+            west=self.west.copy(),
+            east=self.east.copy(),
+            south=self.south.copy(),
+            north=self.north.copy(),
+            coupling=None if self.coupling is None else self.coupling.copy(),
+        )
+
+
+@dataclass
+class MultiSpeciesStencil:
+    """Applies :class:`StencilCoefficients` to ghost-padded fields.
+
+    The caller (usually :class:`repro.linalg.operators.StencilOperator`)
+    is responsible for filling ghost zones (physical boundary conditions
+    and/or halo exchange) *before* :meth:`apply`.
+    """
+
+    coeffs: StencilCoefficients
+    suite: KernelSuite = field(default_factory=KernelSuite)
+
+    @property
+    def backend(self) -> Backend:
+        return self.suite.backend
+
+    def apply(self, xpad: Array, out: Array | None = None) -> Array:
+        """``out = A @ x`` with ``xpad`` a ghost-padded ``(ns, nx1+2, nx2+2)`` field.
+
+        Returns an interior-shaped ``(ns, nx1, nx2)`` array.
+        """
+        c = self.coeffs
+        ns, (n1, n2) = c.nspec, c.shape
+        if xpad.shape != (ns, n1 + 2, n2 + 2):
+            raise ValueError(
+                f"expected padded field {(ns, n1 + 2, n2 + 2)}, got {xpad.shape}"
+            )
+        if out is None:
+            out = np.empty((ns, n1, n2))
+        elif out.shape != (ns, n1, n2):
+            raise ValueError(f"out shape {out.shape} != {(ns, n1, n2)}")
+
+        npts = n1 * n2
+        for s in range(ns):
+            self.backend.stencil_apply(
+                c.diag[s], c.west[s], c.east[s], c.south[s], c.north[s],
+                xpad[s], out=out[s],
+            )
+        # 9 flops/point/species for the 5-point stencil; traffic: five
+        # coefficient streams + field + result.
+        if self.suite.counters is not None:
+            self.suite._account(ns * npts, 9, 48, 8)
+            self.suite.counters.matvecs += 1
+
+        if c.coupling is not None:
+            interior = xpad[:, 1:-1, 1:-1]
+            bk = self.backend
+            for s in range(ns):
+                for sp in range(ns):
+                    if s == sp:
+                        continue
+                    coup = c.coupling[s, sp]
+                    if not coup.any():
+                        continue
+                    # out[s] += coupling[s,sp] * x[sp]  (pointwise)
+                    tmp = bk.mul(coup, interior[sp])
+                    bk.add(out[s], tmp, out=out[s])
+                    if self.suite.counters is not None:
+                        self.suite._account(npts, 2, 24, 8)
+        return out

@@ -1,0 +1,157 @@
+"""Instrumented kernel suite.
+
+Wraps the backend primitives with the accounting the paper gathered via
+PAPI: double-precision flop counts, bytes of memory traffic (these
+kernels are memory-bandwidth limited, so traffic is the quantity that
+matters on the A64FX), and packed-SIMD vs scalar instruction counts.
+
+Flop/traffic conventions (per element, double precision = 8 bytes):
+
+==========  ======  ===============================
+kernel      flops   traffic (bytes loaded, stored)
+==========  ======  ===============================
+DPROD        2      (16, 0)
+DAXPY        2      (16, 8)
+DSCAL        2      (16, 8)
+DDAXPY       4      (24, 8)
+MATVEC(5pt)  9      (48, 8)   5 coeff + ~1 field load amortized
+==========  ======  ===============================
+
+The Matvec traffic estimate charges each of the five coefficient arrays
+once and the field once (neighbouring loads hit cache), matching the
+standard roofline accounting for a 5-point stencil.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.backend.base import Array, Backend
+from repro.backend.dispatch import default_backend, get_backend
+from repro.monitor.counters import Counters
+
+
+class KernelSuite:
+    """The five V2D routines over one backend, with event accounting.
+
+    Parameters
+    ----------
+    backend:
+        Backend instance or registry name (default: ambient backend).
+    counters:
+        Optional :class:`~repro.monitor.counters.Counters` receiving
+        PAPI-style event increments.  ``None`` disables accounting.
+    """
+
+    def __init__(
+        self,
+        backend: str | Backend | None = None,
+        counters: Counters | None = None,
+    ) -> None:
+        self.backend = default_backend() if backend is None else get_backend(backend)
+        self.counters = counters
+
+    # ------------------------------------------------------------------
+    def _account(self, n: int, flops_per: int, loaded_per: int, stored_per: int) -> None:
+        c = self.counters
+        if c is None:
+            return
+        c.add_flops(flops_per * n)
+        c.add_traffic(loaded_per * n, stored_per * n)
+        if self.backend.vectorized:
+            c.add_vector_ops(self.backend.vector_op_count(n))
+        else:
+            c.add_scalar_ops(n)
+
+    # ------------------------------------------------------------------
+    # DPROD
+    # ------------------------------------------------------------------
+    def dprod(self, x: Array, y: Array) -> float:
+        """Dot product of two (possibly grid-shaped) vectors."""
+        n = x.size
+        self._account(n, 2, 16, 0)
+        if self.counters is not None:
+            self.counters.dot_products += 1
+        return self.backend.dot(x, y)
+
+    def dprod_gang(self, pairs: Sequence[tuple[Array, Array]]) -> np.ndarray:
+        """Ganged dot products: one traversal, one future reduction.
+
+        This is the restructuring V2D applies to BiCGSTAB: inner
+        products whose operands are all available are computed together
+        so a single global reduction carries all of them.
+        """
+        if pairs:
+            n = pairs[0][0].size
+            self._account(n * len(pairs), 2, 16, 0)
+        if self.counters is not None:
+            self.counters.dot_products += len(pairs)
+        return self.backend.multi_dot(pairs)
+
+    # ------------------------------------------------------------------
+    # DAXPY / DSCAL / DDAXPY
+    # ------------------------------------------------------------------
+    def daxpy(self, a: float, x: Array, y: Array, out: Array | None = None) -> Array:
+        """``a*x + y``."""
+        self._account(x.size, 2, 16, 8)
+        return self.backend.axpy(a, x, y, out=out)
+
+    def dscal(self, c: Array, d: float, y: Array, out: Array | None = None) -> Array:
+        """``c - d*y`` (vector ``c``, scalar ``d``)."""
+        self._account(c.size, 2, 16, 8)
+        return self.backend.dscal(c, d, y, out=out)
+
+    def ddaxpy(
+        self,
+        a: float,
+        x: Array,
+        b: float,
+        y: Array,
+        z: Array,
+        out: Array | None = None,
+    ) -> Array:
+        """``a*x + b*y + z``."""
+        self._account(x.size, 4, 24, 8)
+        return self.backend.ddaxpy(a, x, b, y, z, out=out)
+
+    # ------------------------------------------------------------------
+    # MATVEC (banded, driver-program form)
+    # ------------------------------------------------------------------
+    def matvec_banded(
+        self,
+        offsets: Sequence[int],
+        bands: Sequence[Array],
+        x: Array,
+        out: Array | None = None,
+    ) -> Array:
+        """Banded matvec: ``out[i] = sum_k bands[k][i] * x[i+offsets[k]]``."""
+        n = x.shape[0]
+        nb = len(offsets)
+        self._account(n, 2 * nb - 1, 8 * (nb + 1), 8)
+        if self.counters is not None:
+            self.counters.matvecs += 1
+        return self.backend.banded_matvec(offsets, bands, x, out=out)
+
+    # ------------------------------------------------------------------
+    # Norms / utility (thin, still accounted)
+    # ------------------------------------------------------------------
+    def norm2(self, x: Array) -> float:
+        self._account(x.size, 2, 8, 0)
+        return self.backend.norm2(x)
+
+    def copy(self, x: Array, out: Array | None = None) -> Array:
+        self._account(x.size, 0, 8, 8)
+        return self.backend.copy(x, out=out)
+
+    def fill(self, x: Array, value: float) -> Array:
+        self._account(x.size, 0, 0, 8)
+        return self.backend.fill(x, value)
+
+    def scale(self, alpha: float, x: Array, out: Array | None = None) -> Array:
+        self._account(x.size, 1, 8, 8)
+        return self.backend.scale(alpha, x, out=out)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"KernelSuite(backend={self.backend.name!r})"

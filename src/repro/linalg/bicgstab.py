@@ -1,0 +1,355 @@
+"""BiCGSTAB with optional ganged inner products.
+
+V2D's linear solver is "a restructured version of the BiCGSTAB
+algorithm, which gangs inner products to reduce the number of parallel
+global reduction operations required per iteration" (paper Sec. I-C).
+
+Two variants are provided:
+
+* ``ganged=False`` -- the textbook algorithm [van der Vorst 1992]:
+  six global reductions per iteration (rho, the alpha denominator, the
+  early-exit norm of s, the two omega dots, and the residual norm).
+* ``ganged=True`` -- the restructured algorithm: inner products whose
+  operands coexist are computed in one fused pass and carried by a
+  single reduction.  The norm of ``s``, the norm of the new residual
+  and the next iteration's ``rho`` are recovered from ganged dots via
+  the identities::
+
+      ||s||^2      = (r,r) - 2 a (r,v) + a^2 (v,v)
+      ||r_new||^2  = (s,s) - 2 w (t,s) + w^2 (t,t)
+      rho_new      = (r0^,s) - w (r0^,t)
+
+  leaving exactly two reductions per iteration.
+
+Both variants are right-preconditioned (``A M^-1 y = b``, ``x = M^-1
+y``), so the preconditioner application is itself just another stencil
+Matvec when ``M`` is a SPAI operator.
+
+Derived norms are validated: whenever the derived residual norm signals
+convergence, the solver recomputes the true residual (one extra Matvec)
+and keeps iterating if rounding in the identities lied.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.kernels.suite import KernelSuite
+from repro.linalg.operators import LinearOperator
+from repro.linalg.spai import Preconditioner
+from repro.parallel.comm import Communicator
+
+Array = np.ndarray
+
+#: Reduction counts per iteration, used by tests and the perf model.
+REDUCTIONS_PER_ITER_CLASSIC = 6
+REDUCTIONS_PER_ITER_GANGED = 2
+
+
+class DotContext:
+    """Global inner products: local fused pass + one reduction."""
+
+    def __init__(self, suite: KernelSuite, comm: Communicator | None = None) -> None:
+        self.suite = suite
+        self.comm = comm
+        self.reductions = 0
+
+    def dot(self, x: Array, y: Array) -> float:
+        local = self.suite.dprod(x, y)
+        self.reductions += 1
+        if self.comm is not None and self.comm.size > 1:
+            return float(self.comm.allreduce(local))
+        if self.comm is not None:
+            self.comm.counters.reductions += 1
+        return local
+
+    def gang(self, pairs: Sequence[tuple[Array, Array]]) -> np.ndarray:
+        """Several inner products, one global reduction."""
+        local = self.suite.dprod_gang(pairs)
+        self.reductions += 1
+        if self.comm is not None and self.comm.size > 1:
+            return np.asarray(self.comm.allreduce(local))
+        if self.comm is not None:
+            self.comm.counters.reductions += 1
+        return local
+
+
+@dataclass
+class SolveResult:
+    """Outcome of a Krylov solve."""
+
+    x: Array
+    converged: bool
+    iterations: int
+    residual_norm: float          # true ||b - A x|| at exit
+    relative_residual: float      # residual_norm / ||b||
+    reductions: int               # global reduction operations used
+    matvecs: int                  # operator applications (excl. precond)
+    precond_applies: int
+    breakdowns: int = 0
+    history: list[float] = field(default_factory=list)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SolveResult(converged={self.converged}, iters={self.iterations}, "
+            f"rel_res={self.relative_residual:.3e}, reductions={self.reductions})"
+        )
+
+
+def _true_residual(
+    op: LinearOperator, b: Array, x: Array, suite: KernelSuite, dots: DotContext
+) -> tuple[Array, float]:
+    ax = op.apply(x)
+    r = suite.dscal(b, 1.0, ax)  # b - Ax
+    return r, float(np.sqrt(max(dots.dot(r, r), 0.0)))
+
+
+def bicgstab(
+    op: LinearOperator,
+    b: Array,
+    x0: Array | None = None,
+    *,
+    tol: float = 1e-8,
+    maxiter: int = 1000,
+    M: Preconditioner | None = None,
+    suite: KernelSuite | None = None,
+    comm: Communicator | None = None,
+    ganged: bool = True,
+    max_restarts: int = 10,
+    callback: Callable[[int, float], None] | None = None,
+) -> SolveResult:
+    """Solve ``A x = b`` with (preconditioned) BiCGSTAB.
+
+    Parameters
+    ----------
+    op:
+        The system operator (matrix-free).
+    b:
+        Right-hand side, operand-shaped.
+    x0:
+        Initial guess (zero when omitted).
+    tol:
+        Convergence on the *relative* residual ``||r|| <= tol * ||b||``.
+    M:
+        Right preconditioner (applied as ``M.apply``); ``None`` for
+        unpreconditioned.
+    suite:
+        Kernel suite (execution backend + accounting); defaults to the
+        operator's suite when it has one.
+    comm:
+        Communicator for decomposed operands; reductions become
+        all-reduces.
+    ganged:
+        Use V2D's restructured two-reduction iteration (default) or the
+        textbook six-reduction one.
+    max_restarts:
+        BiCGSTAB breakdown recoveries (``rho ~ 0``) before giving up.
+    callback:
+        Called as ``callback(iteration, residual_norm)`` once per
+        iteration with the (possibly derived) residual norm.
+    """
+    if suite is None:
+        suite = getattr(op, "suite", None) or KernelSuite()
+    if b.shape != tuple(op.operand_shape):
+        raise ValueError(f"rhs shape {b.shape} != operand shape {op.operand_shape}")
+    dots = DotContext(suite, comm)
+    if suite.counters is not None:
+        suite.counters.linear_solves += 1
+    mv = 0
+    mapplies = 0
+    breakdowns = 0
+    history: list[float] = []
+
+    x = b * 0.0 if x0 is None else x0.copy()
+    if x0 is None:
+        r = b.copy()
+    else:
+        r = op.apply(x)
+        mv += 1
+        r = suite.dscal(b, 1.0, r)  # r = b - A x0
+
+    bnorm = float(np.sqrt(max(dots.dot(b, b), 0.0)))
+    if bnorm == 0.0:
+        # Zero RHS: the solution is zero (relative residual undefined;
+        # report absolute zero residual).
+        return SolveResult(
+            x=np.zeros_like(b), converged=True, iterations=0, residual_norm=0.0,
+            relative_residual=0.0, reductions=dots.reductions, matvecs=mv,
+            precond_applies=0,
+        )
+    target = tol * bnorm
+
+    rr = dots.dot(r, r)
+    rnorm = float(np.sqrt(max(rr, 0.0)))
+    if rnorm <= target:
+        return SolveResult(
+            x=x, converged=True, iterations=0, residual_norm=rnorm,
+            relative_residual=rnorm / bnorm, reductions=dots.reductions,
+            matvecs=mv, precond_applies=0, history=[rnorm],
+        )
+
+    rhat = r.copy()
+    rho = rr          # (rhat, r) with rhat = r
+    p = r.copy()
+    v = np.zeros_like(b)
+    phat = np.empty_like(b)
+    shat = np.empty_like(b)
+    s = np.empty_like(b)
+    t = np.empty_like(b)
+    alpha = omega = 1.0
+    converged = False
+    it = 0
+
+    def precond(vec: Array, out: Array) -> Array:
+        nonlocal mapplies
+        if M is None:
+            out[...] = vec
+            return out
+        mapplies += 1
+        return M.apply(vec, out=out)
+
+    def restart() -> bool:
+        """Recover from a breakdown; returns False when out of budget."""
+        nonlocal rhat, rho, rr, rnorm, breakdowns, r, x, mv
+        breakdowns += 1
+        if breakdowns > max_restarts:
+            return False
+        r, rnorm = _true_residual(op, b, x, suite, dots)
+        mv += 1
+        rr = rnorm * rnorm
+        rhat = r.copy()
+        rho = rr
+        p[...] = r
+        v[...] = 0.0
+        return True
+
+    while it < maxiter:
+        it += 1
+
+        precond(p, phat)
+        op.apply(phat, out=v)
+        mv += 1
+
+        if ganged:
+            rhv, rv, vv = dots.gang([(rhat, v), (r, v), (v, v)])
+        else:
+            rhv = dots.dot(rhat, v)
+        if rhv == 0.0:
+            if not restart():
+                break
+            continue
+        alpha = rho / rhv
+
+        # s = r - alpha v
+        suite.dscal(r, alpha, v, out=s)
+        if ganged:
+            ss_derived = max(rr - 2.0 * alpha * rv + alpha * alpha * vv, 0.0)
+            snorm = float(np.sqrt(ss_derived))
+        else:
+            snorm = float(np.sqrt(max(dots.dot(s, s), 0.0)))
+
+        if snorm <= target:
+            suite.daxpy(alpha, phat, x, out=x)
+            r, rnorm = _true_residual(op, b, x, suite, dots)
+            mv += 1
+            rr = rnorm * rnorm
+            history.append(rnorm)
+            if callback is not None:
+                callback(it, rnorm)
+            if rnorm <= target:
+                converged = True
+                break
+            # Rounding lied; continue from the recomputed residual.
+            if not restart():
+                break
+            continue
+
+        precond(s, shat)
+        op.apply(shat, out=t)
+        mv += 1
+
+        if ganged:
+            ts, tt, ss, rhs_, rht = dots.gang(
+                [(t, s), (t, t), (s, s), (rhat, s), (rhat, t)]
+            )
+        else:
+            ts = dots.dot(t, s)
+            tt = dots.dot(t, t)
+        if tt == 0.0:
+            if not restart():
+                break
+            continue
+        omega = ts / tt
+
+        # x += alpha*phat + omega*shat
+        suite.daxpy(alpha, phat, x, out=x)
+        suite.daxpy(omega, shat, x, out=x)
+        # r = s - omega t
+        suite.dscal(s, omega, t, out=r)
+
+        if ganged:
+            rr = max(ss - 2.0 * omega * ts + omega * omega * tt, 0.0)
+            rnorm = float(np.sqrt(rr))
+            rho_next = rhs_ - omega * rht
+        else:
+            rr = dots.dot(r, r)
+            rnorm = float(np.sqrt(max(rr, 0.0)))
+            rho_next = None
+
+        history.append(rnorm)
+        if callback is not None:
+            callback(it, rnorm)
+
+        if rnorm <= target:
+            r, rnorm = _true_residual(op, b, x, suite, dots)
+            mv += 1
+            rr = rnorm * rnorm
+            if rnorm <= target:
+                converged = True
+                break
+            if not restart():
+                break
+            continue
+
+        if omega == 0.0:
+            if not restart():
+                break
+            continue
+
+        if ganged:
+            rho_new = rho_next
+        else:
+            rho_new = dots.dot(rhat, r)
+        if rho_new == 0.0:
+            if not restart():
+                break
+            continue
+
+        beta = (rho_new / rho) * (alpha / omega)
+        # p = r + beta*(p - omega*v)  ==  beta*p + (-beta*omega)*v + r
+        suite.ddaxpy(beta, p, -beta * omega, v, r, out=p)
+        rho = rho_new
+
+    if not converged:
+        _, rnorm = _true_residual(op, b, x, suite, dots)
+        mv += 1
+        converged = rnorm <= target
+
+    if suite.counters is not None:
+        suite.counters.solver_iterations += it
+
+    return SolveResult(
+        x=x,
+        converged=converged,
+        iterations=it,
+        residual_norm=rnorm,
+        relative_residual=rnorm / bnorm,
+        reductions=dots.reductions,
+        matvecs=mv,
+        precond_applies=mapplies,
+        breakdowns=breakdowns,
+        history=history,
+    )

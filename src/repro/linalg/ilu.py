@@ -1,0 +1,156 @@
+"""ILU(0) preconditioning — the alternative V2D did *not* choose.
+
+Incomplete LU with zero fill is the classic competitor to sparse
+approximate inverses (the 2004 comparison paper weighed exactly this
+trade).  On the five-banded radiation systems ILU(0) usually cuts more
+iterations than SPAI -- but its application is two *sequential*
+triangular solves with loop-carried dependencies, which neither SVE
+nor any SIMD ISA can vectorize across rows.  SPAI's application is
+just another 5-point stencil Matvec, fully vectorizable.  That
+asymmetry is the reason a code tuned for vector hardware prefers SPAI,
+and this module exists to measure it (see
+``benchmarks/bench_ablation_ilu.py``).
+
+Implementation: pattern-restricted IKJ factorization on the banded
+form; triangular solves are genuinely sequential (a Python loop --
+honest about the algorithm's character; the vector backend cannot help
+it, exactly as SVE cannot).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.kernels.stencil import StencilCoefficients
+from repro.kernels.suite import KernelSuite
+from repro.linalg.banded import stencil_to_bands
+from repro.linalg.spai import Preconditioner
+from repro.parallel.halo import BoundaryCondition
+
+Array = np.ndarray
+
+
+@dataclass
+class ILU0Factorization:
+    """Banded ILU(0) factors: unit-lower L and upper U on A's pattern."""
+
+    offsets: tuple[int, ...]
+    lower: dict[int, Array]   # offset -> band (offsets < 0), unit diagonal implied
+    upper: dict[int, Array]   # offset -> band (offsets >= 0)
+    n: int
+
+    def solve(self, rhs: Array, out: Array | None = None) -> Array:
+        """Solve ``L U x = rhs`` (forward then backward substitution)."""
+        if rhs.shape != (self.n,):
+            raise ValueError(f"rhs must be 1-D of length {self.n}")
+        y = np.empty(self.n)
+        lo_offsets = sorted(self.lower)
+        # Forward: (L y)_i = rhs_i, L unit-diagonal.
+        for i in range(self.n):
+            acc = rhs[i]
+            for d in lo_offsets:
+                j = i + d
+                if j >= 0:
+                    acc -= self.lower[d][i] * y[j]
+            y[i] = acc
+        x = out if out is not None else np.empty(self.n)
+        hi_offsets = sorted(o for o in self.upper if o > 0)
+        diag = self.upper[0]
+        # Backward: (U x)_i = y_i.
+        for i in range(self.n - 1, -1, -1):
+            acc = y[i]
+            for d in hi_offsets:
+                j = i + d
+                if j < self.n:
+                    acc -= self.upper[d][i] * x[j]
+            x[i] = acc / diag[i]
+        return x
+
+
+def ilu0_banded(offsets: Sequence[int], bands: Sequence[Array]) -> ILU0Factorization:
+    """Pattern-restricted ILU(0) of a banded matrix.
+
+    Standard IKJ algorithm, dropping every update that falls outside
+    A's own band pattern.  Requires a nonzero main diagonal (checked as
+    pivots are consumed).
+    """
+    offs = [int(o) for o in offsets]
+    if 0 not in offs:
+        raise ValueError("ILU(0) requires a main diagonal band")
+    n = bands[0].shape[0]
+    pattern = set(offs)
+    work = {o: np.array(b, dtype=float, copy=True) for o, b in zip(offs, bands)}
+    lower_offsets = sorted(o for o in offs if o < 0)
+
+    for i in range(n):
+        for d in lower_offsets:           # ascending: leftmost column first
+            k = i + d
+            if k < 0:
+                continue
+            pivot = work[0][k]
+            if pivot == 0.0:
+                raise ZeroDivisionError(f"zero pivot at row {k}")
+            lik = work[d][i] / pivot
+            work[d][i] = lik
+            if lik == 0.0:
+                continue
+            # Update row i entries to the right of column k that stay
+            # inside the pattern: A[i, j] -= L[i, k] * U[k, j] needs
+            # both (j - i) and (j - k) in the pattern, j > k.
+            for du in offs:
+                if du <= 0:
+                    continue
+                j = k + du                 # column of U[k, j]
+                dj = j - i                 # offset of A[i, j]
+                if dj in pattern and 0 <= j < n:
+                    work[dj][i] -= lik * work[du][k]
+
+    lower = {o: work[o] for o in offs if o < 0}
+    upper = {o: work[o] for o in offs if o >= 0}
+    return ILU0Factorization(offsets=tuple(sorted(offs)), lower=lower, upper=upper, n=n)
+
+
+class ILU0Preconditioner(Preconditioner):
+    """Apply ``M ~ A^-1`` via the sequential triangular solves.
+
+    Works on grid-shaped vectors by flattening through the dictionary
+    ordering; the factorization covers the (tile-local) operator with
+    its boundary conditions, like SPAI.
+    """
+
+    def __init__(self, fact: ILU0Factorization, unflatten=None) -> None:
+        self._fact = fact
+        self._unflatten = unflatten
+
+    @classmethod
+    def from_banded(cls, offsets: Sequence[int], bands: Sequence[Array]) -> "ILU0Preconditioner":
+        return cls(ilu0_banded(offsets, bands))
+
+    @classmethod
+    def from_stencil(
+        cls,
+        coeffs: StencilCoefficients,
+        bc: BoundaryCondition | dict[str, BoundaryCondition] = BoundaryCondition.DIRICHLET0,
+        suite: KernelSuite | None = None,
+    ) -> "ILU0Preconditioner":
+        offsets, bands = stencil_to_bands(coeffs, bc)
+        ns, (n1, n2) = coeffs.nspec, coeffs.shape
+
+        def unflatten(flat: Array) -> Array:
+            return flat.reshape(ns, n2, n1).transpose(0, 2, 1)
+
+        return cls(ilu0_banded(offsets, bands), unflatten=unflatten)
+
+    def apply(self, x: Array, out: Array | None = None) -> Array:
+        if x.ndim == 1:
+            return self._fact.solve(x, out=out)
+        flat = x.transpose(0, 2, 1).reshape(-1)
+        sol = self._fact.solve(flat)
+        result = self._unflatten(sol) if self._unflatten is not None else sol
+        if out is None:
+            return result.copy()
+        out[...] = result
+        return out

@@ -1,0 +1,43 @@
+"""Performance-monitoring substrate.
+
+This package stands in for the measurement stack used in the paper:
+
+* :mod:`repro.monitor.timers` -- ``perf stat``-style region timing
+  (``duration_time`` / ``cpu-cycles`` events) via software clocks.
+* :mod:`repro.monitor.counters` -- PAPI-style hardware event counters,
+  implemented as software counters incremented by the instrumented
+  kernels and communicator.
+* :mod:`repro.monitor.profiler` -- TAU-style hierarchical region
+  profiler with ParaProf-like flat-profile text reports.
+* :mod:`repro.monitor.sampler` -- Arm-MAP-style statistical sampler
+  over the profiler's active-region stacks.
+
+The paper measured V2D with ``perf stat -e duration_time -e
+cpu-cycles``, PAPI timers inside the linear-algebra routines, TAU's
+ParaProf to attribute time to routines, and Arm MAP.  None of those can
+observe a pure-Python reproduction, so the substitution is software
+instrumentation that exposes the *same quantities*: wall/CPU seconds per
+region, event counts per routine, and percent-of-total attributions.
+"""
+
+from repro.monitor.counters import Counters, EventSet, PAPI_EVENTS
+from repro.monitor.profiler import Profiler, ProfileNode, get_profiler, profile_region
+from repro.monitor.sampler import SampleReport, SamplingProfiler
+from repro.monitor.timers import CpuTimer, PerfStatResult, RegionTimer, WallTimer, perf_stat
+
+__all__ = [
+    "Counters",
+    "EventSet",
+    "PAPI_EVENTS",
+    "Profiler",
+    "ProfileNode",
+    "get_profiler",
+    "profile_region",
+    "WallTimer",
+    "CpuTimer",
+    "RegionTimer",
+    "PerfStatResult",
+    "perf_stat",
+    "SamplingProfiler",
+    "SampleReport",
+]

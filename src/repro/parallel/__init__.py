@@ -1,0 +1,45 @@
+"""In-process message-passing substrate (the MPI stand-in).
+
+V2D employs MPI for domain-decomposed parallelism; Table I varies the
+process count and topology.  Real MPI is not available here, so this
+package provides an SPMD model with the same semantics on threads of
+one process:
+
+* :mod:`repro.parallel.world` -- the shared mailbox fabric.
+* :mod:`repro.parallel.comm` -- :class:`Communicator` with MPI-shaped
+  point-to-point (``send/recv/isend/irecv``) and collective
+  (``barrier/bcast/reduce/allreduce/gather/allgather/scatter``)
+  operations, plus message/byte accounting for the performance model.
+* :mod:`repro.parallel.cart` -- Cartesian 2-D process topology
+  (the NPRX1 x NPRX2 arrangement).
+* :mod:`repro.parallel.halo` -- ghost-zone exchange for decomposed
+  fields.
+* :mod:`repro.parallel.runtime` -- :func:`run_spmd`, which launches one
+  thread per rank the way ``mpiexec -n`` launches processes.
+
+Semantics reproduced faithfully: deterministic rank-ordered reductions
+(bit-reproducible sums), value isolation (messages deep-copy array
+payloads), blocking/non-blocking completion, and deadlock detection by
+timeout.  What is *not* reproduced is distributed-memory timing; the
+performance model in :mod:`repro.perfmodel` supplies communication
+costs instead.
+"""
+
+from repro.parallel.cart import CartComm
+from repro.parallel.comm import Communicator, ReduceOp, Request
+from repro.parallel.halo import BoundaryCondition, HaloExchanger, PendingExchange
+from repro.parallel.runtime import WorldAborted, run_spmd
+from repro.parallel.world import World
+
+__all__ = [
+    "World",
+    "Communicator",
+    "Request",
+    "ReduceOp",
+    "CartComm",
+    "HaloExchanger",
+    "PendingExchange",
+    "BoundaryCondition",
+    "run_spmd",
+    "WorldAborted",
+]

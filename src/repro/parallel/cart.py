@@ -1,0 +1,91 @@
+"""Cartesian 2-D process topology.
+
+Binds a :class:`~repro.parallel.comm.Communicator` to the
+NPRX1 x NPRX2 tile arrangement of
+:class:`~repro.grid.decomposition.TileDecomposition`: each rank learns
+its tile coordinates, its four face neighbours, and its tile of the
+global grid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+
+from repro.grid.decomposition import Tile, TileDecomposition
+from repro.parallel.comm import Communicator
+
+
+@dataclass
+class CartComm:
+    """A communicator with NPRX1 x NPRX2 Cartesian structure.
+
+    Parameters
+    ----------
+    comm:
+        Underlying communicator; its size must equal
+        ``decomp.nranks``.
+    decomp:
+        The global tile decomposition.
+    """
+
+    comm: Communicator
+    decomp: TileDecomposition
+
+    def __post_init__(self) -> None:
+        if self.comm.size != self.decomp.nranks:
+            raise ValueError(
+                f"communicator size {self.comm.size} != "
+                f"decomposition ranks {self.decomp.nranks}"
+            )
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(
+        cls, comm: Communicator, nx1: int, nx2: int, nprx1: int, nprx2: int
+    ) -> "CartComm":
+        """Build the topology for an ``nx1 x nx2`` grid on this communicator."""
+        return cls(comm, TileDecomposition(nx1=nx1, nx2=nx2, nprx1=nprx1, nprx2=nprx2))
+
+    # ------------------------------------------------------------------
+    @property
+    def rank(self) -> int:
+        return self.comm.rank
+
+    @property
+    def size(self) -> int:
+        return self.comm.size
+
+    @property
+    def dims(self) -> tuple[int, int]:
+        return (self.decomp.nprx1, self.decomp.nprx2)
+
+    @cached_property
+    def coords(self) -> tuple[int, int]:
+        """This rank's tile coordinates ``(p1, p2)``."""
+        return self.decomp.coords_of(self.rank)
+
+    @cached_property
+    def tile(self) -> Tile:
+        """This rank's rectangle of the global zone index space."""
+        return self.decomp.tile(self.rank)
+
+    @cached_property
+    def neighbors(self) -> dict[str, int | None]:
+        """Face-neighbour ranks (``None`` on the physical boundary)."""
+        return self.decomp.neighbors(self.rank)
+
+    def shift(self, direction: int, disp: int) -> tuple[int | None, int | None]:
+        """MPI_Cart_shift: ``(source, dest)`` ranks for a displacement.
+
+        ``direction`` 0 is x1, 1 is x2.
+        """
+        if direction not in (0, 1):
+            raise ValueError("direction must be 0 (x1) or 1 (x2)")
+        d = (disp, 0) if direction == 0 else (0, disp)
+        dest = self.decomp.neighbor(self.rank, *d)
+        src = self.decomp.neighbor(self.rank, -d[0], -d[1])
+        return src, dest
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CartComm(rank={self.rank}, dims={self.dims}, coords={self.coords})"

@@ -1,0 +1,209 @@
+"""MPI-shaped communicator.
+
+The API mirrors the subset of MPI that V2D uses: point-to-point sends
+and receives (blocking and non-blocking), barriers, broadcasts,
+reductions (including all-reduce -- the operation whose global count
+the restructured BiCGSTAB minimizes), gathers and scatters.
+
+Determinism: reductions are evaluated in rank order at a root and then
+broadcast, so a sum over ranks is bit-reproducible run to run and
+independent of thread scheduling -- the property V2D relies on when it
+compares decomposed runs against serial ones.
+
+Accounting: every send increments PAPI-style message/byte counters, and
+every reduction increments a reduction counter; the performance model
+and the Sec. II-E breakdown benches consume these.
+"""
+
+from __future__ import annotations
+
+import threading
+from enum import Enum
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from repro.monitor.counters import Counters
+from repro.parallel.world import World, payload_nbytes
+
+#: Internal tag base for collective traffic, far above user tags.
+_COLL_TAG = 1 << 24
+
+
+class ReduceOp(Enum):
+    """Reduction operators (the subset V2D's solver needs)."""
+
+    SUM = "sum"
+    MIN = "min"
+    MAX = "max"
+    PROD = "prod"
+
+    def combine(self, a: Any, b: Any) -> Any:
+        if self is ReduceOp.SUM:
+            return a + b
+        if self is ReduceOp.PROD:
+            return a * b
+        if self is ReduceOp.MIN:
+            return np.minimum(a, b) if isinstance(a, np.ndarray) else min(a, b)
+        return np.maximum(a, b) if isinstance(a, np.ndarray) else max(a, b)
+
+
+class Request:
+    """Handle for a non-blocking operation."""
+
+    def __init__(self, complete: Callable[[float | None], Any], poll: Callable[[], bool]) -> None:
+        self._complete = complete
+        self._poll = poll
+        self._done = False
+        self._value: Any = None
+
+    def test(self) -> bool:
+        """Non-blocking completion check."""
+        if self._done:
+            return True
+        if self._poll():
+            self._value = self._complete(None)
+            self._done = True
+        return self._done
+
+    def wait(self) -> Any:
+        """Block until complete; returns the received payload (or None)."""
+        if not self._done:
+            self._value = self._complete(None)
+            self._done = True
+        return self._value
+
+
+class Communicator:
+    """One rank's endpoint into a :class:`~repro.parallel.world.World`."""
+
+    def __init__(self, world: World, rank: int, counters: Counters | None = None) -> None:
+        if not 0 <= rank < world.size:
+            raise ValueError(f"rank {rank} out of range for world of {world.size}")
+        self.world = world
+        self.rank = rank
+        self.counters = counters if counters is not None else Counters()
+
+    @property
+    def size(self) -> int:
+        return self.world.size
+
+    # ------------------------------------------------------------------
+    # Point-to-point
+    # ------------------------------------------------------------------
+    def send(self, payload: Any, dest: int, tag: int = 0) -> None:
+        """Buffered blocking send (completes locally, like MPI_Bsend)."""
+        self.counters.add_message(payload_nbytes(payload))
+        self.world.deliver(self.rank, dest, tag, payload)
+
+    def recv(self, source: int, tag: int = 0) -> Any:
+        """Blocking matched receive."""
+        return self.world.collect(self.rank, source, tag)
+
+    def isend(self, payload: Any, dest: int, tag: int = 0) -> Request:
+        """Non-blocking send; our sends buffer, so it is complete at once."""
+        self.send(payload, dest, tag)
+        return Request(complete=lambda _t: None, poll=lambda: True)
+
+    def irecv(self, source: int, tag: int = 0) -> Request:
+        """Non-blocking receive; completion via ``test()``/``wait()``."""
+        return Request(
+            complete=lambda _t: self.recv(source, tag),
+            poll=lambda: self.world.probe(self.rank, source, tag),
+        )
+
+    def sendrecv(
+        self, payload: Any, dest: int, source: int, sendtag: int = 0, recvtag: int = 0
+    ) -> Any:
+        """Combined send+receive (deadlock-free with buffered sends)."""
+        self.send(payload, dest, sendtag)
+        return self.recv(source, recvtag)
+
+    # ------------------------------------------------------------------
+    # Collectives
+    # ------------------------------------------------------------------
+    def barrier(self) -> None:
+        self.world.barrier_impl.wait(self.world.timeout)
+
+    def bcast(self, payload: Any, root: int = 0) -> Any:
+        """Broadcast ``payload`` from ``root``; all ranks return it."""
+        tag = _COLL_TAG + 1
+        if self.rank == root:
+            for r in range(self.size):
+                if r != root:
+                    self.send(payload, r, tag)
+            return payload
+        return self.recv(root, tag)
+
+    def gather(self, payload: Any, root: int = 0) -> list[Any] | None:
+        """Gather one value per rank to ``root`` (rank order); None elsewhere."""
+        tag = _COLL_TAG + 2
+        if self.rank == root:
+            out = []
+            for r in range(self.size):
+                out.append(payload if r == root else self.recv(r, tag))
+            return out
+        self.send(payload, root, tag)
+        return None
+
+    def allgather(self, payload: Any) -> list[Any]:
+        gathered = self.gather(payload, root=0)
+        return self.bcast(gathered, root=0)
+
+    def scatter(self, payloads: Sequence[Any] | None, root: int = 0) -> Any:
+        """Scatter one element per rank from ``root``."""
+        tag = _COLL_TAG + 3
+        if self.rank == root:
+            if payloads is None or len(payloads) != self.size:
+                raise ValueError("root must pass exactly one payload per rank")
+            for r in range(self.size):
+                if r != root:
+                    self.send(payloads[r], r, tag)
+            return payloads[root]
+        return self.recv(root, tag)
+
+    def reduce(self, payload: Any, op: ReduceOp = ReduceOp.SUM, root: int = 0) -> Any:
+        """Rank-ordered (deterministic) reduction to ``root``."""
+        tag = _COLL_TAG + 4
+        self.counters.reductions += 1
+        if self.rank == root:
+            parts: list[Any] = [None] * self.size
+            parts[root] = payload
+            for r in range(self.size):
+                if r != root:
+                    parts[r] = self.recv(r, tag)
+            acc = parts[0]
+            for p in parts[1:]:
+                acc = op.combine(acc, p)
+            return acc
+        self.send(payload, root, tag)
+        return None
+
+    def allreduce(self, payload: Any, op: ReduceOp = ReduceOp.SUM) -> Any:
+        """Reduction whose result every rank receives.
+
+        This is the operation the paper's restructured BiCGSTAB gangs:
+        each call costs a global synchronization, so fewer, wider
+        all-reduces beat many narrow ones.
+        """
+        result = self.reduce(payload, op=op, root=0)
+        return self.bcast(result, root=0)
+
+    # ------------------------------------------------------------------
+    def split_counters(self) -> Counters:
+        """Detach and return accumulated counters, resetting the live set."""
+        snap = Counters()
+        snap.merge(self.counters)
+        self.counters.reset()
+        return snap
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Communicator(rank={self.rank}, size={self.size})"
+
+
+def serial_communicator(counters: Counters | None = None) -> Communicator:
+    """A size-1 communicator for single-rank (serial) execution."""
+    return Communicator(World(1), 0, counters=counters)
+
+
+_threading = threading  # re-exported for tests that monkeypatch scheduling

@@ -1,0 +1,186 @@
+"""The shared message fabric behind every :class:`Communicator`.
+
+A :class:`World` owns, per rank, a mailbox of pending messages keyed by
+``(source, tag)``, a condition variable to block receivers, and a
+reusable sense-reversing barrier.  Message payloads that are NumPy
+arrays are copied on send so that sender-side mutation after a send
+cannot corrupt the receiver -- the same value semantics a real MPI
+transfer provides.
+
+If any rank thread dies with an exception the world is *aborted*: all
+blocked receivers wake and raise
+:class:`~repro.parallel.runtime.WorldAborted`, mirroring how an MPI job
+is torn down when one rank aborts.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+
+class WorldAbortedError(RuntimeError):
+    """Raised in surviving ranks when another rank aborted the job."""
+
+
+@dataclass
+class Message:
+    source: int
+    tag: int
+    payload: Any
+
+
+def _copy_payload(obj: Any) -> Any:
+    """Value-copy array payloads; pass small immutables through."""
+    if isinstance(obj, np.ndarray):
+        return obj.copy()
+    if isinstance(obj, (list, tuple)):
+        return type(obj)(_copy_payload(v) for v in obj)
+    if isinstance(obj, dict):
+        return {k: _copy_payload(v) for k, v in obj.items()}
+    return obj
+
+
+def payload_nbytes(obj: Any) -> int:
+    """Approximate wire size of a payload (for traffic accounting)."""
+    if isinstance(obj, np.ndarray):
+        return obj.nbytes
+    if isinstance(obj, (list, tuple)):
+        return sum(payload_nbytes(v) for v in obj)
+    if isinstance(obj, dict):
+        return sum(payload_nbytes(v) for v in obj.values())
+    if isinstance(obj, (int, float, complex, bool)):
+        return 8
+    if isinstance(obj, (str, bytes)):
+        return len(obj)
+    return 64  # generic pickled-object estimate
+
+
+class _Barrier:
+    """Sense-reversing reusable barrier that aborts cleanly."""
+
+    def __init__(self, parties: int) -> None:
+        self._parties = parties
+        self._count = 0
+        self._sense = False
+        self._cond = threading.Condition()
+        self._aborted = False
+
+    def wait(self, timeout: float | None) -> None:
+        with self._cond:
+            if self._aborted:
+                raise WorldAbortedError("world aborted during barrier")
+            local_sense = not self._sense
+            self._count += 1
+            if self._count == self._parties:
+                self._count = 0
+                self._sense = local_sense
+                self._cond.notify_all()
+                return
+            deadline_ok = self._cond.wait_for(
+                lambda: self._sense == local_sense or self._aborted, timeout=timeout
+            )
+            if self._aborted:
+                raise WorldAbortedError("world aborted during barrier")
+            if not deadline_ok:
+                raise TimeoutError("barrier timed out (likely deadlock)")
+
+    def abort(self) -> None:
+        with self._cond:
+            self._aborted = True
+            self._cond.notify_all()
+
+
+@dataclass
+class _Mailbox:
+    lock: threading.Lock = field(default_factory=threading.Lock)
+    cond: threading.Condition = field(init=False)
+    queues: dict[tuple[int, int], deque] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.cond = threading.Condition(self.lock)
+
+
+class World:
+    """Fabric connecting ``size`` ranks in one process.
+
+    Parameters
+    ----------
+    size:
+        Number of ranks.
+    timeout:
+        Seconds a blocking receive or barrier waits before declaring a
+        deadlock.  ``None`` disables the watchdog (not recommended in
+        tests).
+    """
+
+    def __init__(self, size: int, timeout: float | None = 60.0) -> None:
+        if size < 1:
+            raise ValueError("world size must be >= 1")
+        self.size = size
+        self.timeout = timeout
+        self._mailboxes = [_Mailbox() for _ in range(size)]
+        self.barrier_impl = _Barrier(size)
+        self._aborted = False
+        self._abort_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    @property
+    def aborted(self) -> bool:
+        return self._aborted
+
+    def abort(self) -> None:
+        """Tear the world down: wake every blocked rank with an error."""
+        with self._abort_lock:
+            if self._aborted:
+                return
+            self._aborted = True
+        self.barrier_impl.abort()
+        for box in self._mailboxes:
+            with box.cond:
+                box.cond.notify_all()
+
+    # ------------------------------------------------------------------
+    def deliver(self, source: int, dest: int, tag: int, payload: Any) -> None:
+        if not 0 <= dest < self.size:
+            raise ValueError(f"destination rank {dest} out of range")
+        if self._aborted:
+            raise WorldAbortedError("world aborted")
+        box = self._mailboxes[dest]
+        msg = Message(source=source, tag=tag, payload=_copy_payload(payload))
+        with box.cond:
+            box.queues.setdefault((source, tag), deque()).append(msg)
+            box.cond.notify_all()
+
+    def collect(self, dest: int, source: int, tag: int) -> Any:
+        """Blocking matched receive (FIFO per ``(source, tag)`` channel)."""
+        box = self._mailboxes[dest]
+        key = (source, tag)
+        with box.cond:
+            ok = box.cond.wait_for(
+                lambda: self._aborted or bool(box.queues.get(key)),
+                timeout=self.timeout,
+            )
+            if self._aborted:
+                raise WorldAbortedError("world aborted")
+            if not ok:
+                raise TimeoutError(
+                    f"rank {dest} timed out receiving (source={source}, tag={tag})"
+                )
+            return box.queues[key].popleft().payload
+
+    def probe(self, dest: int, source: int, tag: int) -> bool:
+        """Non-blocking: is a matching message waiting?"""
+        box = self._mailboxes[dest]
+        with box.cond:
+            return bool(box.queues.get((source, tag)))
+
+    def pending_messages(self, dest: int) -> int:
+        """Total undelivered messages in ``dest``'s mailbox (test hook)."""
+        box = self._mailboxes[dest]
+        with box.cond:
+            return sum(len(q) for q in box.queues.values())

@@ -1,0 +1,66 @@
+"""Analytic performance model of the study's platform.
+
+The measurements of Tables I and II are properties of hardware
+(A64FX/Ookami) and toolchains (GNU / Fujitsu / Cray, with and without
+SVE) that a pure-Python reproduction cannot run.  This package is the
+substitute: a machine model of the A64FX node and Ookami interconnect,
+compiler code-generation models, a workload characterization of the
+V2D Gaussian-pulse run derived from the instrumented code, and a cost
+model that combines them into predicted wall times.
+
+Per-compiler coefficients are *calibrated* against the paper's own
+Table I (a least-squares fit over its 12 topology rows; see
+:mod:`repro.perfmodel.calibrate`), so absolute seconds match by
+construction where the fit is good; what the model genuinely encodes
+-- and what the benchmarks assert -- is the *shape*: compiler
+orderings, scaling knees, topology sensitivity, and the
+kernel-vs-whole-code SVE dilution.
+
+Modules:
+
+* :mod:`repro.perfmodel.paper_data` -- Tables I & II as published.
+* :mod:`repro.perfmodel.machine` -- A64FX + Ookami hardware model.
+* :mod:`repro.perfmodel.compilers` -- compiler codegen/MPI models with
+  calibrated coefficients.
+* :mod:`repro.perfmodel.workload` -- operation/traffic counts of the
+  test problem per step.
+* :mod:`repro.perfmodel.costmodel` -- the time predictor.
+* :mod:`repro.perfmodel.kernels` -- Table II kernel-level model.
+* :mod:`repro.perfmodel.calibrate` -- the fitting procedure.
+* :mod:`repro.perfmodel.tables` -- Table I / II / Sec. II-E generators.
+"""
+
+from repro.perfmodel.compilers import COMPILERS, CompilerModel, get_compiler
+from repro.perfmodel.costmodel import CostModel, PredictedTime
+from repro.perfmodel.kernels import KernelTimeModel
+from repro.perfmodel.machine import A64FX, OokamiCluster
+from repro.perfmodel.paper_data import PAPER_TABLE1, PAPER_TABLE2_RATIOS, Table1Row
+from repro.perfmodel.roofline import RooflineModel, RooflinePoint
+from repro.perfmodel.tables import (
+    breakdown_report,
+    dilution_report,
+    table1_report,
+    table2_report,
+)
+from repro.perfmodel.workload import V2DWorkload
+
+__all__ = [
+    "A64FX",
+    "OokamiCluster",
+    "CompilerModel",
+    "COMPILERS",
+    "get_compiler",
+    "V2DWorkload",
+    "CostModel",
+    "PredictedTime",
+    "KernelTimeModel",
+    "RooflineModel",
+    "RooflinePoint",
+    "PAPER_TABLE1",
+    "PAPER_TABLE2_RATIOS",
+    "Table1Row",
+    "table1_report",
+    "table2_report",
+    "breakdown_report",
+    "dilution_report",
+]

@@ -1,0 +1,132 @@
+"""Compiler code-generation models.
+
+One :class:`CompilerModel` per Table-I column: GNU 11.1.0, Fujitsu 4.5,
+Cray 21.03 with ``-O3`` + SVE, and Cray without optimization or SVE.
+
+The four run-level cost coefficients (``fixed``, ``per_zone``,
+``per_rank_reduction``, ``per_halo_zone``) are calibrated against the
+paper's Table I by :mod:`repro.perfmodel.calibrate`; the test suite
+re-runs the fit and asserts these baked constants match it.  The
+kernel-level factors (``vec_efficiency`` etc.) feed the Table-II model
+in :mod:`repro.perfmodel.kernels`.
+
+What the calibrated numbers say (and the paper observed):
+
+* ``per_zone``: Cray(opt) generates the fastest compute
+  (9.2 us/zone-run), Fujitsu next, Cray(no-opt) ~1.41x Cray(opt) --
+  the whole-app SVE dilution -- and GNU slowest.
+* ``per_rank_reduction`` / ``per_rank2_reduction``: Fujitsu's MPI
+  pairing fits a small linear term (efficient tree collectives);
+  GNU's and Cray's stacks fit a quadratic term, which is why their
+  times turn upward past ~25-40 processors while Fujitsu keeps
+  scaling (the paper's Sec. II-E observation).
+* ``per_halo_zone``: similar across compilers; it is the term that
+  makes flatter topologies faster at fixed Np.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.perfmodel.paper_data import CRAY_NOOPT, CRAY_OPT, FUJITSU, GNU
+
+
+@dataclass(frozen=True)
+class CompilerModel:
+    """One toolchain's calibrated cost profile."""
+
+    key: str
+    name: str
+    version: str
+    sve: bool                      # SVE + -O3 style optimization enabled
+    # -- run-level coefficients (seconds), fit to Table I ---------------
+    fixed: float                   # F: per-run serial overhead
+    per_zone: float                # Z: s per zone per run (most-loaded rank)
+    per_rank_reduction: float      # R: s per rank per run (tree collectives)
+    per_rank2_reduction: float     # R2: s per rank^2 per run (flat/congested)
+    per_halo_zone: float           # H: s per max-perimeter zone per run
+    fit_rel_err: float             # mean relative error of the fit
+    # -- kernel-level codegen quality (for the Table-II model) ----------
+    vec_efficiency: float          # fraction of SVE peak achieved
+    scalar_efficiency: float       # fraction of scalar peak achieved
+    mem_efficiency: float          # fraction of stream bandwidth achieved
+
+    def __post_init__(self) -> None:
+        for f in (
+            "fixed",
+            "per_zone",
+            "per_rank_reduction",
+            "per_rank2_reduction",
+            "per_halo_zone",
+        ):
+            if getattr(self, f) < 0:
+                raise ValueError(f"{f} must be non-negative")
+
+    @property
+    def coefficients(self) -> tuple[float, float, float, float, float]:
+        """In the calibration basis order ``[F, Z, R, R2, H]``."""
+        return (
+            self.fixed,
+            self.per_zone,
+            self.per_rank_reduction,
+            self.per_rank2_reduction,
+            self.per_halo_zone,
+        )
+
+
+# ---------------------------------------------------------------------------
+# Calibrated constants.  Regenerate with:
+#   python -c "from repro.perfmodel.calibrate import calibration_report; \
+#              print(calibration_report())"
+# ---------------------------------------------------------------------------
+COMPILERS: dict[str, CompilerModel] = {
+    GNU: CompilerModel(
+        key=GNU, name="GNU", version="11.1.0", sve=True,
+        fixed=0.679824021,
+        per_zone=0.01849353304,
+        per_rank_reduction=0.0,
+        per_rank2_reduction=0.006794060264,
+        per_halo_zone=0.02484293216,
+        fit_rel_err=0.020939,
+        vec_efficiency=0.45, scalar_efficiency=0.55, mem_efficiency=0.55,
+    ),
+    FUJITSU: CompilerModel(
+        key=FUJITSU, name="Fujitsu", version="4.5", sve=True,
+        fixed=5.131477876,
+        per_zone=0.01232794793,
+        per_rank_reduction=0.01538730994,
+        per_rank2_reduction=0.0,
+        per_halo_zone=0.01039172429,
+        fit_rel_err=0.011801,
+        vec_efficiency=0.70, scalar_efficiency=0.70, mem_efficiency=0.75,
+    ),
+    CRAY_OPT: CompilerModel(
+        key=CRAY_OPT, name="Cray", version="21.03 (-O3 + SVE)", sve=True,
+        fixed=1.274165974,
+        per_zone=0.009185051798,
+        per_rank_reduction=0.0,
+        per_rank2_reduction=0.00655122217,
+        per_halo_zone=0.01703218824,
+        fit_rel_err=0.030221,
+        vec_efficiency=0.80, scalar_efficiency=0.75, mem_efficiency=0.80,
+    ),
+    CRAY_NOOPT: CompilerModel(
+        key=CRAY_NOOPT, name="Cray", version="21.03 (no opt / no SVE)", sve=False,
+        fixed=3.064618773,
+        per_zone=0.01297526906,
+        per_rank_reduction=0.1267703849,
+        per_rank2_reduction=0.0,
+        per_halo_zone=0.01033569628,
+        fit_rel_err=0.002621,
+        vec_efficiency=0.0, scalar_efficiency=0.60, mem_efficiency=0.65,
+    ),
+}
+
+
+def get_compiler(key: str) -> CompilerModel:
+    try:
+        return COMPILERS[key]
+    except KeyError:
+        raise KeyError(
+            f"unknown compiler {key!r}; available: {sorted(COMPILERS)}"
+        ) from None

@@ -1,0 +1,115 @@
+"""Hardware model: the A64FX node and the Ookami cluster.
+
+Numbers follow the paper's platform description (Sec. I-B) and public
+A64FX documentation: 4 core-memory groups (CMGs) of 12 cores each,
+64 KB L1 per core, 8 MB L2 per CMG, 1.8 GHz, 512-bit SVE, 32 GB HBM2
+at ~1 TB/s per node, InfiniBand HDR100 fat tree.
+
+The model exposes the two roofline inputs -- peak flop rate and
+sustainable memory bandwidth for a given core count -- plus cache
+capacities (the Table-II driver's 1000-equation system is L1/L2
+resident, which is why its kernels show the *compute-bound* SVE
+speedup rather than the HBM-bound one).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class A64FX:
+    """One A64FX processor (as deployed in Ookami's Apollo 80)."""
+
+    clock_hz: float = 1.8e9
+    cmgs: int = 4
+    cores_per_cmg: int = 12
+    sve_bits: int = 512
+    l1d_bytes: int = 64 * 1024            # per core
+    l2_bytes: int = 8 * 1024 * 1024       # per CMG, shared
+    hbm_bandwidth: float = 1.0e12         # bytes/s, node aggregate
+    #: fraction of nominal HBM bandwidth sustainable by stream-like code
+    stream_efficiency: float = 0.82
+    #: FMA pipes per core (each does lanes x (mul+add) per cycle)
+    fma_pipes: int = 2
+
+    @property
+    def cores(self) -> int:
+        return self.cmgs * self.cores_per_cmg
+
+    @property
+    def lanes(self) -> int:
+        """Double-precision lanes per SVE vector."""
+        return self.sve_bits // 64
+
+    # ------------------------------------------------------------------
+    def peak_flops(self, cores: int, vectorized: bool) -> float:
+        """Peak double-precision flop/s for ``cores`` cores.
+
+        Vectorized: ``pipes x lanes x 2 (FMA)`` flops/cycle/core =
+        32 @ 512-bit.  Scalar code retires ``pipes x 2`` = 4.
+        """
+        cores = min(cores, self.cores)
+        per_cycle = self.fma_pipes * 2 * (self.lanes if vectorized else 1)
+        return cores * per_cycle * self.clock_hz
+
+    def memory_bandwidth(self, cores: int) -> float:
+        """Sustainable bandwidth for ``cores`` cores (bytes/s).
+
+        Bandwidth is provisioned per CMG; cores fill CMGs in order and
+        a single core cannot saturate its CMG (a well-documented A64FX
+        property -- roughly 1/3 of CMG bandwidth from one core).
+        """
+        cores = min(cores, self.cores)
+        if cores <= 0:
+            raise ValueError("need at least one core")
+        bw_per_cmg = self.stream_efficiency * self.hbm_bandwidth / self.cmgs
+        full, rem = divmod(cores, self.cores_per_cmg)
+        bw = full * bw_per_cmg
+        if rem:
+            # partial CMG: single-core share ~1/3, saturating by ~4 cores
+            bw += bw_per_cmg * min(1.0, (1.0 + (rem - 1)) / 4.0)
+        return bw
+
+    def working_set_level(self, nbytes: int) -> str:
+        """Which level of the hierarchy holds a working set."""
+        if nbytes <= self.l1d_bytes:
+            return "L1"
+        if nbytes <= self.l2_bytes:
+            return "L2"
+        return "HBM"
+
+
+@dataclass(frozen=True)
+class OokamiCluster:
+    """The Apollo 80 testbed: 174 A64FX nodes on HDR100 InfiniBand."""
+
+    node: A64FX = A64FX()
+    nodes: int = 174
+    #: effective point-to-point latency of the MPI stack on A64FX.
+    #: The slow scalar core makes MPI software overhead dominate the
+    #: 1.3 us wire latency; tens of microseconds effective is typical.
+    mpi_latency: float = 2.0e-5
+    mpi_bandwidth: float = 12.5e9         # HDR100 ~ 100 Gb/s
+    intra_node_latency: float = 4.0e-6
+    intra_node_bandwidth: float = 4.0e10
+
+    def placement(self, nranks: int) -> tuple[int, int]:
+        """(nodes used, max ranks per node) for a dense block placement."""
+        if nranks < 1:
+            raise ValueError("need at least one rank")
+        per_node = self.node.cores
+        nodes = math.ceil(nranks / per_node)
+        if nodes > self.nodes:
+            raise ValueError(f"{nranks} ranks exceed the machine")
+        return nodes, min(nranks, per_node)
+
+    def latency(self, nranks: int) -> float:
+        """Effective message latency (worst path) for a job of this size."""
+        nodes, _ = self.placement(nranks)
+        return self.mpi_latency if nodes > 1 else self.intra_node_latency
+
+    def bandwidth(self, nranks: int) -> float:
+        nodes, _ = self.placement(nranks)
+        return self.mpi_bandwidth if nodes > 1 else self.intra_node_bandwidth

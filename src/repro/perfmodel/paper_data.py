@@ -1,0 +1,99 @@
+"""The paper's published measurements (ground truth for calibration).
+
+Table I: wall seconds (``perf stat`` duration) of the 100-step,
+200 x 100 x 2 Gaussian-pulse run, by compiler and process topology.
+Blank Cray(no-opt) cells in the paper are ``None`` here.
+
+Table II: CPU seconds of the five solver kernels in the stand-alone
+driver (1000 equations, 100,000 repetitions), Cray compiler, with and
+without SVE.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Compiler column keys used throughout the performance model.
+GNU = "gnu"
+FUJITSU = "fujitsu"
+CRAY_OPT = "cray-opt"
+CRAY_NOOPT = "cray-noopt"
+
+COMPILER_KEYS = (GNU, FUJITSU, CRAY_OPT, CRAY_NOOPT)
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One (Np, NX1, NX2) row of Table I."""
+
+    np_: int
+    nx1: int
+    nx2: int
+    times: dict[str, float | None]
+
+    def __post_init__(self) -> None:
+        if self.nx1 * self.nx2 != self.np_:
+            raise ValueError("NX1 * NX2 must equal Np")
+
+    def time(self, compiler: str) -> float | None:
+        return self.times.get(compiler)
+
+
+def _row(np_, nx1, nx2, gnu, fujitsu, cray_opt, cray_noopt=None) -> Table1Row:
+    return Table1Row(
+        np_=np_, nx1=nx1, nx2=nx2,
+        times={GNU: gnu, FUJITSU: fujitsu, CRAY_OPT: cray_opt, CRAY_NOOPT: cray_noopt},
+    )
+
+
+#: Table I exactly as published.
+PAPER_TABLE1: tuple[Table1Row, ...] = (
+    _row(1, 1, 1, 363.91, 252.31, 181.26, 262.57),
+    _row(10, 10, 1, 43.85, 31.76, 24.20, 32.35),
+    _row(20, 20, 1, 26.80, 19.79, 16.78, 20.66),
+    _row(20, 10, 2, 25.74, 19.66, 15.73, 19.93),
+    _row(20, 5, 4, 25.42, 18.85, 15.39, 19.79),
+    _row(25, 25, 1, 24.62, 17.24, 15.65),
+    _row(40, 40, 1, 25.30, 13.97, 19.12),
+    _row(40, 20, 2, 22.88, 12.96, 17.37),
+    _row(40, 10, 4, 21.91, 13.04, 17.16),
+    _row(50, 50, 1, 30.10, 13.05, 25.56),
+    _row(50, 25, 2, 29.26, 12.09, 24.07),
+    _row(50, 10, 5, 27.55, 11.40, 23.51),
+)
+
+#: Table II: CPU seconds, No-SVE vs SVE (Cray compiler), and the ratio.
+PAPER_TABLE2_TIMES: dict[str, tuple[float, float]] = {
+    "MATVEC": (599.0, 96.0),
+    "DPROD": (132.0, 24.3),
+    "DAXPY": (206.0, 53.8),
+    "DSCAL": (153.0, 47.7),
+    "DDAXPY": (296.0, 65.0),
+}
+
+PAPER_TABLE2_RATIOS: dict[str, float] = {
+    "MATVEC": 0.16,
+    "DPROD": 0.18,
+    "DAXPY": 0.26,
+    "DSCAL": 0.31,
+    "DDAXPY": 0.22,
+}
+
+#: Sec. II-E breakdown facts (seconds / fractions) used as targets.
+PAPER_BREAKDOWN_SERIAL = {
+    "total": 181.0,          # ~ Cray(opt) serial
+    "matvec": 141.0,         # "approximately 141 seconds out of 181"
+    "precond": 14.0,         # "preconditioning taking about 14 additional seconds"
+    "bicgstab_site_fraction": (0.31, 0.33),  # each of 3 call sites
+}
+
+PAPER_BREAKDOWN_20PROC = {
+    "topology": (5, 4),
+    "total": 15.0,
+    "matvec": 7.5,           # "approximately 7.5 seconds out of 15 ... at maximum"
+    "precond": 0.8,
+}
+
+#: The paper's problem size.
+PAPER_NX1, PAPER_NX2, PAPER_NCOMP, PAPER_NSTEPS = 200, 100, 2, 100
+PAPER_SOLVES_PER_STEP = 3

@@ -1,0 +1,122 @@
+"""Roofline analysis of the V2D kernels on the A64FX.
+
+Places each Table-II kernel on the A64FX roofline for both residences
+the study exercised: the driver's L1-resident 1000-equation system and
+the application's HBM/L2-streamed 40,000-unknown fields.  The picture
+*is* the paper's conclusion:
+
+* in L1, every kernel sits against the compute roof, so SVE's 8x wider
+  issue shows up almost fully (Table II's 3-6x);
+* from HBM, the kernels' arithmetic intensity (0.1-0.2 flop/byte) puts
+  them far under the memory roof, where extra SIMD width buys little
+  (Table I's ~1.45x whole-app gain).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.perfmodel.machine import A64FX
+from repro.perfmodel.workload import BYTES_PER_ZONE, FLOPS_PER_ZONE
+
+#: kernel -> (flops per element, bytes per element), from the
+#: KernelSuite accounting conventions.
+KERNEL_INTENSITY: dict[str, tuple[int, int]] = {
+    "MATVEC": (FLOPS_PER_ZONE["matvec"], BYTES_PER_ZONE["matvec"]),
+    "DPROD": (FLOPS_PER_ZONE["dprod"], BYTES_PER_ZONE["dprod"]),
+    "DAXPY": (FLOPS_PER_ZONE["daxpy"], BYTES_PER_ZONE["daxpy"]),
+    "DSCAL": (FLOPS_PER_ZONE["dscal"], BYTES_PER_ZONE["dscal"]),
+    "DDAXPY": (FLOPS_PER_ZONE["ddaxpy"], BYTES_PER_ZONE["ddaxpy"]),
+}
+
+#: effective bandwidths by working-set residence, bytes/s/core
+#: (A64FX: L1 ~ 230 GB/s/core load, L2 ~ 57 GB/s/core, HBM per-core
+#: share of the CMG stream bandwidth).
+CACHE_BANDWIDTH = {
+    "L1": 230e9,
+    "L2": 57e9,
+    "HBM": None,  # computed from the machine model per core count
+}
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One kernel's position and bound on a roofline."""
+
+    kernel: str
+    residence: str
+    intensity: float             # flop/byte
+    peak_flops: float            # compute roof (flop/s)
+    bandwidth: float             # memory roof slope (byte/s)
+    attainable: float            # min(peak, intensity * bw)
+
+    @property
+    def memory_bound(self) -> bool:
+        return self.intensity * self.bandwidth < self.peak_flops
+
+
+@dataclass(frozen=True)
+class RooflineModel:
+    """Roofline evaluator for one core of the A64FX."""
+
+    machine: A64FX = field(default_factory=A64FX)
+
+    def bandwidth(self, residence: str, cores: int = 1) -> float:
+        if residence == "HBM":
+            return self.machine.memory_bandwidth(cores) / cores
+        try:
+            return CACHE_BANDWIDTH[residence]
+        except KeyError:
+            raise KeyError(f"unknown residence {residence!r}") from None
+
+    def point(
+        self, kernel: str, residence: str, vectorized: bool = True
+    ) -> RooflinePoint:
+        try:
+            flops, nbytes = KERNEL_INTENSITY[kernel]
+        except KeyError:
+            raise KeyError(f"unknown kernel {kernel!r}") from None
+        intensity = flops / nbytes
+        peak = self.machine.peak_flops(1, vectorized)
+        bw = self.bandwidth(residence)
+        return RooflinePoint(
+            kernel=kernel,
+            residence=residence,
+            intensity=intensity,
+            peak_flops=peak,
+            bandwidth=bw,
+            attainable=min(peak, intensity * bw),
+        )
+
+    def sve_gain(self, kernel: str, residence: str) -> float:
+        """Attainable-flops ratio vectorized/scalar at that residence.
+
+        The roofline-level explanation of the dilution: in L1 this is
+        large (compute-roof bound by issue width); from HBM it
+        approaches 1 (memory roof, unchanged by SIMD width).
+        """
+        v = self.point(kernel, residence, vectorized=True).attainable
+        s = self.point(kernel, residence, vectorized=False).attainable
+        return v / s
+
+    def report(self) -> str:
+        lines = [
+            "ROOFLINE — V2D kernels on one A64FX core "
+            f"(SVE peak {self.machine.peak_flops(1, True) / 1e9:.1f} GF, "
+            f"scalar peak {self.machine.peak_flops(1, False) / 1e9:.1f} GF)",
+            f"{'kernel':<8} {'AI':>6} | "
+            + " | ".join(f"{res + ' gain':>10}" for res in ("L1", "L2", "HBM")),
+        ]
+        for kernel in KERNEL_INTENSITY:
+            ai = self.point(kernel, "L1").intensity
+            gains = [self.sve_gain(kernel, res) for res in ("L1", "L2", "HBM")]
+            lines.append(
+                f"{kernel:<8} {ai:>6.3f} | "
+                + " | ".join(f"{g:>9.1f}x" for g in gains)
+            )
+        lines += [
+            "",
+            "Driver (Table II) runs L1-resident -> near the left column;",
+            "the application streams from L2/HBM -> near the right one.",
+        ]
+        return "\n".join(lines)

@@ -1,0 +1,138 @@
+"""Report generators: the paper's tables and breakdowns from the model.
+
+Each function renders the model's prediction next to the published
+value and, where the benchmark harness asserts shape invariants (see
+DESIGN.md Sec. 4), exposes the raw numbers.
+"""
+
+from __future__ import annotations
+
+from repro.perfmodel.costmodel import CostModel
+from repro.perfmodel.kernels import KernelTimeModel
+from repro.perfmodel.paper_data import (
+    COMPILER_KEYS,
+    CRAY_NOOPT,
+    CRAY_OPT,
+    FUJITSU,
+    GNU,
+    PAPER_BREAKDOWN_20PROC,
+    PAPER_BREAKDOWN_SERIAL,
+    PAPER_TABLE1,
+    PAPER_TABLE2_RATIOS,
+    PAPER_TABLE2_TIMES,
+)
+
+_LABEL = {GNU: "GNU", FUJITSU: "Fujitsu", CRAY_OPT: "Cray(opt)", CRAY_NOOPT: "Cray(no-opt)"}
+
+
+def table1_model(model: CostModel | None = None) -> list[dict]:
+    """Model predictions for every Table-I cell.
+
+    Returns one dict per row: topology plus ``{compiler: (paper, model)}``.
+    """
+    model = model if model is not None else CostModel()
+    out = []
+    for row in PAPER_TABLE1:
+        cells = {}
+        for key in COMPILER_KEYS:
+            paper = row.time(key)
+            pred = model.predict(key, row.nx1, row.nx2).total
+            cells[key] = (paper, pred)
+        out.append(
+            {"np": row.np_, "nx1": row.nx1, "nx2": row.nx2, "cells": cells}
+        )
+    return out
+
+
+def table1_report(model: CostModel | None = None) -> str:
+    """TABLE I side-by-side: paper seconds vs model seconds."""
+    rows = table1_model(model)
+    head = f"{'Np':>4} {'NX1':>4} {'NX2':>4}"
+    for key in COMPILER_KEYS:
+        head += f" | {_LABEL[key]:>21}"
+    lines = [
+        "TABLE I — TIMES BY COMPILER (seconds): paper / model",
+        head,
+    ]
+    for r in rows:
+        line = f"{r['np']:>4} {r['nx1']:>4} {r['nx2']:>4}"
+        for key in COMPILER_KEYS:
+            paper, pred = r["cells"][key]
+            ptxt = f"{paper:8.2f}" if paper is not None else "      --"
+            line += f" | {ptxt} /{pred:10.2f}"
+        lines.append(line)
+    return "\n".join(lines)
+
+
+def table2_report(kernel_model: KernelTimeModel | None = None) -> str:
+    """TABLE II side-by-side: paper vs model kernel times and ratios."""
+    km = kernel_model if kernel_model is not None else KernelTimeModel()
+    t2 = km.table2()
+    lines = [
+        "TABLE II — LINEAR ALGEBRA ROUTINES TIMES (seconds): paper / model",
+        f"{'Routine':<8} {'No-SVE':>17} {'SVE':>17} {'SVE/No-SVE':>17}",
+    ]
+    for k, (t0, t1, ratio) in t2.items():
+        p0, p1 = PAPER_TABLE2_TIMES[k]
+        pr = PAPER_TABLE2_RATIOS[k]
+        lines.append(
+            f"{k:<8} {p0:7.1f} /{t0:8.1f} {p1:7.1f} /{t1:8.1f} "
+            f"{pr:7.2f} /{ratio:8.2f}"
+        )
+    return "\n".join(lines)
+
+
+def breakdown_report(model: CostModel | None = None) -> str:
+    """The Sec. II-E time attributions: serial and 20-processor (5x4)."""
+    model = model if model is not None else CostModel()
+    serial = model.predict(CRAY_OPT, 1, 1)
+    par = model.predict(CRAY_OPT, 5, 4)
+    pb, pp = PAPER_BREAKDOWN_SERIAL, PAPER_BREAKDOWN_20PROC
+    lines = [
+        "SEC. II-E BREAKDOWN (Cray opt): paper vs model",
+        "",
+        "Serial (1 processor):",
+        f"  total     : paper ~{pb['total']:.0f} s   model {serial.total:.1f} s",
+        f"  Matvec    : paper ~{pb['matvec']:.0f} s   model {serial.matvec:.1f} s",
+        f"  precond   : paper ~{pb['precond']:.0f} s    model {serial.precond:.1f} s",
+        "  BiCGSTAB call sites: paper 31-33% each; model attributes "
+        f"{100 * (serial.matvec + serial.precond + serial.other) / serial.total / 3:.0f}% "
+        "each of three equal solves",
+        "",
+        "20 processors (5 x 4):",
+        f"  total     : paper ~{pp['total']:.0f} s   model {par.total:.1f} s",
+        f"  Matvec max: paper ~{pp['matvec']:.1f} s  model {par.matvec:.1f} s",
+        f"  precond   : paper ~{pp['precond']:.1f} s  model {par.precond:.1f} s",
+        f"  MPI share : model {par.mpi:.1f} s "
+        f"({100 * par.mpi / par.total:.0f}% — 'a significant amount of time')",
+    ]
+    return "\n".join(lines)
+
+
+def dilution_report(
+    model: CostModel | None = None, kernel_model: KernelTimeModel | None = None
+) -> str:
+    """The headline finding: kernels gain 3-6x from SVE, the app ~1.45x."""
+    model = model if model is not None else CostModel()
+    km = kernel_model if kernel_model is not None else KernelTimeModel()
+    app_ratio = model.app_sve_ratio()
+    kr = {k: v for k, (_, _, v) in km.table2().items()}
+    best, worst = min(kr.values()), max(kr.values())
+    lines = [
+        "SVE DILUTION — kernel-level vs whole-application speedup",
+        f"  kernel SVE/no-SVE ratios : {best:.2f} .. {worst:.2f} "
+        f"(speedups {1 / worst:.1f}x .. {1 / best:.1f}x)",
+        f"  application ratio (model): {app_ratio:.2f} "
+        f"(speedup {1 / app_ratio:.2f}x)",
+        f"  application ratio (paper): {181.26 / 262.57:.2f} "
+        f"(speedup {262.57 / 181.26:.2f}x)",
+        "",
+        "  Why: the driver's 1000-equation system is L1-resident and",
+        "  instruction-bound (full SIMD benefit); the application's",
+        "  working set streams from L2/HBM and interleaves solver",
+        "  kernels with coefficient builds, SPAI setup, ghost fills and",
+        "  MPI — work SVE barely touches.  'A complex multi-physics",
+        "  code ... will not necessarily demonstrate the speedup",
+        "  expected with the use of SVE optimization.'",
+    ]
+    return "\n".join(lines)

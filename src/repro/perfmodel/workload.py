@@ -1,0 +1,164 @@
+"""Workload characterization of the paper's test problem.
+
+Counts the work one run performs, derived from the structure of the
+reproduced code (and verifiable against its PAPI-style counters): zones
+per rank from the tile decomposition, solver iterations, kernel bytes
+and flops per zone, message and reduction counts.
+
+These counts feed two places: the cost model's communication terms and
+the dilution analysis (how much of the per-zone time is vectorizable
+kernel work vs physics overhead).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.grid.decomposition import TileDecomposition
+from repro.linalg.bicgstab import (
+    REDUCTIONS_PER_ITER_CLASSIC,
+    REDUCTIONS_PER_ITER_GANGED,
+)
+from repro.perfmodel.paper_data import (
+    PAPER_NCOMP,
+    PAPER_NSTEPS,
+    PAPER_NX1,
+    PAPER_NX2,
+    PAPER_SOLVES_PER_STEP,
+)
+
+#: Bytes of memory traffic per zone per component for one application of
+#: each kernel (the KernelSuite accounting conventions).
+BYTES_PER_ZONE = {
+    "matvec": 56,     # 5 coefficient streams + field + result
+    "precond": 56,    # SPAI apply is another 5-point stencil
+    "daxpy": 24,
+    "dscal": 24,
+    "ddaxpy": 32,
+    "dprod": 16,
+}
+
+FLOPS_PER_ZONE = {
+    "matvec": 9,
+    "precond": 9,
+    "daxpy": 2,
+    "dscal": 2,
+    "ddaxpy": 4,
+    "dprod": 2,
+}
+
+
+@dataclass(frozen=True)
+class V2DWorkload:
+    """Operation counts for one run of the Gaussian-pulse problem.
+
+    Parameters default to the paper's configuration (200 x 100 x 2,
+    100 steps, 3 solves/step).  ``iterations_per_solve`` is the mean
+    BiCGSTAB iteration count, measured from the reproduced code on the
+    same problem (SPAI-preconditioned ganged BiCGSTAB converges in
+    ~10-15 iterations at these tolerances).
+    """
+
+    nx1: int = PAPER_NX1
+    nx2: int = PAPER_NX2
+    ncomp: int = PAPER_NCOMP
+    nsteps: int = PAPER_NSTEPS
+    solves_per_step: int = PAPER_SOLVES_PER_STEP
+    iterations_per_solve: float = 12.0
+    ganged: bool = True
+
+    def __post_init__(self) -> None:
+        if min(self.nx1, self.nx2, self.ncomp, self.nsteps) < 1:
+            raise ValueError("workload dimensions must be positive")
+        if self.iterations_per_solve <= 0:
+            raise ValueError("iterations_per_solve must be positive")
+
+    # ------------------------------------------------------------------
+    @property
+    def zones(self) -> int:
+        return self.nx1 * self.nx2
+
+    @property
+    def nunknowns(self) -> int:
+        return self.zones * self.ncomp
+
+    @property
+    def total_solves(self) -> int:
+        return self.nsteps * self.solves_per_step
+
+    @property
+    def total_iterations(self) -> float:
+        return self.total_solves * self.iterations_per_solve
+
+    # ------------------------------------------------------------------
+    # Per-iteration kernel composition (one BiCGSTAB iteration):
+    #   2 matvecs, 2 preconditioner applies, ~6 BLAS-1 updates,
+    #   reductions per the ganged/classic variant.
+    # ------------------------------------------------------------------
+    def kernel_bytes_per_zone_per_iter(self) -> float:
+        """Memory traffic per zone per iteration (bytes, all components)."""
+        per_comp = (
+            2 * BYTES_PER_ZONE["matvec"]
+            + 2 * BYTES_PER_ZONE["precond"]
+            + 2 * BYTES_PER_ZONE["daxpy"]
+            + 2 * BYTES_PER_ZONE["dscal"]
+            + BYTES_PER_ZONE["ddaxpy"]
+            + 5 * BYTES_PER_ZONE["dprod"]
+        )
+        return per_comp * self.ncomp
+
+    def kernel_flops_per_zone_per_iter(self) -> float:
+        per_comp = (
+            2 * FLOPS_PER_ZONE["matvec"]
+            + 2 * FLOPS_PER_ZONE["precond"]
+            + 2 * FLOPS_PER_ZONE["daxpy"]
+            + 2 * FLOPS_PER_ZONE["dscal"]
+            + FLOPS_PER_ZONE["ddaxpy"]
+            + 5 * FLOPS_PER_ZONE["dprod"]
+        )
+        return per_comp * self.ncomp
+
+    def run_kernel_bytes_per_zone(self) -> float:
+        """Kernel memory traffic per zone for the whole run."""
+        return self.kernel_bytes_per_zone_per_iter() * self.total_iterations
+
+    @property
+    def arithmetic_intensity(self) -> float:
+        """Flops per byte of the solver's kernel mix (deep in the
+        memory-bound regime -- the paper's premise)."""
+        return (
+            self.kernel_flops_per_zone_per_iter()
+            / self.kernel_bytes_per_zone_per_iter()
+        )
+
+    # ------------------------------------------------------------------
+    # Communication counts per run, for a given topology.
+    # ------------------------------------------------------------------
+    def reductions_per_iteration(self) -> int:
+        return (
+            REDUCTIONS_PER_ITER_GANGED if self.ganged else REDUCTIONS_PER_ITER_CLASSIC
+        )
+
+    def total_reductions(self) -> float:
+        return self.total_iterations * self.reductions_per_iteration()
+
+    def halo_exchanges_per_iteration(self) -> int:
+        # one exchange per matvec (the preconditioner is tile-local SPAI)
+        return 2
+
+    def comm_profile(self, nprx1: int, nprx2: int) -> dict[str, float]:
+        """Message/byte counts for the most-communicating rank."""
+        decomp = TileDecomposition(
+            nx1=self.nx1, nx2=self.nx2, nprx1=nprx1, nprx2=nprx2
+        )
+        exchanges = self.total_iterations * self.halo_exchanges_per_iteration()
+        msgs_per_exchange = decomp.max_neighbor_count()
+        halo_zones = decomp.max_halo_zones()
+        return {
+            "halo_exchanges": exchanges,
+            "messages": exchanges * msgs_per_exchange,
+            "halo_bytes": exchanges * halo_zones * 8 * self.ncomp,
+            "reductions": self.total_reductions(),
+            "max_tile_zones": float(decomp.max_tile_zones()),
+            "max_halo_zones": float(halo_zones),
+        }

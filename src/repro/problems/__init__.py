@@ -1,0 +1,23 @@
+"""Test problems.
+
+* :mod:`repro.problems.gaussian_pulse` -- the paper's radiation test
+  problem: diffusion of a 2-D Gaussian pulse, no hydrodynamics, with a
+  closed-form solution in the linear (constant-D) limit.
+* :mod:`repro.problems.sedov_blast` -- a point-energy blast wave
+  (hydro-only workload, the kind V2D's supernova target implies).
+* :mod:`repro.problems.radiative_shock` -- a coupled hydro + radiation
+  configuration exercising matter coupling.
+"""
+
+from repro.problems.base import Problem, ProblemState
+from repro.problems.gaussian_pulse import GaussianPulseProblem
+from repro.problems.radiative_shock import RadiativeShockProblem
+from repro.problems.sedov_blast import SedovBlastProblem
+
+__all__ = [
+    "Problem",
+    "ProblemState",
+    "GaussianPulseProblem",
+    "SedovBlastProblem",
+    "RadiativeShockProblem",
+]

@@ -1,0 +1,62 @@
+"""Problem protocol.
+
+A problem supplies initial data (and problem-specific physics choices)
+for a mesh tile; the simulation driver owns everything else.  Problems
+must be *tile-aware*: ``initial_state`` receives the tile's mesh (whose
+coordinates are global), so a decomposed run initializes exactly the
+same global field as a serial one.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.grid.mesh import Mesh2D
+from repro.parallel.halo import BoundaryCondition
+from repro.transport.fld import FluxLimiter
+from repro.transport.groups import RadiationBasis
+from repro.transport.opacity import ConstantOpacity, OpacityModel
+
+Array = np.ndarray
+
+
+@dataclass
+class ProblemState:
+    """Initial data on one tile."""
+
+    E: Array                 # (ncomp, nx1, nx2) radiation energy density
+    rho: Array               # (nx1, nx2) material density
+    temp: Array              # (nx1, nx2) material temperature
+    hydro_primitive: Array | None = None  # (4, nx1, nx2) if the problem runs hydro
+
+
+class Problem(ABC):
+    """Base class for test problems."""
+
+    #: short identifier used in reports and checkpoint names
+    name: str = "problem"
+    #: whether the hydrodynamics module participates
+    uses_hydro: bool = False
+
+    @abstractmethod
+    def initial_state(self, mesh: Mesh2D, basis: RadiationBasis) -> ProblemState:
+        """Initial data on (this tile of) the mesh."""
+
+    def opacity(self) -> OpacityModel:
+        """Opacity model (constant by default)."""
+        return ConstantOpacity(kappa_a=1.0)
+
+    def limiter(self) -> FluxLimiter:
+        return FluxLimiter.LEVERMORE_POMRANING
+
+    def boundary_condition(self) -> BoundaryCondition | dict[str, BoundaryCondition]:
+        return BoundaryCondition.DIRICHLET0
+
+    def analytic_solution(
+        self, mesh: Mesh2D, basis: RadiationBasis, t: float
+    ) -> Array | None:
+        """Closed-form radiation field at time ``t``, if one exists."""
+        return None

@@ -1,0 +1,194 @@
+"""Energy-group and species bookkeeping.
+
+V2D evolves the radiation energy density "across a spectrum of
+energies" for multiple species (for core-collapse supernovae: neutrino
+flavours).  The unknowns of the linear system are radiation
+*components*: one per (species, energy group) pair, stored as the
+leading axis of every field, so the paper's test problem -- 2 species,
+one (grey) group each -- has ``x1 * x2 * 2`` unknowns.
+
+:class:`EnergyGroups` carries the group edges and the normalized Planck
+(blackbody) fractions used for emission sources; :class:`RadiationBasis`
+flattens (species, group) pairs into component indices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+
+import numpy as np
+
+Array = np.ndarray
+
+
+@lru_cache(maxsize=None)
+def _planck_cdf_table(npts: int = 2048) -> tuple[Array, Array]:
+    """Cumulative normalized Planck integral P(x) on a log grid."""
+    x = np.geomspace(1e-6, 60.0, npts)
+    f = x**3 / np.expm1(x)
+    cdf = np.concatenate([[0.0], np.cumsum(0.5 * (f[1:] + f[:-1]) * np.diff(x))])
+    cdf *= 15.0 / np.pi**4
+    return x, np.minimum(cdf, 1.0)
+
+
+def planck_cdf(x: Array) -> Array:
+    """Vectorized ``P(x) = (15/pi^4) int_0^x t^3/(e^t-1) dt`` (in [0, 1])."""
+    grid, cdf = _planck_cdf_table()
+    xc = np.clip(np.asarray(x, dtype=float), grid[0], grid[-1])
+    return np.interp(xc, grid, cdf)
+
+
+def planck_integral(x_lo: float, x_hi: float) -> float:
+    """Normalized Planck integral over ``x = E/kT`` in ``[x_lo, x_hi]``.
+
+    Returns the fraction of blackbody energy in the band:
+    ``(15/pi^4) * int x^3/(e^x - 1) dx``; the full integral is 1.
+    """
+    if x_hi <= x_lo:
+        raise ValueError("need x_hi > x_lo")
+    lo, hi = planck_cdf(np.array([x_lo, x_hi]))
+    return float(hi - lo)
+
+
+@dataclass(frozen=True)
+class EnergyGroups:
+    """Energy-group structure: ``ngroups`` bins between ``edges``.
+
+    ``edges`` are in units of a reference temperature (i.e. the group
+    boundary divided by ``k T_ref``); a single "grey" group is
+    ``EnergyGroups.grey()``.
+    """
+
+    edges: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        e = np.asarray(self.edges, dtype=float)
+        if e.ndim != 1 or e.shape[0] < 2:
+            raise ValueError("need at least two group edges")
+        if np.any(np.diff(e) <= 0) or e[0] < 0:
+            raise ValueError("group edges must be non-negative and increasing")
+        object.__setattr__(self, "edges", tuple(float(v) for v in e))
+
+    @staticmethod
+    def grey() -> "EnergyGroups":
+        """A single group spanning (effectively) the whole spectrum."""
+        return EnergyGroups(edges=(1e-4, 50.0))
+
+    @staticmethod
+    def logarithmic(ngroups: int, lo: float = 0.05, hi: float = 30.0) -> "EnergyGroups":
+        """Log-spaced groups, the standard multigroup discretization."""
+        if ngroups < 1:
+            raise ValueError("need at least one group")
+        return EnergyGroups(edges=tuple(np.geomspace(lo, hi, ngroups + 1)))
+
+    @property
+    def ngroups(self) -> int:
+        return len(self.edges) - 1
+
+    @property
+    def centers(self) -> Array:
+        e = np.asarray(self.edges)
+        return np.sqrt(e[:-1] * e[1:])  # geometric centres (log spacing)
+
+    @property
+    def widths(self) -> Array:
+        e = np.asarray(self.edges)
+        return np.diff(e)
+
+    def planck_fractions(self, t_ratio: float = 1.0) -> Array:
+        """Fraction of blackbody energy per group at ``T = t_ratio*T_ref``.
+
+        Group edges scale as ``x = edge / t_ratio``.
+        """
+        if t_ratio <= 0:
+            raise ValueError("temperature ratio must be positive")
+        e = np.asarray(self.edges) / t_ratio
+        return np.array(
+            [planck_integral(e[g], e[g + 1]) for g in range(self.ngroups)]
+        )
+
+    def planck_fractions_field(self, temp: Array, t_ref: float = 1.0) -> Array:
+        """Per-zone group fractions: ``(ngroups,) + temp.shape``.
+
+        Uses the precomputed Planck CDF, so the cost is one
+        interpolation per group edge regardless of grid size.
+        """
+        if t_ref <= 0:
+            raise ValueError("reference temperature must be positive")
+        t = np.maximum(np.asarray(temp, dtype=float), 1e-30) / t_ref
+        e = np.asarray(self.edges)
+        cdfs = [planck_cdf(e[g] / t) for g in range(len(e))]
+        return np.stack([cdfs[g + 1] - cdfs[g] for g in range(self.ngroups)])
+
+
+@dataclass(frozen=True)
+class RadiationBasis:
+    """The component basis: species x energy groups.
+
+    Component ordering: group index fastest, species slowest, i.e.
+    ``u = s * ngroups + g``.  For the paper's test problem
+    (2 species x 1 grey group) this is simply components 0 and 1.
+    """
+
+    species: tuple[str, ...] = ("nu_e", "nu_e_bar")
+    groups: EnergyGroups = field(default_factory=EnergyGroups.grey)
+
+    def __post_init__(self) -> None:
+        if len(self.species) < 1:
+            raise ValueError("need at least one species")
+        if len(set(self.species)) != len(self.species):
+            raise ValueError("species names must be unique")
+
+    @property
+    def nspecies(self) -> int:
+        return len(self.species)
+
+    @property
+    def ngroups(self) -> int:
+        return self.groups.ngroups
+
+    @property
+    def ncomp(self) -> int:
+        return self.nspecies * self.ngroups
+
+    def index(self, species: int | str, group: int = 0) -> int:
+        """Component index of (species, group)."""
+        s = self.species.index(species) if isinstance(species, str) else species
+        if not 0 <= s < self.nspecies:
+            raise ValueError(f"species index {s} out of range")
+        if not 0 <= group < self.ngroups:
+            raise ValueError(f"group index {group} out of range")
+        return s * self.ngroups + group
+
+    def unpack(self, comp: int) -> tuple[int, int]:
+        """Inverse of :meth:`index`: component -> (species, group)."""
+        if not 0 <= comp < self.ncomp:
+            raise ValueError(f"component {comp} out of range")
+        return divmod(comp, self.ngroups)
+
+    def component_names(self) -> list[str]:
+        return [
+            f"{self.species[s]}[g{g}]"
+            for s in range(self.nspecies)
+            for g in range(self.ngroups)
+        ]
+
+    def pair_coupling_matrix(self, rate: float) -> Array:
+        """Symmetric species-exchange matrix ``(ncomp, ncomp)``.
+
+        Couples equal-group components of *different* species at
+        ``rate`` (e.g. neutrino pair processes exchanging energy
+        between nu and nu-bar).  Zero diagonal; the system builder adds
+        the conservative counterpart to the diagonal.
+        """
+        if rate < 0:
+            raise ValueError("coupling rate must be non-negative")
+        C = np.zeros((self.ncomp, self.ncomp))
+        for s in range(self.nspecies):
+            for sp in range(self.nspecies):
+                if s == sp:
+                    continue
+                for g in range(self.ngroups):
+                    C[self.index(s, g), self.index(sp, g)] = rate
+        return C

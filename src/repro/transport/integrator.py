@@ -1,0 +1,375 @@
+"""Implicit radiation time integrator: three solves per step.
+
+"Each time step requires the solution of three unique x1 x x2 x 2
+linear systems via the BiCGSTAB algorithm" (paper Sec. II-D).  We
+realize those three systems as the standard treatment of FLD's two
+nonlinearities (the limiter and the matter coupling):
+
+1. **Predictor** -- diffusion coefficients frozen at ``E^n``; solve for
+   a provisional ``E*``.
+2. **Corrector** -- diffusion coefficients re-evaluated at ``E*`` (the
+   flux-limiter nonlinearity); solve again from the same explicit
+   state.
+3. **Matter-coupling** -- the material temperature is advanced by a
+   linearized implicit emission-absorption balance using the corrected
+   field, and the radiation system is re-solved with the updated
+   emission source.
+
+Each solve applies the same matrix-free stencil operator (with halo
+exchange in decomposed runs), so a run of ``nsteps`` steps performs
+``3 * nsteps`` BiCGSTAB solves -- the paper's 100-step problem is 300
+linear systems.
+
+Every phase is instrumented with the TAU-style profiler under the
+region names the Sec. II-E breakdown uses (``MATVEC``, ``PRECOND``,
+``BiCGSTAB``, ``build_system``, ``halo_exchange``, ``matter_update``).
+"""
+
+from __future__ import annotations
+
+from contextlib import nullcontext
+from dataclasses import dataclass, field as dc_field
+
+import numpy as np
+
+from repro.grid.field import Field
+from repro.grid.mesh import Mesh2D
+from repro.kernels.suite import KernelSuite
+from repro.linalg.bicgstab import SolveResult, bicgstab
+from repro.linalg.operators import LinearOperator, StencilOperator
+from repro.linalg.spai import (
+    IdentityPreconditioner,
+    JacobiPreconditioner,
+    Preconditioner,
+    SPAIPreconditioner,
+)
+from repro.monitor.profiler import Profiler
+from repro.parallel.cart import CartComm
+from repro.parallel.halo import BoundaryCondition, HaloExchanger
+from repro.transport.fld import FluxLimiter
+from repro.transport.groups import RadiationBasis
+from repro.transport.opacity import OpacityModel
+from repro.transport.system import RadiationSystem, build_radiation_system
+
+Array = np.ndarray
+
+#: Preconditioner choices by config name.
+PRECONDITIONERS = ("spai", "jacobi", "none")
+
+
+class _ProfiledOperator(LinearOperator):
+    """Wrap an operator so every apply lands in a profiler region."""
+
+    def __init__(self, op: LinearOperator, profiler: Profiler, name: str, rank: int) -> None:
+        self._op = op
+        self._profiler = profiler
+        self._name = name
+        self._rank = rank
+
+    @property
+    def operand_shape(self) -> tuple[int, ...]:
+        return self._op.operand_shape
+
+    def apply(self, x: Array, out: Array | None = None) -> Array:
+        with self._profiler.region(self._name, rank=self._rank):
+            return self._op.apply(x, out=out)
+
+
+class _ProfiledPreconditioner(Preconditioner):
+    def __init__(self, M: Preconditioner, profiler: Profiler, rank: int) -> None:
+        self._M = M
+        self._profiler = profiler
+        self._rank = rank
+
+    def apply(self, x: Array, out: Array | None = None) -> Array:
+        with self._profiler.region("PRECOND", rank=self._rank):
+            return self._M.apply(x, out=out)
+
+
+@dataclass
+class StepReport:
+    """Diagnostics for one radiation step."""
+
+    step: int
+    time: float
+    dt: float
+    solves: list[SolveResult] = dc_field(default_factory=list)
+    total_energy: float = 0.0
+    temp_min: float = 0.0
+    temp_max: float = 0.0
+
+    @property
+    def iterations(self) -> int:
+        return sum(s.iterations for s in self.solves)
+
+    @property
+    def converged(self) -> bool:
+        return all(s.converged for s in self.solves)
+
+
+class RadiationIntegrator:
+    """Advances the MFLD radiation field (and matter temperature).
+
+    Parameters
+    ----------
+    mesh:
+        This rank's tile mesh.
+    basis:
+        Species/group structure.
+    opacity:
+        Opacity model.
+    limiter:
+        Flux limiter.
+    bc:
+        Physical-boundary condition (all sides or per-side dict).
+    cart:
+        Optional Cartesian topology for decomposed runs.
+    suite:
+        Kernel suite (execution backend).
+    precond:
+        ``"spai"`` (paper default), ``"jacobi"`` or ``"none"``.
+    coupling_rate:
+        Inter-species exchange rate (0 decouples the species blocks).
+    couple_matter:
+        Evolve the material temperature via emission-absorption
+        exchange (solve 3 still runs with a frozen-T source otherwise).
+    """
+
+    def __init__(
+        self,
+        mesh: Mesh2D,
+        basis: RadiationBasis,
+        opacity: OpacityModel,
+        limiter: FluxLimiter | str = FluxLimiter.LEVERMORE_POMRANING,
+        bc: BoundaryCondition | dict[str, BoundaryCondition] = BoundaryCondition.DIRICHLET0,
+        cart: CartComm | None = None,
+        suite: KernelSuite | None = None,
+        precond: str = "spai",
+        solver_tol: float = 1e-8,
+        solver_maxiter: int = 500,
+        ganged: bool = True,
+        coupling_rate: float = 0.0,
+        couple_matter: bool = False,
+        c_light: float = 1.0,
+        a_rad: float = 1.0,
+        cv: float = 1.0,
+        emission: bool = False,
+        profiler: Profiler | None = None,
+    ) -> None:
+        if precond not in PRECONDITIONERS:
+            raise ValueError(f"precond must be one of {PRECONDITIONERS}")
+        self.mesh = mesh
+        self.basis = basis
+        self.opacity = opacity
+        self.limiter = limiter
+        self.bc = bc
+        self.cart = cart
+        self.suite = suite if suite is not None else KernelSuite()
+        self.precond_name = precond
+        self.solver_tol = solver_tol
+        self.solver_maxiter = solver_maxiter
+        self.ganged = ganged
+        self.coupling = (
+            basis.pair_coupling_matrix(coupling_rate) if coupling_rate > 0 else None
+        )
+        self.couple_matter = couple_matter
+        self.c_light = c_light
+        self.a_rad = a_rad
+        self.cv = cv
+        self.emission = emission
+        self.profiler = profiler
+        self.rank = cart.rank if cart is not None else 0
+
+        n1, n2 = mesh.shape
+        self.E = Field(basis.ncomp, (n1, n2), nghost=1)
+        self.rho = np.ones((n1, n2))
+        self.temp = np.ones((n1, n2))
+        self.time = 0.0
+        self.step_count = 0
+        self._halo = HaloExchanger(cart, bc) if cart is not None else None
+
+    # ------------------------------------------------------------------
+    @property
+    def comm(self):
+        return self.cart.comm if self.cart is not None else None
+
+    def set_state(
+        self, E: Array, rho: Array | None = None, temp: Array | None = None
+    ) -> None:
+        """Load the initial radiation field and material state."""
+        if E.shape != self.E.interior.shape:
+            raise ValueError(f"E shape {E.shape} != {self.E.interior.shape}")
+        self.E.interior = E
+        if rho is not None:
+            self.rho[...] = rho
+        if temp is not None:
+            self.temp[...] = temp
+
+    def _fill_ghosts(self, fld: Field) -> None:
+        if self.profiler is not None:
+            cm = self.profiler.region("halo_exchange", rank=self.rank)
+        else:
+            cm = nullcontext()
+        with cm:
+            if self._halo is not None:
+                self._halo.exchange(fld)
+            else:
+                for side in ("west", "east", "south", "north"):
+                    bc = self.bc if isinstance(self.bc, BoundaryCondition) else self.bc[side]
+                    if bc is BoundaryCondition.DIRICHLET0:
+                        fld.zero_side(side)
+                    else:
+                        fld.reflect_side(side)
+
+    def _build(
+        self, epad: Array, dt: float, temp: Array, e_rhs: Array | None = None
+    ) -> RadiationSystem:
+        if self.profiler is not None:
+            with self.profiler.region("build_system", rank=self.rank):
+                return self._build_inner(epad, dt, temp, e_rhs)
+        return self._build_inner(epad, dt, temp, e_rhs)
+
+    def _build_inner(
+        self, epad: Array, dt: float, temp: Array, e_rhs: Array | None
+    ) -> RadiationSystem:
+        return build_radiation_system(
+            self.mesh,
+            epad,
+            self.rho,
+            temp,
+            dt,
+            self.basis,
+            self.opacity,
+            limiter=self.limiter,
+            coupling=self.coupling,
+            c_light=self.c_light,
+            a_rad=self.a_rad,
+            emission=self.emission,
+            e_rhs=e_rhs,
+        )
+
+    def _make_preconditioner(self, system: RadiationSystem) -> Preconditioner:
+        if self.precond_name == "spai":
+            M: Preconditioner = SPAIPreconditioner.from_stencil(
+                system.coeffs, bc=BoundaryCondition.DIRICHLET0, suite=self.suite
+            )
+        elif self.precond_name == "jacobi":
+            M = JacobiPreconditioner.from_stencil(system.coeffs, suite=self.suite)
+        else:
+            M = IdentityPreconditioner()
+        if self.profiler is not None:
+            M = _ProfiledPreconditioner(M, self.profiler, self.rank)
+        return M
+
+    def _solve(self, system: RadiationSystem, x0: Array, site: int) -> SolveResult:
+        op: LinearOperator = StencilOperator(
+            system.coeffs, suite=self.suite, bc=self.bc, cart=self.cart
+        )
+        if self.profiler is not None:
+            op = _ProfiledOperator(op, self.profiler, "MATVEC", self.rank)
+        M = self._make_preconditioner(system)
+
+        def run() -> SolveResult:
+            return bicgstab(
+                op,
+                system.rhs,
+                x0=x0,
+                tol=self.solver_tol,
+                maxiter=self.solver_maxiter,
+                M=M,
+                suite=self.suite,
+                comm=self.comm,
+                ganged=self.ganged,
+            )
+
+        if self.profiler is not None:
+            # Distinct call-site regions: the paper's Arm MAP run
+            # attributed 31-33% of total time to each of the three
+            # BiCGSTAB call sites; the shared inner "BiCGSTAB" region
+            # still merges them in the TAU-style flat profile.
+            with self.profiler.region(f"solve_site_{site}", rank=self.rank):
+                with self.profiler.region("BiCGSTAB", rank=self.rank):
+                    return run()
+        return run()
+
+    # ------------------------------------------------------------------
+    def _matter_update(self, E: Array, dt: float) -> Array:
+        """Linearized implicit temperature update; returns new T.
+
+        Solves, pointwise, ``rho cv dT/dt = sum_u c kappa_a (E_u - B_u(T))``
+        with ``B(T^{n+1})`` linearized about ``T^n``:
+        ``B(T+dT) ~ B(T) + 4 a T^3 dT``.
+        """
+        kappa_a = self.opacity.absorption(self.rho, self.temp, self.basis)
+        fracs = self.basis.groups.planck_fractions_field(self.temp)
+        heating = np.zeros_like(self.temp)
+        dBdT_sum = np.zeros_like(self.temp)
+        for u in range(self.basis.ncomp):
+            _s, g = self.basis.unpack(u)
+            b_u = self.a_rad * self.temp**4 * fracs[g]
+            heating += self.c_light * kappa_a[u] * (E[u] - b_u)
+            dBdT_sum += self.c_light * kappa_a[u] * 4.0 * self.a_rad * self.temp**3
+        denom = self.rho * self.cv + dt * dBdT_sum
+        dT = dt * heating / denom
+        return np.maximum(self.temp + dT, 1e-12)
+
+    def step(self, dt: float) -> StepReport:
+        """Advance one timestep (three BiCGSTAB solves)."""
+        if dt <= 0:
+            raise ValueError("dt must be positive")
+        report = StepReport(step=self.step_count + 1, time=self.time + dt, dt=dt)
+        e_old = self.E.interior.copy()
+
+        # --- Solve 1: predictor (D from E^n) --------------------------
+        self._fill_ghosts(self.E)
+        sys1 = self._build(self.E.data, dt, self.temp)
+        res1 = self._solve(sys1, x0=e_old, site=1)
+        report.solves.append(res1)
+        e_star = res1.x
+
+        # --- Solve 2: corrector (D from E*, RHS still from E^n) -------
+        work = Field(self.basis.ncomp, self.mesh.shape, nghost=1)
+        work.interior = e_star
+        self._fill_ghosts(work)
+        sys2 = self._build(work.data, dt, self.temp, e_rhs=e_old)
+        res2 = self._solve(sys2, x0=e_star, site=2)
+        report.solves.append(res2)
+        e_corr = res2.x
+
+        # --- Matter update + Solve 3 (emission at T^{n+1}) ------------
+        if self.profiler is not None:
+            with self.profiler.region("matter_update", rank=self.rank):
+                new_temp = (
+                    self._matter_update(e_corr, dt) if self.couple_matter else self.temp
+                )
+        else:
+            new_temp = self._matter_update(e_corr, dt) if self.couple_matter else self.temp
+
+        work.interior = e_corr
+        self._fill_ghosts(work)
+        sys3 = self._build(work.data, dt, new_temp, e_rhs=e_old)
+        res3 = self._solve(sys3, x0=e_corr, site=3)
+        report.solves.append(res3)
+
+        # Commit.
+        self.E.interior = res3.x
+        self.temp = new_temp
+        self.time += dt
+        self.step_count += 1
+
+        report.total_energy = self.total_energy()
+        tmin, tmax = float(self.temp.min()), float(self.temp.max())
+        if self.comm is not None and self.comm.size > 1:
+            from repro.parallel.comm import ReduceOp
+
+            tmin = self.comm.allreduce(tmin, op=ReduceOp.MIN)
+            tmax = self.comm.allreduce(tmax, op=ReduceOp.MAX)
+        report.temp_min, report.temp_max = tmin, tmax
+        return report
+
+    def total_energy(self) -> float:
+        """Volume-integrated radiation energy (global in decomposed runs)."""
+        local = float(np.sum(self.E.interior * self.mesh.volumes[None]))
+        if self.comm is not None and self.comm.size > 1:
+            return float(self.comm.allreduce(local))
+        return local

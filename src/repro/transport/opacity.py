@@ -1,0 +1,170 @@
+"""Opacity models.
+
+The diffusion coefficient of FLD is set by the total opacity
+``kappa_t = kappa_a + kappa_s`` and the emission-absorption exchange by
+``kappa_a``.  Models return per-component opacity fields (units of
+inverse length after multiplying by density) given the material state.
+
+Three models cover the use cases:
+
+* :class:`ConstantOpacity` -- the linear constant-coefficient limit the
+  Gaussian-pulse test problem uses (it makes the diffusion equation
+  linear, giving a closed-form solution to validate against).
+* :class:`PowerLawOpacity` -- ``kappa = k0 (rho/rho0)^a (T/T0)^b eps^c``,
+  the standard analytic parametrization (Kramers-like for photons,
+  ``eps^2`` energy dependence for neutrinos).
+* :class:`TabulatedOpacity` -- log-log interpolation in temperature,
+  standing in for the microphysical tables a production code reads.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.transport.groups import RadiationBasis
+
+Array = np.ndarray
+
+
+class OpacityModel(ABC):
+    """Per-component opacities from the material state.
+
+    Both methods return ``(ncomp, nx1, nx2)`` arrays of opacity
+    (inverse mean-free-path = ``kappa * rho`` is formed by the caller;
+    here ``kappa`` already includes any density dependence the model
+    wants, so the system builder uses it directly as inverse length).
+    """
+
+    @abstractmethod
+    def absorption(self, rho: Array, temp: Array, basis: RadiationBasis) -> Array:
+        """Absorption opacity ``kappa_a`` per component."""
+
+    @abstractmethod
+    def scattering(self, rho: Array, temp: Array, basis: RadiationBasis) -> Array:
+        """Scattering opacity ``kappa_s`` per component."""
+
+    def total(self, rho: Array, temp: Array, basis: RadiationBasis) -> Array:
+        """``kappa_t = kappa_a + kappa_s`` (transport opacity)."""
+        return self.absorption(rho, temp, basis) + self.scattering(rho, temp, basis)
+
+    @staticmethod
+    def _broadcast(value: Array, rho: Array, ncomp: int) -> Array:
+        out = np.empty((ncomp,) + rho.shape)
+        out[...] = value
+        return out
+
+
+@dataclass(frozen=True)
+class ConstantOpacity(OpacityModel):
+    """Spatially and spectrally constant opacities."""
+
+    kappa_a: float = 1.0
+    kappa_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kappa_a < 0 or self.kappa_s < 0:
+            raise ValueError("opacities must be non-negative")
+        if self.kappa_a + self.kappa_s <= 0:
+            raise ValueError("total opacity must be positive (else D diverges)")
+
+    def absorption(self, rho: Array, temp: Array, basis: RadiationBasis) -> Array:
+        return self._broadcast(self.kappa_a, rho, basis.ncomp)
+
+    def scattering(self, rho: Array, temp: Array, basis: RadiationBasis) -> Array:
+        return self._broadcast(self.kappa_s, rho, basis.ncomp)
+
+
+@dataclass(frozen=True)
+class PowerLawOpacity(OpacityModel):
+    """``kappa = k0 (rho/rho0)^a_rho (T/T0)^a_T (eps_g/eps0)^a_eps``.
+
+    ``scatter_fraction`` splits the total into absorption vs scattering.
+    Kramers photon opacity is ``a_rho=1, a_T=-3.5``; neutrino-like
+    energy dependence is ``a_eps=2``.
+    """
+
+    k0: float = 1.0
+    rho0: float = 1.0
+    t0: float = 1.0
+    eps0: float = 1.0
+    a_rho: float = 0.0
+    a_t: float = 0.0
+    a_eps: float = 0.0
+    scatter_fraction: float = 0.0
+    floor: float = 1e-10
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.scatter_fraction <= 1.0:
+            raise ValueError("scatter_fraction must be in [0, 1]")
+        if self.k0 <= 0:
+            raise ValueError("k0 must be positive")
+
+    def _total(self, rho: Array, temp: Array, basis: RadiationBasis) -> Array:
+        base = (
+            self.k0
+            * np.power(np.maximum(rho, self.floor) / self.rho0, self.a_rho)
+            * np.power(np.maximum(temp, self.floor) / self.t0, self.a_t)
+        )
+        out = np.empty((basis.ncomp,) + rho.shape)
+        centers = basis.groups.centers
+        for u in range(basis.ncomp):
+            _s, g = basis.unpack(u)
+            out[u] = base * (centers[g] / self.eps0) ** self.a_eps
+        return np.maximum(out, self.floor)
+
+    def absorption(self, rho: Array, temp: Array, basis: RadiationBasis) -> Array:
+        return (1.0 - self.scatter_fraction) * self._total(rho, temp, basis)
+
+    def scattering(self, rho: Array, temp: Array, basis: RadiationBasis) -> Array:
+        return self.scatter_fraction * self._total(rho, temp, basis)
+
+
+@dataclass(frozen=True)
+class TabulatedOpacity(OpacityModel):
+    """Log-log temperature interpolation of tabulated opacities.
+
+    Parameters
+    ----------
+    temps:
+        Strictly increasing table temperatures (> 0).
+    kappa_a_table, kappa_s_table:
+        Opacity values at those temperatures (> 0 for absorption).
+    """
+
+    temps: tuple[float, ...]
+    kappa_a_table: tuple[float, ...]
+    kappa_s_table: tuple[float, ...] | None = None
+
+    def __post_init__(self) -> None:
+        t = np.asarray(self.temps, dtype=float)
+        ka = np.asarray(self.kappa_a_table, dtype=float)
+        if t.shape != ka.shape or t.ndim != 1 or t.shape[0] < 2:
+            raise ValueError("temps and kappa_a_table must be equal-length (>= 2)")
+        if np.any(np.diff(t) <= 0) or np.any(t <= 0):
+            raise ValueError("temps must be positive and increasing")
+        if np.any(ka <= 0):
+            raise ValueError("tabulated absorption opacity must be positive")
+        if self.kappa_s_table is not None:
+            ks = np.asarray(self.kappa_s_table, dtype=float)
+            if ks.shape != t.shape or np.any(ks < 0):
+                raise ValueError("kappa_s_table malformed")
+
+    def _interp(self, table: Array, temp: Array) -> Array:
+        t = np.asarray(self.temps)
+        logk = np.interp(
+            np.log(np.maximum(temp, t[0] * 1e-6)), np.log(t), np.log(np.maximum(table, 1e-300))
+        )
+        return np.exp(logk)
+
+    def absorption(self, rho: Array, temp: Array, basis: RadiationBasis) -> Array:
+        vals = self._interp(np.asarray(self.kappa_a_table), temp)
+        return self._broadcast(vals, rho, basis.ncomp)
+
+    def scattering(self, rho: Array, temp: Array, basis: RadiationBasis) -> Array:
+        if self.kappa_s_table is None:
+            return np.zeros((basis.ncomp,) + rho.shape)
+        vals = self._interp(np.asarray(self.kappa_s_table), temp)
+        return self._broadcast(vals, rho, basis.ncomp)

@@ -1,0 +1,85 @@
+"""Adaptive timestep control for the implicit radiation solve.
+
+Implicit diffusion is unconditionally stable, so the step is limited by
+*accuracy*: production codes like V2D cap the fractional change of the
+radiation energy density per step and grow/shrink dt accordingly.  The
+controller implements the standard recipe::
+
+    change  = max_zones |E_new - E_old| / (E_old + floor)
+    dt_next = dt * clip(target / change, shrink_limit, growth_limit)
+
+with the max taken globally (one all-reduce) in decomposed runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.parallel.comm import Communicator, ReduceOp
+
+Array = np.ndarray
+
+
+@dataclass
+class TimestepController:
+    """Fractional-change timestep governor.
+
+    Parameters
+    ----------
+    target:
+        Desired max fractional change per step (e.g. 0.1 = 10 %).
+    growth_limit, shrink_limit:
+        Bounds on the per-step dt ratio.
+    dt_min, dt_max:
+        Absolute clamps.
+    floor:
+        Energy floor in the relative-change denominator.
+    """
+
+    target: float = 0.1
+    growth_limit: float = 1.5
+    shrink_limit: float = 0.3
+    dt_min: float = 1e-12
+    dt_max: float = 1e3
+    floor: float = 1e-12
+
+    def __post_init__(self) -> None:
+        if self.target <= 0:
+            raise ValueError("target change must be positive")
+        if not 0 < self.shrink_limit <= 1 <= self.growth_limit:
+            raise ValueError("need shrink_limit <= 1 <= growth_limit")
+        if self.dt_min <= 0 or self.dt_max <= self.dt_min:
+            raise ValueError("need 0 < dt_min < dt_max")
+
+    def max_change(
+        self, e_old: Array, e_new: Array, comm: Communicator | None = None
+    ) -> float:
+        """Largest fractional zone change (global across ranks)."""
+        if e_old.shape != e_new.shape:
+            raise ValueError("field shapes differ")
+        local = float(
+            np.max(np.abs(e_new - e_old) / (np.abs(e_old) + self.floor))
+        )
+        if comm is not None and comm.size > 1:
+            return float(comm.allreduce(local, op=ReduceOp.MAX))
+        return local
+
+    def next_dt(
+        self,
+        dt: float,
+        e_old: Array,
+        e_new: Array,
+        comm: Communicator | None = None,
+    ) -> float:
+        """The recommended next step size."""
+        if dt <= 0:
+            raise ValueError("dt must be positive")
+        change = self.max_change(e_old, e_new, comm)
+        if change == 0.0:
+            factor = self.growth_limit
+        else:
+            factor = float(np.clip(self.target / change, self.shrink_limit,
+                                   self.growth_limit))
+        return float(np.clip(dt * factor, self.dt_min, self.dt_max))

@@ -1,0 +1,29 @@
+"""The integrated V2D-style simulation driver.
+
+Ties every substrate together the way V2D's main program does:
+configuration (grid, NPRX1 x NPRX2 topology, solver options), problem
+setup, the timestep loop with three radiation solves per step
+(optionally interleaved with hydro sweeps and matter coupling),
+performance instrumentation, and checkpointing.
+
+* :mod:`repro.v2d.config` -- :class:`V2DConfig`, including the paper's
+  exact test-problem configuration.
+* :mod:`repro.v2d.simulation` -- :class:`Simulation` (one rank's
+  driver) and :func:`run_parallel` (the ``mpiexec`` path).
+* :mod:`repro.v2d.report` -- :class:`RunReport` run summaries.
+"""
+
+from repro.v2d.config import V2DConfig
+from repro.v2d.diagnostics import EnergyLedger, EnergySample, group_spectrum
+from repro.v2d.report import RunReport
+from repro.v2d.simulation import Simulation, run_parallel
+
+__all__ = [
+    "V2DConfig",
+    "Simulation",
+    "run_parallel",
+    "RunReport",
+    "EnergyLedger",
+    "EnergySample",
+    "group_spectrum",
+]

@@ -1,0 +1,294 @@
+"""The simulation driver: V2D's main program.
+
+One :class:`Simulation` instance is one rank's view of the run: it owns
+the tile mesh, the kernel suite (execution backend + PAPI counters),
+the radiation integrator (three BiCGSTAB solves per step), optionally
+the hydro solver (with operator-split two-way matter coupling), the
+TAU-style profiler and the checkpoint hooks.  :func:`run_parallel`
+launches one Simulation per rank over the SPMD substrate -- the
+``mpiexec -n NPRX1*NPRX2`` path of the study.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.backend.dispatch import get_backend
+from repro.grid.mesh import Mesh2D
+from repro.hydro.eos import IdealGasEOS
+from repro.hydro.solver import HydroBC, HydroSolver2D
+from repro.io.checkpoint import save_checkpoint
+from repro.kernels.suite import KernelSuite
+from repro.monitor.counters import Counters
+from repro.monitor.profiler import Profiler
+from repro.monitor.timers import perf_stat
+from repro.parallel.cart import CartComm
+from repro.parallel.comm import Communicator
+from repro.parallel.runtime import run_spmd
+from repro.problems.base import Problem
+from repro.transport.groups import EnergyGroups, RadiationBasis
+from repro.transport.integrator import RadiationIntegrator, StepReport
+from repro.v2d.config import V2DConfig
+from repro.v2d.report import RunReport
+
+Array = np.ndarray
+
+
+class Simulation:
+    """One rank's simulation driver.
+
+    Parameters
+    ----------
+    config:
+        Runtime parameters.
+    problem:
+        The test problem (initial data + physics choices).
+    cart:
+        Cartesian topology for this rank; ``None`` runs serially
+        (requires ``config.nranks == 1``).
+    """
+
+    def __init__(
+        self,
+        config: V2DConfig,
+        problem: Problem,
+        cart: CartComm | None = None,
+    ) -> None:
+        if cart is None and config.nranks != 1:
+            raise ValueError(
+                f"config requests {config.nranks} ranks; use run_parallel()"
+            )
+        if cart is not None and cart.size != config.nranks:
+            raise ValueError("topology size does not match config")
+        self.config = config
+        self.problem = problem
+        self.cart = cart
+        self.rank = cart.rank if cart is not None else 0
+
+        # Global mesh, then this rank's tile of it.
+        self.global_mesh = Mesh2D.uniform(
+            config.nx1, config.nx2,
+            extent1=config.extent1, extent2=config.extent2, coord=config.coord,
+        )
+        if cart is not None:
+            tile = cart.tile
+            self.mesh = self.global_mesh.subset(tile.slice1, tile.slice2)
+        else:
+            self.mesh = self.global_mesh
+
+        self.basis = RadiationBasis(
+            species=tuple(config.species),
+            groups=EnergyGroups.grey()
+            if config.ngroups == 1
+            else EnergyGroups.logarithmic(config.ngroups),
+        )
+
+        # Execution backend + instrumentation.
+        self.counters = Counters()
+        backend = get_backend(
+            config.backend,
+            **({"vector_bits": config.vector_bits} if config.backend == "vector" else {}),
+        )
+        self.suite = KernelSuite(backend, counters=self.counters)
+        self.profiler = Profiler() if config.profile else None
+
+        # Radiation integrator (the paper's workload).
+        limiter = config.limiter if config.limiter is not None else problem.limiter()
+        self.integrator = RadiationIntegrator(
+            mesh=self.mesh,
+            basis=self.basis,
+            opacity=problem.opacity(),
+            limiter=limiter,
+            bc=problem.boundary_condition(),
+            cart=cart,
+            suite=self.suite,
+            precond=config.precond,
+            solver_tol=config.solver_tol,
+            solver_maxiter=config.solver_maxiter,
+            ganged=config.ganged,
+            coupling_rate=config.coupling_rate,
+            couple_matter=config.couple_matter,
+            c_light=config.c_light,
+            a_rad=config.a_rad,
+            cv=config.cv,
+            emission=config.emission,
+            profiler=self.profiler,
+        )
+
+        # Hydro (only when the problem calls for it).
+        self.hydro: HydroSolver2D | None = None
+        state = problem.initial_state(self.mesh, self.basis)
+        if problem.uses_hydro:
+            if state.hydro_primitive is None:
+                raise ValueError(f"problem {problem.name} uses hydro but gave no state")
+            hydro_bc = (
+                problem.hydro_bc() if hasattr(problem, "hydro_bc") else HydroBC.OUTFLOW
+            )
+            self.hydro = HydroSolver2D(
+                self.mesh,
+                IdealGasEOS(config.hydro_gamma),
+                reconstruction=config.hydro_reconstruction,
+                riemann=config.hydro_riemann,
+                cfl=config.hydro_cfl,
+                bc=hydro_bc,
+                cart=cart,
+            )
+            self.hydro.set_primitive(state.hydro_primitive)
+
+        self.integrator.set_state(state.E, rho=state.rho, temp=state.temp)
+        self.step_reports: list[StepReport] = []
+
+    # ------------------------------------------------------------------
+    def restart_from(self, path: str) -> None:
+        """Resume from a checkpoint written by an earlier run.
+
+        Restores the radiation field, material state, clock and step
+        counter; in decomposed runs rank 0 reads the archive and every
+        rank receives its tile (the parallel-HDF5-read analogue).
+        """
+        from repro.io.checkpoint import load_checkpoint
+
+        ck = load_checkpoint(path, cart=self.cart)
+        if ck.E.shape != self.integrator.E.interior.shape:
+            raise ValueError(
+                f"checkpoint shape {ck.E.shape} does not match this "
+                f"rank's tile {self.integrator.E.interior.shape}"
+            )
+        self.integrator.set_state(ck.E, rho=ck.rho, temp=ck.temp)
+        self.integrator.time = ck.time
+        self.integrator.step_count = ck.step
+
+    # ------------------------------------------------------------------
+    @property
+    def comm(self) -> Communicator | None:
+        return self.cart.comm if self.cart is not None else None
+
+    @property
+    def time(self) -> float:
+        return self.integrator.time
+
+    # ------------------------------------------------------------------
+    def _hydro_advance(self, dt: float) -> None:
+        """Advance hydro by ``dt`` in CFL-limited substeps, then push
+        the updated material state into the radiation integrator."""
+        hy = self.hydro
+        assert hy is not None
+        remaining = dt
+        while remaining > 1e-14:
+            sub = min(hy.cfl_dt(), remaining)
+            hy.step(sub)
+            remaining -= sub
+        w = hy.primitive()
+        self.integrator.rho[...] = w[0]
+        # One-fluid temperature: T = p / rho (unit gas constant).
+        self.integrator.temp = w[3] / np.maximum(w[0], 1e-300)
+
+    def _feed_back_heating(self, t_before: Array) -> None:
+        """Return the radiation's matter heating to the hydro energy."""
+        hy = self.hydro
+        assert hy is not None
+        d_temp = self.integrator.temp - t_before
+        if np.any(d_temp != 0.0):
+            hy.U.interior[3] += self.integrator.rho * self.config.cv * d_temp
+            # Keep the integrator's temperature consistent with hydro.
+
+    def step(self) -> StepReport:
+        """One coupled timestep (hydro substeps + three radiation solves)."""
+        dt = self.config.dt
+        if self.hydro is not None:
+            if self.profiler is not None:
+                with self.profiler.region("hydro", rank=self.rank):
+                    self._hydro_advance(dt)
+            else:
+                self._hydro_advance(dt)
+            t_before = self.integrator.temp.copy()
+            report = self.integrator.step(dt)
+            if self.config.couple_matter:
+                self._feed_back_heating(t_before)
+        else:
+            report = self.integrator.step(dt)
+        self.step_reports.append(report)
+        return report
+
+    # ------------------------------------------------------------------
+    def _maybe_checkpoint(self, step: int) -> None:
+        cfg = self.config
+        if cfg.checkpoint_interval <= 0 or step % cfg.checkpoint_interval != 0:
+            return
+        path = f"{cfg.checkpoint_path}.step{step:05d}.npz"
+        save_checkpoint(
+            path,
+            self.integrator.E.interior,
+            self.integrator.rho,
+            self.integrator.temp,
+            time=self.time,
+            step=step,
+            cart=self.cart,
+            meta={"problem": self.problem.name},
+        )
+
+    def run(self) -> RunReport:
+        """Run ``config.nsteps`` steps and assemble the report."""
+        cfg = self.config
+        label = (
+            f"{cfg.nx1}x{cfg.nx2}x{cfg.ncomp} {cfg.backend} "
+            f"{cfg.nprx1}x{cfg.nprx2}"
+        )
+        with perf_stat() as ps:
+            for k in range(1, cfg.nsteps + 1):
+                self.step()
+                self._maybe_checkpoint(k)
+        report = RunReport(
+            config_label=label,
+            problem_name=self.problem.name,
+            nranks=cfg.nranks,
+            rank=self.rank,
+            steps=list(self.step_reports),
+            perf=ps.result,
+            profiler=self.profiler,
+            final_time=self.time,
+            final_energy=self.integrator.total_energy(),
+        )
+        report.counters.merge(self.counters)
+        if self.comm is not None:
+            report.counters.merge(self.comm.counters)
+        err = self.solution_error()
+        if err is not None:
+            report.solution_error = err
+        return report
+
+    # ------------------------------------------------------------------
+    def solution_error(self) -> float | None:
+        """Global relative L2 error vs the problem's analytic solution."""
+        exact = self.problem.analytic_solution(self.mesh, self.basis, self.time)
+        if exact is None:
+            return None
+        diff = self.integrator.E.interior - exact
+        num = float(np.sum(diff * diff * self.mesh.volumes[None]))
+        den = float(np.sum(exact * exact * self.mesh.volumes[None]))
+        if self.comm is not None and self.comm.size > 1:
+            num = float(self.comm.allreduce(num))
+            den = float(self.comm.allreduce(den))
+        return float(np.sqrt(num / den)) if den > 0 else None
+
+
+def run_parallel(
+    config: V2DConfig, problem: Problem, timeout: float | None = 300.0
+) -> list[RunReport]:
+    """Run the configured topology over the SPMD substrate.
+
+    Returns the per-rank :class:`RunReport` list (rank order); rank 0's
+    report carries the shared global diagnostics (total energy, error).
+    """
+
+    def rank_body(comm: Communicator) -> RunReport:
+        cart = CartComm.create(
+            comm, nx1=config.nx1, nx2=config.nx2,
+            nprx1=config.nprx1, nprx2=config.nprx2,
+        )
+        sim = Simulation(config, problem, cart=cart)
+        return sim.run()
+
+    if config.nranks == 1:
+        return [Simulation(config, problem).run()]
+    return run_spmd(config.nranks, rank_body, timeout=timeout)

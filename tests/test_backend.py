@@ -1,0 +1,285 @@
+"""Unit tests for the execution backends (the SVE substitute layer)."""
+
+import numpy as np
+import pytest
+
+from repro.backend import (
+    Backend,
+    ScalarBackend,
+    VectorBackend,
+    available_backends,
+    default_backend,
+    get_backend,
+    register_backend,
+    use_backend,
+)
+
+BACKENDS = [ScalarBackend(), VectorBackend()]
+IDS = [b.name for b in BACKENDS]
+
+
+@pytest.fixture(params=BACKENDS, ids=IDS)
+def backend(request):
+    return request.param
+
+
+def rng():
+    return np.random.default_rng(42)
+
+
+# ---------------------------------------------------------------------------
+# Correctness of every primitive against NumPy reference, per backend
+# ---------------------------------------------------------------------------
+class TestPrimitives:
+    def test_dot(self, backend):
+        r = rng()
+        x, y = r.standard_normal(37), r.standard_normal(37)
+        assert backend.dot(x, y) == pytest.approx(float(np.dot(x, y)), rel=1e-13)
+
+    def test_dot_2d_operands(self, backend):
+        r = rng()
+        x, y = r.standard_normal((5, 7)), r.standard_normal((5, 7))
+        assert backend.dot(x, y) == pytest.approx(float(np.sum(x * y)), rel=1e-13)
+
+    def test_dot_shape_mismatch(self, backend):
+        with pytest.raises(ValueError):
+            backend.dot(np.ones(3), np.ones(4))
+
+    def test_multi_dot(self, backend):
+        r = rng()
+        pairs = [(r.standard_normal(20), r.standard_normal(20)) for _ in range(4)]
+        got = backend.multi_dot(pairs)
+        want = [float(np.dot(x, y)) for x, y in pairs]
+        np.testing.assert_allclose(got, want, rtol=1e-13)
+
+    def test_multi_dot_empty(self, backend):
+        assert backend.multi_dot([]).shape == (0,)
+
+    def test_multi_dot_unequal_lengths_rejected(self, backend):
+        with pytest.raises(ValueError):
+            backend.multi_dot([(np.ones(3), np.ones(3)), (np.ones(4), np.ones(4))])
+
+    def test_norm2(self, backend):
+        x = rng().standard_normal(50)
+        assert backend.norm2(x) == pytest.approx(float(np.linalg.norm(x)), rel=1e-13)
+
+    def test_axpy(self, backend):
+        r = rng()
+        x, y = r.standard_normal(31), r.standard_normal(31)
+        np.testing.assert_allclose(backend.axpy(2.5, x, y), 2.5 * x + y, rtol=1e-15)
+
+    def test_axpy_out_aliases_x(self, backend):
+        r = rng()
+        x, y = r.standard_normal(31), r.standard_normal(31)
+        want = 2.5 * x + y
+        got = backend.axpy(2.5, x, y, out=x)
+        assert got is x
+        np.testing.assert_allclose(got, want, rtol=1e-15)
+
+    def test_axpy_out_aliases_y(self, backend):
+        r = rng()
+        x, y = r.standard_normal(31), r.standard_normal(31)
+        want = 2.5 * x + y
+        got = backend.axpy(2.5, x, y, out=y)
+        assert got is y
+        np.testing.assert_allclose(got, want, rtol=1e-15)
+
+    def test_dscal(self, backend):
+        r = rng()
+        c, y = r.standard_normal(19), r.standard_normal(19)
+        np.testing.assert_allclose(backend.dscal(c, 0.7, y), c - 0.7 * y, rtol=1e-15)
+
+    def test_dscal_out_aliases_c(self, backend):
+        r = rng()
+        c, y = r.standard_normal(19), r.standard_normal(19)
+        want = c - 0.7 * y
+        got = backend.dscal(c, 0.7, y, out=c)
+        np.testing.assert_allclose(got, want, rtol=1e-15)
+
+    def test_dscal_out_aliases_y(self, backend):
+        r = rng()
+        c, y = r.standard_normal(19), r.standard_normal(19)
+        want = c - 0.7 * y
+        got = backend.dscal(c, 0.7, y, out=y)
+        np.testing.assert_allclose(got, want, rtol=1e-15)
+
+    def test_ddaxpy(self, backend):
+        r = rng()
+        x, y, z = (r.standard_normal(23) for _ in range(3))
+        want = 1.5 * x - 0.25 * y + z
+        np.testing.assert_allclose(backend.ddaxpy(1.5, x, -0.25, y, z), want, rtol=1e-15)
+
+    @pytest.mark.parametrize("alias", ["x", "y", "z"])
+    def test_ddaxpy_aliasing(self, backend, alias):
+        r = rng()
+        arrs = {k: r.standard_normal(23) for k in "xyz"}
+        want = 1.5 * arrs["x"] - 0.25 * arrs["y"] + arrs["z"]
+        got = backend.ddaxpy(1.5, arrs["x"], -0.25, arrs["y"], arrs["z"], out=arrs[alias])
+        np.testing.assert_allclose(got, want, rtol=1e-15)
+
+    def test_scale_copy_fill(self, backend):
+        x = rng().standard_normal(11)
+        np.testing.assert_allclose(backend.scale(3.0, x), 3.0 * x)
+        c = backend.copy(x)
+        assert c is not x
+        np.testing.assert_array_equal(c, x)
+        backend.fill(c, 7.0)
+        np.testing.assert_array_equal(c, np.full(11, 7.0))
+
+    def test_add_sub_mul(self, backend):
+        r = rng()
+        x, y = r.standard_normal(13), r.standard_normal(13)
+        np.testing.assert_allclose(backend.add(x, y), x + y)
+        np.testing.assert_allclose(backend.sub(x, y), x - y)
+        np.testing.assert_allclose(backend.mul(x, y), x * y)
+
+    def test_out_shape_validated(self, backend):
+        with pytest.raises(ValueError):
+            backend.copy(np.ones(4), out=np.ones(5))
+
+
+class TestStencil:
+    def _coeffs(self, n1, n2, r):
+        return [r.standard_normal((n1, n2)) for _ in range(5)]
+
+    def test_matches_dense_reference(self, backend):
+        r = rng()
+        n1, n2 = 6, 5
+        diag, west, east, south, north = self._coeffs(n1, n2, r)
+        xpad = r.standard_normal((n1 + 2, n2 + 2))
+        got = backend.stencil_apply(diag, west, east, south, north, xpad)
+        want = np.empty((n1, n2))
+        for i in range(n1):
+            for j in range(n2):
+                want[i, j] = (
+                    diag[i, j] * xpad[i + 1, j + 1]
+                    + west[i, j] * xpad[i, j + 1]
+                    + east[i, j] * xpad[i + 2, j + 1]
+                    + south[i, j] * xpad[i + 1, j]
+                    + north[i, j] * xpad[i + 1, j + 2]
+                )
+        np.testing.assert_allclose(got, want, rtol=1e-14)
+
+    def test_bad_padding_rejected(self, backend):
+        r = rng()
+        coeffs = self._coeffs(4, 4, r)
+        with pytest.raises(ValueError):
+            backend.stencil_apply(*coeffs, r.standard_normal((5, 5)))
+
+
+class TestBandedMatvec:
+    def test_matches_dense(self, backend):
+        r = rng()
+        n = 30
+        offsets = [0, -1, 1, -7, 7]
+        bands = [r.standard_normal(n) for _ in offsets]
+        x = r.standard_normal(n)
+        dense = np.zeros((n, n))
+        for off, band in zip(offsets, bands):
+            for i in range(n):
+                j = i + off
+                if 0 <= j < n:
+                    dense[i, j] = band[i]
+        np.testing.assert_allclose(
+            backend.banded_matvec(offsets, bands, x), dense @ x, rtol=1e-13, atol=1e-13
+        )
+
+    def test_out_aliasing_x_rejected(self, backend):
+        x = np.ones(5)
+        with pytest.raises(ValueError):
+            backend.banded_matvec([0], [np.ones(5)], x, out=x)
+
+    def test_mismatched_offsets_bands(self, backend):
+        with pytest.raises(ValueError):
+            backend.banded_matvec([0, 1], [np.ones(5)], np.ones(5))
+
+
+# ---------------------------------------------------------------------------
+# Cross-backend agreement: scalar (no-SVE) and vector (SVE) must compute
+# the same answers -- that is the whole premise of the study.
+# ---------------------------------------------------------------------------
+class TestCrossBackendAgreement:
+    def test_elementwise_bit_identical(self):
+        r = rng()
+        s, v = ScalarBackend(), VectorBackend()
+        x, y, z = (r.standard_normal(64) for _ in range(3))
+        np.testing.assert_array_equal(s.axpy(1.7, x, y), v.axpy(1.7, x, y))
+        np.testing.assert_array_equal(s.dscal(x, 0.3, y), v.dscal(x, 0.3, y))
+        np.testing.assert_array_equal(
+            s.ddaxpy(1.7, x, -2.0, y, z), v.ddaxpy(1.7, x, -2.0, y, z)
+        )
+
+    def test_reductions_agree_to_rounding(self):
+        r = rng()
+        s, v = ScalarBackend(), VectorBackend()
+        x, y = r.standard_normal(1000), r.standard_normal(1000)
+        assert s.dot(x, y) == pytest.approx(v.dot(x, y), rel=1e-12)
+
+    def test_stencil_bit_identical_up_to_association(self):
+        r = rng()
+        s, v = ScalarBackend(), VectorBackend()
+        coeffs = [r.standard_normal((8, 9)) for _ in range(5)]
+        xpad = r.standard_normal((10, 11))
+        np.testing.assert_allclose(
+            s.stencil_apply(*coeffs, xpad), v.stencil_apply(*coeffs, xpad), rtol=1e-14
+        )
+
+
+# ---------------------------------------------------------------------------
+# VLA accounting and registry
+# ---------------------------------------------------------------------------
+class TestVectorLength:
+    def test_lanes(self):
+        assert VectorBackend(512).lanes == 8
+        assert VectorBackend(128).lanes == 2
+        assert ScalarBackend().lanes == 1
+
+    def test_vector_op_count(self):
+        b = VectorBackend(512)
+        assert b.vector_op_count(0) == 0
+        assert b.vector_op_count(8) == 1
+        assert b.vector_op_count(9) == 2  # predicated tail, one extra op
+        assert ScalarBackend().vector_op_count(9) == 9
+
+    @pytest.mark.parametrize("bits", [0, 64, 96, 4096])
+    def test_invalid_sve_lengths_rejected(self, bits):
+        with pytest.raises(ValueError):
+            VectorBackend(bits)
+
+    def test_scalar_backend_is_one_lane_only(self):
+        with pytest.raises(ValueError):
+            ScalarBackend(vector_bits=128)
+
+
+class TestDispatch:
+    def test_get_by_name(self):
+        assert isinstance(get_backend("scalar"), ScalarBackend)
+        assert isinstance(get_backend("vector"), VectorBackend)
+
+    def test_get_with_kwargs(self):
+        assert get_backend("vector", vector_bits=1024).lanes == 16
+
+    def test_passthrough_instance(self):
+        b = VectorBackend()
+        assert get_backend(b) is b
+        with pytest.raises(ValueError):
+            get_backend(b, vector_bits=128)
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            get_backend("avx512")
+
+    def test_available(self):
+        names = available_backends()
+        assert "scalar" in names and "vector" in names
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError):
+            register_backend("scalar", ScalarBackend)
+
+    def test_use_backend_scopes_default(self):
+        assert default_backend().name == "vector"
+        with use_backend("scalar") as b:
+            assert isinstance(b, Backend)
+            assert default_backend().name == "scalar"
+        assert default_backend().name == "vector"

@@ -1,0 +1,232 @@
+"""Tests for rooflines, the timestep controller, diagnostics, and
+solver robustness edge cases."""
+
+import numpy as np
+import pytest
+
+from repro.grid import Mesh2D
+from repro.linalg import bicgstab
+from repro.linalg.operators import LinearOperator
+from repro.parallel import BoundaryCondition, run_spmd
+from repro.perfmodel import RooflineModel
+from repro.perfmodel.roofline import KERNEL_INTENSITY
+from repro.transport import (
+    ConstantOpacity,
+    EnergyGroups,
+    RadiationBasis,
+    RadiationIntegrator,
+    TimestepController,
+)
+from repro.v2d.diagnostics import EnergyLedger, group_spectrum, mean_group_energy
+
+
+class TestRoofline:
+    model = RooflineModel()
+
+    def test_all_kernels_memory_bound_from_hbm(self):
+        for kernel in KERNEL_INTENSITY:
+            pt = self.model.point(kernel, "HBM")
+            assert pt.memory_bound
+            assert pt.attainable < pt.peak_flops
+
+    def test_l1_gains_bracket_table2(self):
+        # From first principles (intensities + A64FX roofs), the
+        # L1-resident SVE gains land in the 2.5-6x band Table II
+        # measured -- no calibration involved.
+        gains = [self.model.sve_gain(k, "L1") for k in KERNEL_INTENSITY]
+        assert min(gains) > 2.0
+        assert max(gains) < 8.0
+
+    def test_hbm_gains_near_unity(self):
+        for kernel in KERNEL_INTENSITY:
+            assert self.model.sve_gain(kernel, "HBM") < 1.3
+
+    def test_gains_decrease_with_residence_depth(self):
+        for kernel in KERNEL_INTENSITY:
+            g = [self.model.sve_gain(kernel, r) for r in ("L1", "L2", "HBM")]
+            assert g[0] >= g[1] >= g[2]
+
+    def test_matvec_highest_intensity(self):
+        ais = {k: self.model.point(k, "L1").intensity for k in KERNEL_INTENSITY}
+        assert max(ais, key=ais.get) == "MATVEC"
+
+    def test_report_and_validation(self):
+        text = self.model.report()
+        assert "ROOFLINE" in text and "MATVEC" in text
+        with pytest.raises(KeyError):
+            self.model.point("GEMM", "L1")
+        with pytest.raises(KeyError):
+            self.model.point("MATVEC", "L4")
+
+
+class TestTimestepController:
+    def test_grows_when_quiet(self):
+        tc = TimestepController(target=0.1, growth_limit=2.0)
+        e = np.ones((2, 4, 4))
+        dt = tc.next_dt(1e-3, e, e * 1.001)  # 0.1% change << 10% target
+        assert dt == pytest.approx(2e-3)
+
+    def test_shrinks_when_violent(self):
+        tc = TimestepController(target=0.1, shrink_limit=0.25)
+        e = np.ones((2, 4, 4))
+        e2 = e.copy()
+        e2[0, 0, 0] = 3.0  # 200% change in one zone
+        dt = tc.next_dt(1e-3, e, e2)
+        assert dt == pytest.approx(0.25e-3)
+
+    def test_exact_target_keeps_dt(self):
+        tc = TimestepController(target=0.5)
+        e = np.ones((1, 2, 2))
+        dt = tc.next_dt(1e-3, e, e * 1.5)
+        assert dt == pytest.approx(1e-3, rel=1e-9)
+
+    def test_clamps(self):
+        tc = TimestepController(dt_min=1e-6, dt_max=1e-2, growth_limit=1e9)
+        e = np.ones((1, 2, 2))
+        assert tc.next_dt(5e-3, e, e) == pytest.approx(1e-2)
+
+    def test_zero_change_grows(self):
+        tc = TimestepController(growth_limit=1.5)
+        e = np.ones((1, 3, 3))
+        assert tc.next_dt(1.0, e, e.copy()) == pytest.approx(1.5)
+
+    def test_global_max_across_ranks(self):
+        tc = TimestepController(target=0.1, shrink_limit=0.1)
+
+        def prog(comm):
+            e_old = np.ones((1, 2, 2))
+            e_new = e_old * (2.0 if comm.rank == 1 else 1.0)
+            return tc.next_dt(1e-3, e_old, e_new, comm=comm)
+
+        dts = run_spmd(2, prog, timeout=10.0)
+        assert dts[0] == dts[1] == pytest.approx(1e-4)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TimestepController(target=0)
+        with pytest.raises(ValueError):
+            TimestepController(growth_limit=0.5)
+        with pytest.raises(ValueError):
+            TimestepController(dt_min=1.0, dt_max=0.5)
+        tc = TimestepController()
+        with pytest.raises(ValueError):
+            tc.next_dt(-1.0, np.ones(2), np.ones(2))
+        with pytest.raises(ValueError):
+            tc.max_change(np.ones(2), np.ones(3))
+
+    def test_adaptive_run_with_integrator(self):
+        mesh = Mesh2D.uniform(10, 10)
+        basis = RadiationBasis()
+        integ = RadiationIntegrator(
+            mesh, basis, ConstantOpacity(kappa_a=1e-12, kappa_s=2.0),
+            bc=BoundaryCondition.REFLECT, precond="jacobi", solver_tol=1e-10,
+        )
+        x1, x2 = mesh.centers()
+        pulse = np.exp(-((x1 - 0.5) ** 2 + (x2 - 0.5) ** 2) / 0.01)
+        integ.set_state(np.stack([pulse, pulse]) + 1e-8)
+        tc = TimestepController(target=0.25)
+        dt = 1e-4
+        dts = []
+        for _ in range(6):
+            e_old = integ.E.interior.copy()
+            integ.step(dt)
+            dt = tc.next_dt(dt, e_old, integ.E.interior)
+            dts.append(dt)
+        # diffusion calms down -> controller grows the step
+        assert dts[-1] > dts[0]
+
+
+class TestEnergyLedger:
+    def _integ(self, bc):
+        mesh = Mesh2D.uniform(8, 8)
+        basis = RadiationBasis()
+        integ = RadiationIntegrator(
+            mesh, basis, ConstantOpacity(kappa_a=1e-12, kappa_s=1.0),
+            bc=bc, precond="jacobi", solver_tol=1e-11,
+        )
+        x1, x2 = mesh.centers()
+        pulse = np.exp(-((x1 - 0.5) ** 2 + (x2 - 0.5) ** 2) / 0.02)
+        integ.set_state(np.stack([pulse, 0.5 * pulse]) + 1e-8)
+        return integ
+
+    def test_closed_box_balance(self):
+        integ = self._integ(BoundaryCondition.REFLECT)
+        ledger = EnergyLedger()
+        ledger.record(integ)
+        for _ in range(3):
+            integ.step(0.01)
+            ledger.record(integ)
+        assert abs(ledger.boundary_loss()) < 1e-8 * ledger.initial.total
+        assert len(ledger.samples) == 4
+        assert "E_rad" in ledger.table()
+
+    def test_vacuum_boundary_loss_positive(self):
+        integ = self._integ(BoundaryCondition.DIRICHLET0)
+        ledger = EnergyLedger()
+        ledger.record(integ)
+        for _ in range(3):
+            integ.step(0.01)
+        ledger.record(integ)
+        assert ledger.boundary_loss() > 0.0
+        assert ledger.radiation_change() < 0.0
+
+    def test_empty_ledger(self):
+        with pytest.raises(ValueError):
+            EnergyLedger().initial
+
+
+class TestSpectralDiagnostics:
+    def test_group_spectrum_shape_and_total(self):
+        mesh = Mesh2D.uniform(4, 4)
+        basis = RadiationBasis(
+            species=("a", "b"), groups=EnergyGroups.logarithmic(3)
+        )
+        E = np.random.default_rng(0).uniform(0.1, 1.0, (6, 4, 4))
+        spec = group_spectrum(E, basis, mesh)
+        assert spec.shape == (2, 3)
+        assert spec.sum() == pytest.approx(float((E * mesh.volumes).sum()))
+
+    def test_mean_group_energy(self):
+        basis = RadiationBasis(species=("a",), groups=EnergyGroups.logarithmic(3))
+        centers = basis.groups.centers
+        spec = np.array([0.0, 0.0, 2.0])
+        assert mean_group_energy(spec, basis) == pytest.approx(centers[2])
+        with pytest.raises(ValueError):
+            mean_group_energy(np.zeros(3), basis)
+
+    def test_component_mismatch(self):
+        mesh = Mesh2D.uniform(2, 2)
+        with pytest.raises(ValueError):
+            group_spectrum(np.ones((3, 2, 2)), RadiationBasis(), mesh)
+
+
+class _ZeroOperator(LinearOperator):
+    """Pathological A = 0 for breakdown-path testing."""
+
+    def __init__(self, shape):
+        self._shape = shape
+
+    @property
+    def operand_shape(self):
+        return self._shape
+
+    def apply(self, x, out=None):
+        if out is None:
+            return np.zeros_like(x)
+        out[...] = 0.0
+        return out
+
+
+class TestSolverRobustness:
+    def test_bicgstab_survives_total_breakdown(self):
+        op = _ZeroOperator((8,))
+        res = bicgstab(op, np.ones(8), tol=1e-10, maxiter=50, max_restarts=3)
+        assert not res.converged
+        assert res.breakdowns == 4  # max_restarts + 1 attempts
+        assert np.all(np.isfinite(res.x))
+
+    def test_bicgstab_singular_but_consistent(self):
+        # A x = 0 with b = 0 converges trivially.
+        op = _ZeroOperator((4,))
+        res = bicgstab(op, np.zeros(4))
+        assert res.converged and res.iterations == 0

@@ -1,0 +1,283 @@
+"""Unit tests for mesh geometry, fields, and the tile decomposition."""
+
+import numpy as np
+import pytest
+
+from repro.grid import (
+    Cartesian,
+    Cylindrical,
+    Field,
+    Mesh2D,
+    SphericalPolar,
+    TileDecomposition,
+    get_coordinate_system,
+)
+from repro.grid.decomposition import split_evenly
+
+
+class TestCoordinateSystems:
+    def test_lookup(self):
+        assert isinstance(get_coordinate_system("cartesian"), Cartesian)
+        assert isinstance(get_coordinate_system("cylindrical"), Cylindrical)
+        assert isinstance(get_coordinate_system("spherical"), SphericalPolar)
+        sys_ = Cartesian()
+        assert get_coordinate_system(sys_) is sys_
+        with pytest.raises(KeyError):
+            get_coordinate_system("toroidal")
+
+    def test_cartesian_factors(self):
+        x1f = np.array([0.0, 1.0, 3.0])
+        x2f = np.array([0.0, 2.0])
+        c = Cartesian()
+        np.testing.assert_allclose(c.cell_volumes(x1f, x2f), [[2.0], [4.0]])
+        assert c.face_areas_x1(x1f, x2f).shape == (3, 1)
+        np.testing.assert_allclose(c.face_areas_x1(x1f, x2f), 2.0)
+        np.testing.assert_allclose(c.face_areas_x2(x1f, x2f)[:, 0], [1.0, 2.0])
+
+    def test_cylindrical_volume_is_annulus(self):
+        x1f = np.array([0.0, 1.0, 2.0])
+        x2f = np.array([0.0, 1.0])
+        vols = Cylindrical().cell_volumes(x1f, x2f)
+        np.testing.assert_allclose(vols[:, 0], [0.5, 1.5])  # (r2^2-r1^2)/2
+
+    def test_cylindrical_total_volume(self):
+        # Sum of zone volumes must equal the analytic cylinder volume / 2*pi.
+        x1f = np.linspace(0, 2, 17)
+        x2f = np.linspace(0, 3, 9)
+        vols = Cylindrical().cell_volumes(x1f, x2f)
+        assert vols.sum() == pytest.approx(0.5 * 2**2 * 3)
+
+    def test_spherical_total_volume(self):
+        x1f = np.linspace(0, 1, 33)
+        x2f = np.linspace(0, np.pi, 17)
+        vols = SphericalPolar().cell_volumes(x1f, x2f)
+        assert vols.sum() == pytest.approx((1.0 / 3.0) * 2.0)  # r^3/3 * (1-(-1))
+
+    def test_negative_radius_rejected(self):
+        with pytest.raises(ValueError):
+            Cylindrical().validate(np.array([-1.0, 1.0]), np.array([0.0, 1.0]))
+        with pytest.raises(ValueError):
+            SphericalPolar().validate(np.array([-0.1, 1.0]), np.array([0.0, 1.0]))
+
+    def test_bad_theta_rejected(self):
+        with pytest.raises(ValueError):
+            SphericalPolar().validate(np.array([0.0, 1.0]), np.array([0.0, 4.0]))
+
+    def test_non_monotone_rejected(self):
+        with pytest.raises(ValueError):
+            Cartesian().validate(np.array([0.0, 0.0, 1.0]), np.array([0.0, 1.0]))
+
+
+class TestMesh2D:
+    def test_uniform_construction(self):
+        m = Mesh2D.uniform(8, 4, extent1=(0, 2), extent2=(-1, 1))
+        assert m.shape == (8, 4)
+        assert m.nzones == 32
+        assert m.dx1[0] == pytest.approx(0.25)
+        assert m.dx2[0] == pytest.approx(0.5)
+        assert m.x1c[0] == pytest.approx(0.125)
+        x1, x2 = m.centers()
+        assert x1.shape == (8, 4)
+
+    def test_volume_total(self):
+        m = Mesh2D.uniform(10, 10, extent1=(0, 3), extent2=(0, 2))
+        assert m.volumes.sum() == pytest.approx(6.0)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            Mesh2D.uniform(0, 4)
+        with pytest.raises(ValueError):
+            Mesh2D.uniform(4, 4, extent1=(1, 1))
+
+    def test_subset_offsets_and_faces(self):
+        m = Mesh2D.uniform(10, 8)
+        t = m.subset(slice(2, 5), slice(4, 8))
+        assert t.shape == (3, 4)
+        assert (t.i1_offset, t.i2_offset) == (2, 4)
+        np.testing.assert_allclose(t.x1f, m.x1f[2:6])
+        # nested subsets accumulate offsets
+        tt = t.subset(slice(1, 3), slice(0, 2))
+        assert (tt.i1_offset, tt.i2_offset) == (3, 4)
+
+    def test_subset_validation(self):
+        m = Mesh2D.uniform(4, 4)
+        with pytest.raises(ValueError):
+            m.subset(slice(2, 2), slice(0, 4))
+
+    def test_tiles_cover_global_volumes(self):
+        m = Mesh2D.uniform(9, 7, coord="cylindrical", extent1=(0, 1))
+        decomp = TileDecomposition(nx1=9, nx2=7, nprx1=3, nprx2=2)
+        total = sum(m.subset(t.slice1, t.slice2).volumes.sum() for t in decomp.tiles())
+        assert total == pytest.approx(m.volumes.sum())
+
+
+class TestSplitEvenly:
+    def test_balanced(self):
+        assert split_evenly(10, 3) == [(0, 4), (4, 7), (7, 10)]
+        assert split_evenly(9, 3) == [(0, 3), (3, 6), (6, 9)]
+
+    def test_covers_exactly(self):
+        ranges = split_evenly(17, 5)
+        assert ranges[0][0] == 0 and ranges[-1][1] == 17
+        for (a, b), (c, d) in zip(ranges, ranges[1:]):
+            assert b == c
+
+    def test_errors(self):
+        with pytest.raises(ValueError):
+            split_evenly(3, 5)
+        with pytest.raises(ValueError):
+            split_evenly(3, 0)
+
+
+class TestTileDecomposition:
+    def test_paper_topologies(self):
+        # Every (Np, NX1, NX2) row of Table I must decompose the
+        # 200 x 100 grid cleanly.
+        rows = [(1, 1, 1), (10, 10, 1), (20, 20, 1), (20, 10, 2), (20, 5, 4),
+                (25, 25, 1), (40, 40, 1), (40, 20, 2), (40, 10, 4),
+                (50, 50, 1), (50, 25, 2), (50, 10, 5)]
+        for np_, nx1, nx2 in rows:
+            d = TileDecomposition(nx1=200, nx2=100, nprx1=nx1, nprx2=nx2)
+            assert d.nranks == np_
+            assert sum(t.nzones for t in d.tiles()) == 20000
+
+    def test_rank_coord_roundtrip(self):
+        d = TileDecomposition(nx1=20, nx2=12, nprx1=4, nprx2=3)
+        for r in range(d.nranks):
+            p1, p2 = d.coords_of(r)
+            assert d.rank_of(p1, p2) == r
+
+    def test_x1_fastest_ordering(self):
+        d = TileDecomposition(nx1=20, nx2=12, nprx1=4, nprx2=3)
+        assert d.coords_of(0) == (0, 0)
+        assert d.coords_of(1) == (1, 0)
+        assert d.coords_of(4) == (0, 1)
+
+    def test_neighbors(self):
+        d = TileDecomposition(nx1=20, nx2=12, nprx1=4, nprx2=3)
+        n = d.neighbors(0)
+        assert n["west"] is None and n["south"] is None
+        assert n["east"] == 1 and n["north"] == 4
+        n = d.neighbors(d.nranks - 1)
+        assert n["east"] is None and n["north"] is None
+
+    def test_tile_shapes_balanced(self):
+        d = TileDecomposition(nx1=10, nx2=10, nprx1=3, nprx2=1)
+        sizes = [t.nx1 for t in d.tiles()]
+        assert sizes == [4, 3, 3]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_perimeter_zones(self):
+        d = TileDecomposition(nx1=12, nx2=12, nprx1=3, nprx2=3)
+        center = d.tile(d.rank_of(1, 1))
+        corner = d.tile(d.rank_of(0, 0))
+        assert center.perimeter_zones(3, 3) == 2 * 4 + 2 * 4
+        assert corner.perimeter_zones(3, 3) == 4 + 4
+
+    def test_flatter_topology_less_halo(self):
+        # T-I.c rationale: for Np=20 on 200x100, 5x4 has less max halo
+        # than 20x1.
+        strip = TileDecomposition(200, 100, 20, 1)
+        flat = TileDecomposition(200, 100, 5, 4)
+        assert flat.max_halo_zones() < strip.max_halo_zones()
+
+    def test_invalid_overdecomposition(self):
+        with pytest.raises(ValueError):
+            TileDecomposition(nx1=4, nx2=4, nprx1=5, nprx2=1)
+
+    def test_metrics(self):
+        d = TileDecomposition(nx1=12, nx2=12, nprx1=3, nprx2=3)
+        assert d.max_tile_zones() == 16
+        assert d.max_neighbor_count() == 4
+
+    def test_bad_rank_and_coords(self):
+        d = TileDecomposition(nx1=4, nx2=4, nprx1=2, nprx2=2)
+        with pytest.raises(ValueError):
+            d.coords_of(4)
+        with pytest.raises(ValueError):
+            d.rank_of(2, 0)
+
+
+class TestField:
+    def test_interior_view(self):
+        f = Field(2, (4, 3), nghost=1)
+        assert f.data.shape == (2, 6, 5)
+        f.interior = np.arange(24).reshape(2, 4, 3)
+        assert f.data[0, 1, 1] == 0.0 or True  # interior starts at [1,1]
+        assert f.interior[1, 3, 2] == 23
+        # view, not copy
+        f.interior[0, 0, 0] = -5
+        assert f.data[0, 1, 1] == -5
+
+    def test_strips_are_views(self):
+        f = Field(1, (4, 4), nghost=1)
+        f.interior = np.arange(16, dtype=float).reshape(1, 4, 4)
+        west = f.send_strip("west")
+        assert west.shape == (1, 1, 4)
+        np.testing.assert_array_equal(west[0, 0], [0, 1, 2, 3])
+        east = f.send_strip("east")
+        np.testing.assert_array_equal(east[0, 0], [12, 13, 14, 15])
+        south = f.send_strip("south")
+        np.testing.assert_array_equal(south[0, :, 0], [0, 4, 8, 12])
+        f.ghost_strip("west")[...] = 99.0
+        assert f.data[0, 0, 1] == 99.0
+
+    def test_two_ghost_layers(self):
+        f = Field(1, (4, 4), nghost=2)
+        assert f.data.shape == (1, 8, 8)
+        assert f.send_strip("west").shape == (1, 2, 4)
+        assert f.send_strip("west", width=1).shape == (1, 1, 4)
+        assert f.ghost_strip("north", width=2).shape == (1, 4, 2)
+
+    def test_fill_ghosts_zero(self):
+        f = Field(1, (3, 3))
+        f.data[...] = 7.0
+        f.fill_ghosts_zero()
+        assert f.data.sum() == pytest.approx(9 * 7.0)
+        np.testing.assert_array_equal(f.interior, np.full((1, 3, 3), 7.0))
+
+    def test_reflect(self):
+        f = Field(1, (3, 3), nghost=1)
+        f.interior = np.arange(9, dtype=float).reshape(1, 3, 3)
+        f.reflect_side("west")
+        np.testing.assert_array_equal(f.data[0, 0, 1:-1], [0, 1, 2])
+        f.reflect_side("east")
+        np.testing.assert_array_equal(f.data[0, -1, 1:-1], [6, 7, 8])
+        f.reflect_side("south")
+        np.testing.assert_array_equal(f.data[0, 1:-1, 0], [0, 3, 6])
+        f.reflect_side("north")
+        np.testing.assert_array_equal(f.data[0, 1:-1, -1], [2, 5, 8])
+
+    def test_reflect_two_layers_mirrors(self):
+        f = Field(1, (4, 3), nghost=2)
+        f.interior = np.arange(12, dtype=float).reshape(1, 4, 3)
+        f.reflect_side("west")
+        # ghost[1] (adjacent) mirrors first interior row, ghost[0] second.
+        np.testing.assert_array_equal(f.data[0, 1, 2:-2], f.data[0, 2, 2:-2])
+        np.testing.assert_array_equal(f.data[0, 0, 2:-2], f.data[0, 3, 2:-2])
+
+    def test_zero_side(self):
+        f = Field(1, (3, 3))
+        f.data[...] = 1.0
+        f.zero_side("north")
+        assert f.data[0, :, -1].sum() == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Field(0, (3, 3))
+        with pytest.raises(ValueError):
+            Field(1, (3, 3), nghost=0)
+        with pytest.raises(ValueError):
+            Field(1, (0, 3))
+        f = Field(1, (3, 3))
+        with pytest.raises(ValueError):
+            f.send_strip("up")
+        with pytest.raises(ValueError):
+            f.send_strip("west", width=2)
+
+    def test_copy_detaches(self):
+        f = Field(1, (2, 2))
+        f.interior = np.ones((1, 2, 2))
+        g = f.copy()
+        g.interior[...] = 5.0
+        assert f.interior.sum() == pytest.approx(4.0)

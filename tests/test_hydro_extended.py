@@ -1,0 +1,145 @@
+"""Extended hydro tests: periodic advection, blast symmetry, 2-D waves."""
+
+import numpy as np
+import pytest
+
+from repro.grid import Mesh2D
+from repro.hydro import HydroBC, HydroSolver2D, IdealGasEOS
+from repro.problems import SedovBlastProblem
+from repro.transport import RadiationBasis
+
+EOS = IdealGasEOS(1.4)
+
+
+class TestPeriodicAdvection:
+    def _advect(self, nx=64, v=1.0, t_end=1.0, reconstruction="minmod"):
+        """Advect a density blob once around a periodic box."""
+        mesh = Mesh2D.uniform(nx, 4, extent1=(0, 1), extent2=(0, 0.1))
+        sol = HydroSolver2D(
+            mesh, EOS, bc=HydroBC.PERIODIC, riemann="hllc",
+            reconstruction=reconstruction, cfl=0.4,
+        )
+        x = mesh.x1c[:, None]
+        w = np.empty((4, nx, 4))
+        w[0] = 1.0 + 0.5 * np.exp(-((x - 0.5) ** 2) / 0.005)
+        w[1] = v
+        w[2] = 0.0
+        w[3] = 1.0  # uniform pressure: pure advection, no waves
+        sol.set_primitive(w)
+        rho0 = sol.primitive()[0].copy()
+        sol.run(t_end=t_end)
+        return rho0, sol.primitive()[0], sol
+
+    def test_blob_returns_after_one_period(self):
+        rho0, rho1, _ = self._advect()
+        # After exactly one crossing the blob lands where it started;
+        # finite-volume diffusion spreads it but the peak stays put.
+        assert np.argmax(rho1[:, 1]) == pytest.approx(np.argmax(rho0[:, 1]), abs=2)
+        err = np.abs(rho1 - rho0).mean()
+        assert err < 0.03
+
+    def test_mass_exactly_conserved(self):
+        rho0, rho1, sol = self._advect(t_end=0.3)
+        assert rho1.sum() == pytest.approx(rho0.sum(), rel=1e-12)
+
+    def test_muscl_less_diffusive_than_pcm(self):
+        # compare after a full period, when the blob is back home
+        errs = {}
+        for rec in ("pcm", "minmod"):
+            rho0, rho1, _ = self._advect(t_end=1.0, reconstruction=rec)
+            errs[rec] = np.abs(rho1 - rho0).mean()
+        assert errs["minmod"] < errs["pcm"]
+
+    def test_periodic_validation(self):
+        mesh = Mesh2D.uniform(8, 8)
+        mixed = {
+            "west": HydroBC.PERIODIC, "east": HydroBC.OUTFLOW,
+            "south": HydroBC.REFLECT, "north": HydroBC.REFLECT,
+        }
+        with pytest.raises(ValueError, match="PERIODIC"):
+            HydroSolver2D(mesh, EOS, bc=mixed)
+
+    def test_periodic_rejected_with_topology(self):
+        from repro.parallel import CartComm, run_spmd, WorldAborted
+
+        def prog(comm):
+            cart = CartComm.create(comm, 8, 8, 2, 1)
+            tmesh = Mesh2D.uniform(8, 8).subset(cart.tile.slice1, cart.tile.slice2)
+            HydroSolver2D(tmesh, EOS, bc=HydroBC.PERIODIC, cart=cart)
+
+        with pytest.raises(WorldAborted):
+            run_spmd(2, prog, timeout=10.0)
+
+
+class TestBlastSymmetry:
+    def test_quadrant_symmetry(self):
+        # A centred blast on a symmetric grid must stay 4-fold symmetric.
+        problem = SedovBlastProblem(e_blast=1.0, r_init=0.12, p0=1e-4)
+        mesh = Mesh2D.uniform(32, 32)
+        basis = RadiationBasis()
+        state = problem.initial_state(mesh, basis)
+        sol = HydroSolver2D(mesh, IdealGasEOS(problem.gamma), bc=HydroBC.REFLECT)
+        sol.set_primitive(state.hydro_primitive)
+        for _ in range(20):
+            sol.step()
+        rho = sol.primitive()[0]
+        # mirror symmetries are exact (each sweep commutes with its own
+        # axis reflection) ...
+        np.testing.assert_allclose(rho, rho[::-1, :], rtol=1e-10, atol=1e-12)
+        np.testing.assert_allclose(rho, rho[:, ::-1], rtol=1e-10, atol=1e-12)
+        # ... transpose symmetry only up to the splitting error (the
+        # alternating X/Y sweep order is not transpose-invariant).
+        np.testing.assert_allclose(rho, rho.T, rtol=0, atol=0.02 * rho.max())
+
+    def test_shock_expands_over_time(self):
+        problem = SedovBlastProblem(e_blast=1.0, r_init=0.08, p0=1e-4)
+        mesh = Mesh2D.uniform(48, 48)
+        state = problem.initial_state(mesh, RadiationBasis())
+        sol = HydroSolver2D(mesh, IdealGasEOS(problem.gamma), bc=HydroBC.OUTFLOW)
+        sol.set_primitive(state.hydro_primitive)
+        radii = []
+        for _ in range(3):
+            for _ in range(12):
+                sol.step()
+            radii.append(
+                SedovBlastProblem.shock_radius(mesh, sol.primitive()[0], problem.center)
+            )
+        assert radii[0] < radii[1] < radii[2]
+
+    def test_positive_state_throughout(self):
+        problem = SedovBlastProblem(p0=1e-5)
+        mesh = Mesh2D.uniform(24, 24)
+        state = problem.initial_state(mesh, RadiationBasis())
+        sol = HydroSolver2D(mesh, IdealGasEOS(1.4), bc=HydroBC.OUTFLOW)
+        sol.set_primitive(state.hydro_primitive)
+        for _ in range(30):
+            sol.step()
+            w = sol.primitive()
+            assert np.all(w[0] > 0)
+            assert np.all(w[3] >= 0)
+
+
+class TestAcousticWave:
+    def test_small_perturbation_moves_at_sound_speed(self):
+        # Linear acoustics: a tiny pressure bump splits into two pulses
+        # travelling at +-c.
+        nx = 256
+        mesh = Mesh2D.uniform(nx, 4, extent1=(0, 1), extent2=(0, 0.05))
+        sol = HydroSolver2D(mesh, EOS, bc=HydroBC.PERIODIC, cfl=0.4)
+        x = mesh.x1c[:, None]
+        eps = 1e-4
+        w = np.empty((4, nx, 4))
+        bump = np.exp(-((x - 0.5) ** 2) / 0.001)
+        w[0] = 1.0 + eps * bump
+        w[1] = 0.0
+        w[2] = 0.0
+        w[3] = 1.0 + EOS.gamma * eps * bump  # isentropic perturbation
+        sol.set_primitive(w)
+        c = float(EOS.sound_speed(np.array(1.0), np.array(1.0)))
+        t_end = 0.2
+        sol.run(t_end=t_end)
+        drho = sol.primitive()[0, :, 1] - 1.0
+        peaks = np.sort(np.argsort(drho)[-2:])
+        x_peaks = mesh.x1c[peaks]
+        expect = np.sort([0.5 - c * t_end, 0.5 + c * t_end])
+        np.testing.assert_allclose(x_peaks, expect, atol=0.03)

@@ -1,0 +1,241 @@
+"""Extended integration tests: multigroup, curvilinear geometry,
+parallel solver equivalence, self-messaging, and counter/model
+cross-validation."""
+
+import numpy as np
+import pytest
+
+from repro.grid import Mesh2D
+from repro.linalg import StencilOperator, bicgstab
+from repro.monitor import Counters, Profiler
+from repro.parallel import BoundaryCondition, CartComm, run_spmd
+from repro.perfmodel import V2DWorkload
+from repro.problems import GaussianPulseProblem
+from repro.testing import diffusion_coeffs
+from repro.transport import (
+    ConstantOpacity,
+    EnergyGroups,
+    PowerLawOpacity,
+    RadiationBasis,
+    RadiationIntegrator,
+)
+from repro.v2d import Simulation, V2DConfig
+
+
+class TestMultigroup:
+    def test_four_group_simulation_runs(self):
+        cfg = V2DConfig(
+            nx1=12, nx2=10, nsteps=2, dt=5e-4, ngroups=4,
+            precond="jacobi", solver_tol=1e-9,
+        )
+        assert cfg.ncomp == 8
+        sim = Simulation(cfg, GaussianPulseProblem())
+        report = sim.run()
+        assert report.all_converged
+        assert sim.integrator.E.interior.shape == (8, 12, 10)
+
+    def test_hot_emission_fills_high_groups(self):
+        # With emission on and a hot medium, the high-energy groups
+        # must gain more than they would in a cold medium.
+        mesh = Mesh2D.uniform(8, 8)
+        basis = RadiationBasis(
+            species=("nu",), groups=EnergyGroups.logarithmic(4, lo=0.1, hi=20)
+        )
+        def run_at(temp_value):
+            integ = RadiationIntegrator(
+                mesh, basis, ConstantOpacity(kappa_a=5.0),
+                bc=BoundaryCondition.REFLECT, precond="jacobi",
+                emission=True, solver_tol=1e-10,
+            )
+            integ.set_state(np.full((4, 8, 8), 1e-8),
+                            temp=np.full((8, 8), temp_value))
+            integ.step(0.01)
+            return integ.E.interior.mean(axis=(1, 2))
+
+        hot = run_at(3.0)
+        cold = run_at(0.5)
+        # top-group share of the emitted energy grows with temperature
+        assert hot[-1] / hot.sum() > cold[-1] / cold.sum()
+
+    def test_group_resolved_opacity_hardens_spectrum(self):
+        # kappa ~ eps^2 absorbs high groups harder: with absorption-only
+        # opacity and no emission, high groups decay faster.
+        mesh = Mesh2D.uniform(6, 6)
+        basis = RadiationBasis(
+            species=("nu",), groups=EnergyGroups.logarithmic(3, lo=0.5, hi=10)
+        )
+        integ = RadiationIntegrator(
+            mesh, basis,
+            PowerLawOpacity(k0=2.0, a_eps=2.0, eps0=1.0),
+            bc=BoundaryCondition.REFLECT, precond="jacobi",
+            emission=False, solver_tol=1e-11,
+        )
+        E0 = np.ones((3, 6, 6))
+        integ.set_state(E0.copy())
+        integ.step(0.05)
+        E = integ.E.interior.mean(axis=(1, 2))
+        assert E[2] < E[1] < E[0] < 1.0
+
+
+class TestCurvilinearRadiation:
+    @pytest.mark.parametrize("coord,extent1", [
+        ("cylindrical", (0.0, 1.0)),
+        ("spherical", (0.0, 1.0)),
+    ])
+    def test_axisymmetric_diffusion_conserves_energy(self, coord, extent1):
+        extent2 = (0.0, 1.0) if coord == "cylindrical" else (0.1, np.pi - 0.1)
+        mesh = Mesh2D.uniform(16, 8, extent1=extent1, extent2=extent2, coord=coord)
+        basis = RadiationBasis(species=("nu",))
+        integ = RadiationIntegrator(
+            mesh, basis, ConstantOpacity(kappa_a=1e-12, kappa_s=5.0),
+            bc=BoundaryCondition.REFLECT, precond="jacobi",
+            emission=False, solver_tol=1e-11,
+        )
+        x1, _ = mesh.centers()
+        E0 = np.exp(-((x1 - 0.5) ** 2) / 0.02)[None]
+        integ.set_state(E0 + 1e-8)
+        e_start = integ.total_energy()
+        for _ in range(3):
+            r = integ.step(0.01)
+            assert r.converged
+        assert integ.total_energy() == pytest.approx(e_start, rel=1e-8)
+        # profile flattens toward uniform
+        E = integ.E.interior
+        assert E.max() < (E0 + 1e-8).max()
+
+
+class TestParallelSolverEquivalence:
+    @pytest.mark.parametrize("nprx1,nprx2", [(2, 1), (2, 2)])
+    def test_decomposed_bicgstab_matches_serial(self, nprx1, nprx2):
+        ns, nx1, nx2 = 2, 12, 8
+        coeffs = diffusion_coeffs(ns=ns, n1=nx1, n2=nx2, coupled=True, seed=21)
+        rhs = np.random.default_rng(21).standard_normal((ns, nx1, nx2))
+        serial = bicgstab(StencilOperator(coeffs), rhs, tol=1e-11)
+        assert serial.converged
+
+        def prog(comm):
+            cart = CartComm.create(comm, nx1, nx2, nprx1, nprx2)
+            t = cart.tile
+            local_coeffs = type(coeffs)(
+                diag=coeffs.diag[:, t.slice1, t.slice2].copy(),
+                west=coeffs.west[:, t.slice1, t.slice2].copy(),
+                east=coeffs.east[:, t.slice1, t.slice2].copy(),
+                south=coeffs.south[:, t.slice1, t.slice2].copy(),
+                north=coeffs.north[:, t.slice1, t.slice2].copy(),
+                coupling=coeffs.coupling[:, :, t.slice1, t.slice2].copy(),
+            )
+            op = StencilOperator(local_coeffs, cart=cart)
+            res = bicgstab(op, rhs[:, t.slice1, t.slice2], tol=1e-11, comm=comm)
+            return (t, res.converged, res.x)
+
+        results = run_spmd(nprx1 * nprx2, prog, timeout=60.0)
+        assert all(r[1] for r in results)
+        x_par = np.empty_like(serial.x)
+        for t, _conv, x in results:
+            x_par[:, t.slice1, t.slice2] = x
+        np.testing.assert_allclose(x_par, serial.x, rtol=1e-8, atol=1e-10)
+
+
+class TestCommEdgeCases:
+    def test_send_to_self(self):
+        def prog(comm):
+            comm.send("me", dest=comm.rank, tag=5)
+            return comm.recv(source=comm.rank, tag=5)
+
+        assert run_spmd(2, prog, timeout=10.0) == ["me", "me"]
+
+    def test_irecv_test_before_arrival(self):
+        def prog(comm):
+            if comm.rank == 0:
+                req = comm.irecv(source=1)
+                early = req.test()
+                comm.barrier()   # rank 1 sends before this returns
+                comm.recv(source=1, tag=9)  # sync message
+                late = req.test()
+                return (early, late, req.wait())
+            comm.barrier()
+            comm.send(42, dest=0)
+            comm.send("sync", dest=0, tag=9)
+            return None
+
+        early, late, value = run_spmd(2, prog, timeout=10.0)[0]
+        assert early is False
+        assert late is True and value == 42
+
+    def test_pending_messages_accounting(self):
+        from repro.parallel import World, Communicator
+
+        w = World(2)
+        c0, c1 = Communicator(w, 0), Communicator(w, 1)
+        c0.send(1, dest=1)
+        c0.send(2, dest=1, tag=3)
+        assert w.pending_messages(1) == 2
+        assert w.probe(1, 0, 3)
+        assert not w.probe(1, 0, 99)
+        c1.recv(source=0)
+        assert w.pending_messages(1) == 1
+
+
+class TestCounterModelCrossValidation:
+    def test_measured_reductions_match_workload_model(self):
+        """The workload model's reduction count per iteration must match
+        what the real ganged solver does."""
+        coeffs = diffusion_coeffs(ns=2, n1=16, n2=12, seed=5)
+        rhs = np.random.default_rng(5).standard_normal((2, 16, 12))
+        res = bicgstab(StencilOperator(coeffs), rhs, tol=1e-10, ganged=True)
+        w = V2DWorkload(ganged=True)
+        per_iter = res.reductions / res.iterations
+        # allow the +1 initial-norm and convergence-verify reductions
+        assert per_iter == pytest.approx(w.reductions_per_iteration(), abs=1.0)
+
+    def test_measured_matvec_traffic_matches_convention(self):
+        c = Counters()
+        from repro.kernels import KernelSuite, MultiSpeciesStencil
+
+        coeffs = diffusion_coeffs(ns=2, n1=10, n2=10, coupled=False, seed=1)
+        mv = MultiSpeciesStencil(coeffs, KernelSuite("vector", counters=c))
+        xpad = np.zeros((2, 12, 12))
+        mv.apply(xpad)
+        from repro.perfmodel.workload import BYTES_PER_ZONE, FLOPS_PER_ZONE
+
+        zones = 100
+        assert c.flops == FLOPS_PER_ZONE["matvec"] * zones * 2
+        assert c.bytes_moved == BYTES_PER_ZONE["matvec"] * zones * 2
+
+    def test_halo_exchange_message_count_matches_decomposition(self):
+        counters = [Counters() for _ in range(4)]
+        nexch = 3
+
+        def prog(comm):
+            from repro.grid import Field
+            from repro.parallel import HaloExchanger
+
+            cart = CartComm.create(comm, 8, 8, 2, 2)
+            f = Field(1, cart.tile.shape)
+            h = HaloExchanger(cart)
+            for _ in range(nexch):
+                h.exchange(f)
+
+        run_spmd(4, prog, timeout=20.0, counters=counters)
+        # 2x2 corner tiles: 2 neighbours each -> 2 messages per exchange
+        for c in counters:
+            assert c.messages_sent == 2 * nexch
+            assert c.halo_exchanges == nexch
+
+
+class TestProfilerThreading:
+    def test_per_rank_trees_are_separate(self):
+        prof = Profiler()
+
+        def prog(comm):
+            with prof.region("work", rank=comm.rank):
+                with prof.region("inner", rank=comm.rank):
+                    pass
+            return True
+
+        assert all(run_spmd(3, prog, timeout=10.0))
+        assert prof.ranks() == [0, 1, 2]
+        for r in range(3):
+            flat = prof.flat(rank=r)
+            assert flat["work"][2] == 1
+            assert flat["inner"][2] == 1

@@ -1,0 +1,159 @@
+"""Final coverage batch: report rendering, non-default collective
+roots, driver result formatting, and assorted small contracts."""
+
+import numpy as np
+import pytest
+
+from repro.kernels import KernelDriver
+from repro.kernels.driver import DriverResult, ROUTINES
+from repro.linalg import pattern_report
+from repro.monitor import Counters, Profiler
+from repro.monitor.timers import NOMINAL_HZ, PerfStatResult
+from repro.parallel import ReduceOp, run_spmd
+from repro.perfmodel.calibrate import calibration_report
+from repro.problems import GaussianPulseProblem
+from repro.v2d import Simulation, V2DConfig
+from repro.v2d.report import RunReport
+
+
+class TestNonDefaultRoots:
+    def test_bcast_from_rank_two(self):
+        def prog(comm):
+            data = "payload" if comm.rank == 2 else None
+            return comm.bcast(data, root=2)
+
+        assert run_spmd(3, prog, timeout=10.0) == ["payload"] * 3
+
+    def test_gather_to_rank_one(self):
+        def prog(comm):
+            return comm.gather(comm.rank * 10, root=1)
+
+        results = run_spmd(3, prog, timeout=10.0)
+        assert results[1] == [0, 10, 20]
+        assert results[0] is None and results[2] is None
+
+    def test_reduce_to_rank_one(self):
+        def prog(comm):
+            return comm.reduce(float(comm.rank), op=ReduceOp.SUM, root=1)
+
+        results = run_spmd(4, prog, timeout=10.0)
+        assert results[1] == 6.0
+        assert results[0] is None
+
+    def test_scatter_from_rank_one(self):
+        def prog(comm):
+            data = ["a", "b", "c"] if comm.rank == 1 else None
+            return comm.scatter(data, root=1)
+
+        assert run_spmd(3, prog, timeout=10.0) == ["a", "b", "c"]
+
+
+class TestRunReportRendering:
+    def _report(self):
+        cfg = V2DConfig(nx1=10, nx2=8, nsteps=1, nprx1=2, precond="jacobi")
+        from repro.v2d import run_parallel
+
+        return run_parallel(cfg, GaussianPulseProblem())[0]
+
+    def test_summary_includes_mpi_line(self):
+        report = self._report()
+        text = report.summary()
+        assert "MPI:" in text
+        assert "reductions" in text
+
+    def test_fraction_helpers_without_profiler(self):
+        r = RunReport(config_label="x", problem_name="p", nranks=1, rank=0)
+        assert r.matvec_fraction() is None
+        assert r.bicgstab_fraction() is None
+        assert r.flat_profile() == "(profiling disabled)"
+        assert r.wall_seconds == 0.0 and r.cpu_seconds == 0.0
+        assert r.total_solves == 0 and r.all_converged
+
+    def test_perfstat_report_formatting(self):
+        res = PerfStatResult(
+            duration_time_ns=1_234_567_890,
+            cpu_cycles=int(0.5 * NOMINAL_HZ),
+            wall_seconds=1.23456789,
+            cpu_seconds=0.5,
+        )
+        text = res.report()
+        assert "1,234,567,890" in text
+        assert "1.8 GHz" in text
+
+
+class TestDriverResultRendering:
+    def test_table_contains_all_routines(self):
+        res = KernelDriver(n=32, reps=1, band_offset=4).run("vector")
+        table = res.table()
+        for r in ROUTINES:
+            assert r in table
+
+    def test_ratio_to_handles_zero_baseline(self):
+        res = DriverResult(
+            backend="vector", n=1, reps=1,
+            cpu_seconds={r: 0.0 for r in ROUTINES},
+            wall_seconds={r: 0.0 for r in ROUTINES},
+            counters={r: {} for r in ROUTINES},
+        )
+        ratios = res.ratio_to(res)
+        assert all(np.isnan(v) for v in ratios.values())
+
+
+class TestMiscRendering:
+    def test_pattern_report_mentions_distance(self):
+        text = pattern_report(200, 100, 2)
+        assert "+/-200" in text
+        assert "40,000" in text
+
+    def test_calibration_report_has_all_compilers(self):
+        text = calibration_report()
+        for key in ("gnu", "fujitsu", "cray-opt", "cray-noopt"):
+            assert key in text
+
+    def test_counters_repr_roundtrip_fields(self):
+        c = Counters()
+        c.add_flops(1)
+        d = Counters()
+        d.merge(c)
+        assert (d - c).flops == 0
+
+    def test_profiler_tree_depth_rendering(self):
+        p = Profiler()
+        with p.region("a"):
+            with p.region("b"):
+                with p.region("c"):
+                    pass
+        tree = p.tree_profile()
+        # indentation grows with depth
+        lines = {ln.strip().split(":")[0]: ln for ln in tree.splitlines()[1:]}
+        assert lines["c"].index("c") > lines["b"].index("b") > lines["a"].index("a")
+
+
+class TestSimulationMiscPaths:
+    def test_limiter_override_from_config(self):
+        from repro.transport import FluxLimiter
+
+        cfg = V2DConfig(
+            nx1=8, nx2=8, nsteps=1, limiter=FluxLimiter.LARSEN2, precond="jacobi"
+        )
+        sim = Simulation(cfg, GaussianPulseProblem())
+        assert sim.integrator.limiter is FluxLimiter.LARSEN2
+
+    def test_scalar_backend_vector_bits_not_passed(self):
+        cfg = V2DConfig(nx1=8, nx2=8, nsteps=1, backend="scalar", precond="none")
+        sim = Simulation(cfg, GaussianPulseProblem())
+        assert sim.suite.backend.name == "scalar"
+
+    def test_vector_bits_override(self):
+        cfg = V2DConfig(nx1=8, nx2=8, nsteps=1, vector_bits=1024, precond="jacobi")
+        sim = Simulation(cfg, GaussianPulseProblem())
+        assert sim.suite.backend.lanes == 16
+
+    def test_multispecies_config(self):
+        cfg = V2DConfig(
+            nx1=10, nx2=8, nsteps=1, species=("a", "b", "c"), precond="jacobi"
+        )
+        sim = Simulation(cfg, GaussianPulseProblem())
+        report = sim.run()
+        assert report.all_converged
+        assert sim.integrator.E.interior.shape[0] == 3

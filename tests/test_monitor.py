@@ -1,0 +1,203 @@
+"""Unit tests for the perf/PAPI/TAU monitoring substrate."""
+
+import time
+
+import pytest
+
+from repro.monitor import (
+    Counters,
+    CpuTimer,
+    EventSet,
+    PAPI_EVENTS,
+    Profiler,
+    RegionTimer,
+    WallTimer,
+    perf_stat,
+)
+
+
+class TestCounters:
+    def test_accumulation(self):
+        c = Counters()
+        c.add_flops(100)
+        c.add_traffic(64, 32)
+        c.add_message(1024)
+        c.add_message(1024)
+        assert c.flops == 100
+        assert c.bytes_moved == 96
+        assert c.messages_sent == 2
+        assert c.bytes_sent == 2048
+
+    def test_arithmetic_intensity(self):
+        c = Counters()
+        assert c.arithmetic_intensity == 0.0
+        c.add_flops(160)
+        c.add_traffic(64, 16)
+        assert c.arithmetic_intensity == pytest.approx(2.0)
+
+    def test_snapshot_and_reset(self):
+        c = Counters()
+        c.add_flops(5)
+        snap = c.snapshot()
+        assert snap["flops"] == 5
+        c.reset()
+        assert c.flops == 0
+        assert snap["flops"] == 5  # snapshot detached
+
+    def test_merge_and_sub(self):
+        a, b = Counters(), Counters()
+        a.add_flops(3)
+        b.add_flops(4)
+        b.add_message(10)
+        a.merge(b)
+        assert a.flops == 7 and a.messages_sent == 1
+        d = a - b
+        assert d.flops == 3 and d.messages_sent == 0
+
+
+class TestEventSet:
+    def test_papi_style_measurement(self):
+        c = Counters()
+        es = EventSet(c, ["PAPI_DP_OPS", "PAPI_MSG_SND"])
+        c.add_flops(10)  # before start: not counted
+        es.start()
+        c.add_flops(32)
+        c.add_message(8)
+        mid = es.read()
+        assert mid == {"PAPI_DP_OPS": 32, "PAPI_MSG_SND": 1}
+        c.add_flops(8)
+        final = es.stop()
+        assert final["PAPI_DP_OPS"] == 40
+
+    def test_unknown_event_rejected(self):
+        with pytest.raises(KeyError):
+            EventSet(Counters(), ["PAPI_TOT_CYC_BOGUS"])
+
+    def test_double_start_rejected(self):
+        es = EventSet(Counters(), ["PAPI_DP_OPS"])
+        es.start()
+        with pytest.raises(RuntimeError):
+            es.start()
+
+    def test_read_before_start_rejected(self):
+        es = EventSet(Counters(), ["PAPI_DP_OPS"])
+        with pytest.raises(RuntimeError):
+            es.read()
+
+    def test_event_names_map_to_counter_fields(self):
+        c = Counters()
+        fields = c.snapshot().keys()
+        for attr in PAPI_EVENTS.values():
+            assert attr in fields
+
+
+class TestTimers:
+    def test_wall_timer_accumulates(self):
+        t = WallTimer()
+        with t:
+            time.sleep(0.01)
+        with t:
+            time.sleep(0.01)
+        assert t.calls == 2
+        assert t.elapsed >= 0.02
+
+    def test_start_twice_rejected(self):
+        t = WallTimer()
+        t.start()
+        with pytest.raises(RuntimeError):
+            t.start()
+
+    def test_stop_without_start_rejected(self):
+        with pytest.raises(RuntimeError):
+            WallTimer().stop()
+
+    def test_cpu_timer_runs(self):
+        t = CpuTimer()
+        t.start()
+        sum(i * i for i in range(50_000))
+        assert t.stop() > 0.0
+
+    def test_region_timer(self):
+        rt = RegionTimer("matvec")
+        with rt:
+            time.sleep(0.005)
+        assert rt.calls == 1
+        assert rt.wall.elapsed >= 0.005
+
+    def test_reset(self):
+        t = WallTimer()
+        with t:
+            pass
+        t.reset()
+        assert t.elapsed == 0.0 and t.calls == 0 and not t.running
+
+
+class TestPerfStat:
+    def test_reports_both_events(self):
+        with perf_stat() as ps:
+            time.sleep(0.01)
+        res = ps.result
+        assert res is not None
+        assert res.duration_time_ns >= 10_000_000
+        assert res.wall_seconds >= 0.01
+        assert res.cpu_cycles >= 0
+        text = res.report()
+        assert "duration_time" in text and "cpu-cycles" in text
+
+    def test_result_filled_even_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with perf_stat() as ps:
+                raise RuntimeError("boom")
+        assert ps.result is not None
+
+
+class TestProfiler:
+    def test_nesting_and_exclusive_time(self):
+        p = Profiler()
+        with p.region("solve"):
+            time.sleep(0.01)
+            with p.region("matvec"):
+                time.sleep(0.02)
+        flat = p.flat()
+        assert flat["solve"][0] >= 0.03          # inclusive
+        assert flat["matvec"][0] >= 0.02
+        assert flat["solve"][1] < flat["solve"][0]  # exclusive < inclusive
+        assert flat["solve"][2] == 1 and flat["matvec"][2] == 1
+
+    def test_same_region_from_multiple_sites_merges_in_flat(self):
+        p = Profiler()
+        for parent in ("siteA", "siteB"):
+            with p.region(parent):
+                with p.region("matvec"):
+                    pass
+        assert p.flat()["matvec"][2] == 2
+
+    def test_fractions(self):
+        p = Profiler()
+        with p.region("work"):
+            time.sleep(0.01)
+        assert p.inclusive_fraction("work") == pytest.approx(1.0, abs=0.05)
+        assert p.exclusive_fraction("missing") == 0.0
+
+    def test_reports_render(self):
+        p = Profiler()
+        with p.region("a"):
+            with p.region("b"):
+                pass
+        flat_text = p.flat_profile()
+        tree_text = p.tree_profile()
+        assert "FLAT PROFILE" in flat_text and "a" in flat_text
+        assert "CALL TREE" in tree_text and "b" in tree_text
+
+    def test_empty_profiler(self):
+        p = Profiler()
+        assert p.total_time() == 0.0
+        assert p.flat() == {}
+        assert "no profile data" in p.tree_profile()
+
+    def test_reset(self):
+        p = Profiler()
+        with p.region("x"):
+            pass
+        p.reset()
+        assert p.flat() == {}

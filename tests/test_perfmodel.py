@@ -1,0 +1,301 @@
+"""Tests for the A64FX/Ookami performance model and its calibration."""
+
+import numpy as np
+import pytest
+
+from repro.perfmodel import (
+    A64FX,
+    COMPILERS,
+    CostModel,
+    KernelTimeModel,
+    OokamiCluster,
+    PAPER_TABLE1,
+    PAPER_TABLE2_RATIOS,
+    V2DWorkload,
+    breakdown_report,
+    dilution_report,
+    get_compiler,
+    table1_report,
+    table2_report,
+)
+from repro.perfmodel.calibrate import calibrate_all, calibration_report, row_features
+from repro.perfmodel.paper_data import (
+    COMPILER_KEYS,
+    CRAY_NOOPT,
+    CRAY_OPT,
+    FUJITSU,
+    GNU,
+    PAPER_BREAKDOWN_20PROC,
+    PAPER_BREAKDOWN_SERIAL,
+    Table1Row,
+)
+from repro.perfmodel.tables import table1_model
+
+
+class TestMachineModel:
+    def test_a64fx_structure(self):
+        m = A64FX()
+        assert m.cores == 48
+        assert m.lanes == 8
+
+    def test_peak_flops(self):
+        m = A64FX()
+        # 2 pipes x 8 lanes x 2 (FMA) x 1.8e9 = 57.6 GF/core vectorized
+        assert m.peak_flops(1, vectorized=True) == pytest.approx(57.6e9)
+        assert m.peak_flops(1, vectorized=False) == pytest.approx(7.2e9)
+        # saturates at 48 cores
+        assert m.peak_flops(64, True) == m.peak_flops(48, True)
+
+    def test_bandwidth_saturates_per_cmg(self):
+        m = A64FX()
+        one = m.memory_bandwidth(1)
+        twelve = m.memory_bandwidth(12)
+        assert one < twelve            # single core can't saturate a CMG
+        assert m.memory_bandwidth(48) == pytest.approx(4 * twelve)
+        with pytest.raises(ValueError):
+            m.memory_bandwidth(0)
+
+    def test_working_set_levels(self):
+        m = A64FX()
+        assert m.working_set_level(8_000) == "L1"
+        assert m.working_set_level(1_000_000) == "L2"
+        assert m.working_set_level(100_000_000) == "HBM"
+
+    def test_cluster_placement(self):
+        c = OokamiCluster()
+        assert c.placement(1) == (1, 1)
+        assert c.placement(48) == (1, 48)
+        assert c.placement(50) == (2, 48)
+        with pytest.raises(ValueError):
+            c.placement(0)
+        with pytest.raises(ValueError):
+            c.placement(174 * 48 + 1)
+
+    def test_cluster_latency_regimes(self):
+        c = OokamiCluster()
+        assert c.latency(8) < c.latency(50)     # intra vs inter node
+        assert c.bandwidth(8) > c.bandwidth(50)
+
+
+class TestWorkload:
+    def test_paper_defaults(self):
+        w = V2DWorkload()
+        assert w.nunknowns == 40_000
+        assert w.total_solves == 300
+
+    def test_memory_bound(self):
+        # The premise: arithmetic intensity far below the A64FX balance
+        # point (57.6 GF / 21 GB/s per core ~ 2.7 flop/byte).
+        w = V2DWorkload()
+        assert w.arithmetic_intensity < 0.5
+
+    def test_ganged_reduces_reductions(self):
+        g = V2DWorkload(ganged=True)
+        c = V2DWorkload(ganged=False)
+        assert g.total_reductions() < c.total_reductions() / 2
+
+    def test_comm_profile_topology_sensitivity(self):
+        w = V2DWorkload()
+        strip = w.comm_profile(20, 1)
+        flat = w.comm_profile(5, 4)
+        assert flat["halo_bytes"] < strip["halo_bytes"]
+        assert strip["max_tile_zones"] == flat["max_tile_zones"] == 1000
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            V2DWorkload(nx1=0)
+        with pytest.raises(ValueError):
+            V2DWorkload(iterations_per_solve=0)
+
+
+class TestCalibration:
+    def test_baked_constants_match_refit(self):
+        # Guard against drift: re-running the fit must reproduce the
+        # constants stored in compilers.py.
+        fits = calibrate_all()
+        for key, (coeffs, rel) in fits.items():
+            baked = np.array(get_compiler(key).coefficients)
+            np.testing.assert_allclose(baked, coeffs, rtol=1e-6, atol=1e-12)
+            assert get_compiler(key).fit_rel_err == pytest.approx(rel, abs=1e-4)
+
+    def test_fit_quality(self):
+        for key, (_c, rel) in calibrate_all().items():
+            assert rel < 0.05, f"{key} fit mean relative error {rel:.1%}"
+
+    def test_features_shape(self):
+        row = PAPER_TABLE1[0]
+        assert row_features(row).shape == (5,)
+
+    def test_report_renders(self):
+        assert "Table I calibration" in calibration_report()
+
+    def test_row_validation(self):
+        with pytest.raises(ValueError):
+            Table1Row(np_=4, nx1=2, nx2=1, times={})
+
+
+class TestCostModelAgainstPaper:
+    model = CostModel()
+
+    def test_cell_accuracy(self):
+        # Every published cell within 15%, mean within 4%.
+        errs = []
+        for r in table1_model(self.model):
+            for key, (paper, pred) in r["cells"].items():
+                if paper is None:
+                    continue
+                rel = abs(pred - paper) / paper
+                errs.append(rel)
+                assert rel < 0.15, (
+                    f"{key} Np={r['np']} {r['nx1']}x{r['nx2']}: "
+                    f"paper {paper} model {pred:.2f}"
+                )
+        assert float(np.mean(errs)) < 0.04
+
+    # --- Shape invariants (DESIGN.md Sec. 4) ---------------------------
+    def test_invariant_gnu_slowest_everywhere(self):
+        for row in PAPER_TABLE1:
+            times = {
+                key: self.model.predict(key, row.nx1, row.nx2).total
+                for key in (GNU, FUJITSU, CRAY_OPT)
+            }
+            assert times[GNU] == max(times.values()), f"row {row}"
+
+    def test_invariant_cray_fastest_up_to_25(self):
+        for row in PAPER_TABLE1:
+            if row.np_ > 25:
+                continue
+            t_cray = self.model.predict(CRAY_OPT, row.nx1, row.nx2).total
+            t_fuji = self.model.predict(FUJITSU, row.nx1, row.nx2).total
+            assert t_cray < t_fuji, f"Np={row.np_}"
+
+    def test_invariant_fujitsu_fastest_at_40_plus(self):
+        for row in PAPER_TABLE1:
+            if row.np_ < 40:
+                continue
+            t_cray = self.model.predict(CRAY_OPT, row.nx1, row.nx2).total
+            t_fuji = self.model.predict(FUJITSU, row.nx1, row.nx2).total
+            assert t_fuji < t_cray, f"Np={row.np_}"
+
+    def test_invariant_scaling_knee(self):
+        # Cray(opt) and GNU turn upward past their knee; Fujitsu is
+        # still improving at 50.
+        def t(key, n1, n2):
+            return self.model.predict(key, n1, n2).total
+
+        assert t(CRAY_OPT, 50, 1) > t(CRAY_OPT, 25, 1)
+        assert t(GNU, 50, 1) > t(GNU, 40, 1)
+        assert t(FUJITSU, 50, 1) < t(FUJITSU, 40, 1)
+
+    def test_invariant_flatter_topologies_not_slower(self):
+        for key in (GNU, FUJITSU, CRAY_OPT):
+            for np_, strip, flat in [(20, (20, 1), (5, 4)), (50, (50, 1), (10, 5))]:
+                t_strip = self.model.predict(key, *strip).total
+                t_flat = self.model.predict(key, *flat).total
+                assert t_flat <= t_strip + 1e-9, f"{key} Np={np_}"
+
+    def test_invariant_sve_dilution(self):
+        # whole-app speedup far below the smallest kernel speedup
+        app = 1.0 / self.model.app_sve_ratio()
+        kernel_min = 1.0 / max(PAPER_TABLE2_RATIOS.values())
+        assert 1.3 < app < 1.6
+        assert app < kernel_min
+
+    # --- Sec. II-E breakdowns -----------------------------------------
+    def test_serial_breakdown(self):
+        p = self.model.predict(CRAY_OPT, 1, 1)
+        assert p.matvec == pytest.approx(PAPER_BREAKDOWN_SERIAL["matvec"], rel=0.10)
+        assert p.precond == pytest.approx(PAPER_BREAKDOWN_SERIAL["precond"], rel=0.10)
+
+    def test_parallel_breakdown(self):
+        p = self.model.predict(CRAY_OPT, 5, 4)
+        assert p.total == pytest.approx(PAPER_BREAKDOWN_20PROC["total"], rel=0.10)
+        assert p.matvec == pytest.approx(PAPER_BREAKDOWN_20PROC["matvec"], rel=0.15)
+        assert p.precond == pytest.approx(PAPER_BREAKDOWN_20PROC["precond"], rel=0.20)
+        assert p.mpi > 0.1 * p.total  # "a significant amount of time"
+
+    # --- utilities ------------------------------------------------------
+    def test_speedup_and_best_topology(self):
+        s = self.model.speedup(FUJITSU, 10, 5)
+        assert s == pytest.approx(252.31 / 11.40, rel=0.1)
+        best = self.model.best_topology(CRAY_OPT, 20)
+        assert best[0] * best[1] == 20
+        # model prefers a flatter arrangement over the 20x1 strip
+        t_best = self.model.predict(CRAY_OPT, *best).total
+        assert t_best <= self.model.predict(CRAY_OPT, 20, 1).total
+
+    def test_weak_scaling_shapes(self):
+        fu = self.model.weak_scaling_study(FUJITSU, ranks=(1, 4, 16, 64))
+        gn = self.model.weak_scaling_study(GNU, ranks=(1, 4, 16, 64))
+        # constant per-rank work: compute term flat across entries
+        comp = [p.compute for p in fu]
+        assert max(comp) / min(comp) < 1.05
+        # times rise with rank count (reductions), never fall
+        t_fu = [p.total for p in fu]
+        assert all(a <= b + 1e-9 for a, b in zip(t_fu, t_fu[1:]))
+        # GNU's quadratic reduction term degrades weak scaling far more
+        assert (gn[-1].total / gn[0].total) > (t_fu[-1] / t_fu[0])
+
+    def test_nsteps_scaling(self):
+        half = CostModel(nsteps=50)
+        full = CostModel(nsteps=100)
+        assert half.predict(GNU, 1, 1).total == pytest.approx(
+            0.5 * full.predict(GNU, 1, 1).total
+        )
+
+    def test_unknown_compiler(self):
+        with pytest.raises(KeyError):
+            self.model.predict("icc", 1, 1)
+
+
+class TestKernelModel:
+    km = KernelTimeModel()
+
+    def test_table2_ratios_match_paper(self):
+        for k, (_t0, _t1, ratio) in self.km.table2().items():
+            assert ratio == pytest.approx(PAPER_TABLE2_RATIOS[k], abs=0.01)
+
+    def test_table2_absolute_no_sve_times(self):
+        from repro.perfmodel.paper_data import PAPER_TABLE2_TIMES
+
+        for k, (t0, _t1, _r) in self.km.table2().items():
+            assert t0 == pytest.approx(PAPER_TABLE2_TIMES[k][0], rel=1e-6)
+
+    def test_matvec_gains_most_dscal_least(self):
+        t2 = self.km.table2()
+        ratios = {k: r for k, (_a, _b, r) in t2.items()}
+        assert min(ratios, key=ratios.get) == "MATVEC"
+        assert max(ratios, key=ratios.get) == "DSCAL"
+
+    def test_vla_sweep_monotone(self):
+        sweep = self.km.vla_sweep("MATVEC")
+        bits = sorted(sweep)
+        vals = [sweep[b] for b in bits]
+        assert all(a >= b for a, b in zip(vals, vals[1:]))
+        assert sweep[512] == pytest.approx(PAPER_TABLE2_RATIOS["MATVEC"], abs=0.01)
+
+    def test_wider_vectors_shrink_time(self):
+        narrow = KernelTimeModel(machine=A64FX(sve_bits=128))
+        wide = KernelTimeModel(machine=A64FX(sve_bits=1024))
+        assert narrow.time("DPROD", True) > wide.time("DPROD", True)
+
+    def test_unknown_kernel(self):
+        with pytest.raises(KeyError):
+            self.km.time("GEMM", True)
+
+
+class TestReports:
+    def test_all_reports_render(self):
+        assert "TABLE I" in table1_report()
+        assert "TABLE II" in table2_report()
+        assert "BREAKDOWN" in breakdown_report()
+        assert "DILUTION" in dilution_report()
+
+    def test_table1_report_contains_paper_values(self):
+        text = table1_report()
+        assert "363.91" in text and "181.26" in text
+
+    def test_compiler_registry(self):
+        assert set(COMPILERS) == set(COMPILER_KEYS)
+        assert COMPILERS[CRAY_NOOPT].sve is False
+        assert COMPILERS[CRAY_OPT].sve is True

@@ -1,0 +1,342 @@
+"""Property-based tests (hypothesis) on core invariants.
+
+These pin the contracts the whole reproduction rests on: backend
+equivalence (scalar vs vector execution compute the same math),
+operator linearity, assembly/matrix-free agreement, decomposition
+coverage, solver correctness on arbitrary well-conditioned systems,
+and the physical ranges of limiters and Planck integrals.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.backend import ScalarBackend, VectorBackend
+from repro.grid import Field, Mesh2D, TileDecomposition
+from repro.grid.decomposition import split_evenly
+from repro.hydro import IdealGasEOS, conserved_to_primitive, primitive_to_conserved
+from repro.hydro.riemann_exact import exact_riemann
+from repro.linalg import (
+    BandedOperator,
+    StencilOperator,
+    assemble_dense,
+    bicgstab,
+    spai_bands,
+)
+from repro.parallel import BoundaryCondition
+from repro.transport.fld import FluxLimiter, limiter_lambda
+from repro.transport.groups import EnergyGroups, planck_cdf
+
+SCALAR, VECTOR = ScalarBackend(), VectorBackend()
+
+finite = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False)
+
+
+def vec(n_min=1, n_max=64):
+    return st.integers(n_min, n_max).flatmap(
+        lambda n: arrays(np.float64, n, elements=finite)
+    )
+
+
+def two_vecs(n_min=1, n_max=64):
+    return st.integers(n_min, n_max).flatmap(
+        lambda n: st.tuples(
+            arrays(np.float64, n, elements=finite),
+            arrays(np.float64, n, elements=finite),
+        )
+    )
+
+
+def three_vecs(n_min=1, n_max=64):
+    return st.integers(n_min, n_max).flatmap(
+        lambda n: st.tuples(
+            arrays(np.float64, n, elements=finite),
+            arrays(np.float64, n, elements=finite),
+            arrays(np.float64, n, elements=finite),
+        )
+    )
+
+
+class TestBackendEquivalence:
+    """scalar (no-SVE) and vector (SVE) backends compute the same math."""
+
+    @given(two_vecs())
+    def test_dot(self, xy):
+        x, y = xy
+        s, v = SCALAR.dot(x, y), VECTOR.dot(x, y)
+        assert s == pytest.approx(v, rel=1e-9, abs=1e-6)
+
+    @given(two_vecs(), finite)
+    def test_axpy_bit_identical(self, xy, a):
+        x, y = xy
+        np.testing.assert_array_equal(SCALAR.axpy(a, x, y), VECTOR.axpy(a, x, y))
+
+    @given(two_vecs(), finite)
+    def test_dscal_bit_identical(self, xy, d):
+        c, y = xy
+        np.testing.assert_array_equal(SCALAR.dscal(c, d, y), VECTOR.dscal(c, d, y))
+
+    @given(three_vecs(), finite, finite)
+    def test_ddaxpy_bit_identical(self, xyz, a, b):
+        x, y, z = xyz
+        np.testing.assert_array_equal(
+            SCALAR.ddaxpy(a, x, b, y, z), VECTOR.ddaxpy(a, x, b, y, z)
+        )
+
+    @given(two_vecs())
+    def test_axpy_zero_scalar_is_identity(self, xy):
+        x, y = xy
+        np.testing.assert_array_equal(VECTOR.axpy(0.0, x, y), y)
+
+    @given(vec())
+    def test_dscal_self_cancels(self, x):
+        np.testing.assert_array_equal(VECTOR.dscal(x, 1.0, x), np.zeros_like(x))
+
+    @given(vec())
+    def test_norm_nonnegative_and_consistent(self, x):
+        n = VECTOR.norm2(x)
+        assert n >= 0.0
+        assert n == pytest.approx(np.sqrt(max(VECTOR.dot(x, x), 0.0)), rel=1e-12)
+
+    @settings(max_examples=25)
+    @given(
+        st.integers(2, 10),
+        st.integers(2, 10),
+        st.integers(0, 2**31 - 1),
+    )
+    def test_stencil_backends_agree(self, n1, n2, seed):
+        r = np.random.default_rng(seed)
+        coeffs = [r.standard_normal((n1, n2)) for _ in range(5)]
+        xpad = r.standard_normal((n1 + 2, n2 + 2))
+        np.testing.assert_allclose(
+            SCALAR.stencil_apply(*coeffs, xpad),
+            VECTOR.stencil_apply(*coeffs, xpad),
+            rtol=1e-12, atol=1e-12,
+        )
+
+    @settings(max_examples=25)
+    @given(st.integers(3, 40), st.integers(1, 8), st.integers(0, 2**31 - 1))
+    def test_banded_backends_agree(self, n, off, seed):
+        assume(off < n)
+        r = np.random.default_rng(seed)
+        offsets = [0, -off, off]
+        bands = [r.standard_normal(n) for _ in offsets]
+        x = r.standard_normal(n)
+        np.testing.assert_allclose(
+            SCALAR.banded_matvec(offsets, bands, x),
+            VECTOR.banded_matvec(offsets, bands, x),
+            rtol=1e-12, atol=1e-12,
+        )
+
+
+class TestOperatorProperties:
+    @settings(max_examples=20)
+    @given(
+        st.integers(2, 8), st.integers(2, 8),
+        st.sampled_from([BoundaryCondition.DIRICHLET0, BoundaryCondition.REFLECT]),
+        st.integers(0, 2**31 - 1),
+    )
+    def test_matrix_free_equals_assembled(self, n1, n2, bc, seed):
+        r = np.random.default_rng(seed)
+        from repro.kernels import StencilCoefficients
+
+        coeffs = StencilCoefficients(
+            diag=r.standard_normal((1, n1, n2)) + 6.0,
+            west=r.standard_normal((1, n1, n2)),
+            east=r.standard_normal((1, n1, n2)),
+            south=r.standard_normal((1, n1, n2)),
+            north=r.standard_normal((1, n1, n2)),
+        )
+        op = StencilOperator(coeffs, bc=bc)
+        A = assemble_dense(coeffs, bc)
+        x = r.standard_normal((1, n1, n2))
+        got = op.apply(x).transpose(0, 2, 1).reshape(-1)
+        np.testing.assert_allclose(
+            got, A @ x.transpose(0, 2, 1).reshape(-1), rtol=1e-10, atol=1e-10
+        )
+
+    @settings(max_examples=20)
+    @given(st.integers(2, 8), st.integers(2, 8), finite, finite, st.integers(0, 2**31 - 1))
+    def test_linearity(self, n1, n2, a, b, seed):
+        from repro.testing import diffusion_coeffs
+
+        r = np.random.default_rng(seed)
+        op = StencilOperator(diffusion_coeffs(ns=1, n1=n1, n2=n2, coupled=False, seed=seed))
+        x = r.standard_normal((1, n1, n2))
+        y = r.standard_normal((1, n1, n2))
+        lhs = op.apply(a * x + b * y)
+        rhs = a * op.apply(x) + b * op.apply(y)
+        np.testing.assert_allclose(lhs, rhs, rtol=1e-9, atol=1e-3)
+
+
+class TestDecompositionProperties:
+    @given(st.integers(1, 500), st.integers(1, 50))
+    def test_split_evenly_partitions(self, n, parts):
+        assume(parts <= n)
+        ranges = split_evenly(n, parts)
+        assert ranges[0][0] == 0 and ranges[-1][1] == n
+        sizes = [b - a for a, b in ranges]
+        assert sum(sizes) == n
+        assert max(sizes) - min(sizes) <= 1
+        for (a, b), (c, d) in zip(ranges, ranges[1:]):
+            assert b == c
+
+    @given(st.integers(1, 40), st.integers(1, 40), st.integers(1, 8), st.integers(1, 8))
+    def test_tiles_cover_grid_exactly(self, nx1, nx2, p1, p2):
+        assume(p1 <= nx1 and p2 <= nx2)
+        d = TileDecomposition(nx1=nx1, nx2=nx2, nprx1=p1, nprx2=p2)
+        cover = np.zeros((nx1, nx2), dtype=int)
+        for t in d.tiles():
+            cover[t.slice1, t.slice2] += 1
+        assert np.all(cover == 1)
+
+    @given(st.integers(1, 40), st.integers(1, 40), st.integers(1, 8), st.integers(1, 8))
+    def test_rank_roundtrip_and_neighbors_symmetric(self, nx1, nx2, p1, p2):
+        assume(p1 <= nx1 and p2 <= nx2)
+        d = TileDecomposition(nx1=nx1, nx2=nx2, nprx1=p1, nprx2=p2)
+        for r in range(d.nranks):
+            assert d.rank_of(*d.coords_of(r)) == r
+            for side, opposite in [("west", "east"), ("south", "north")]:
+                nbr = d.neighbors(r)[side]
+                if nbr is not None:
+                    assert d.neighbors(nbr)[opposite] == r
+
+
+class TestSolverProperties:
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(5, 40), st.integers(1, 6), st.booleans(), st.integers(0, 2**31 - 1))
+    def test_bicgstab_solves_dominant_banded(self, n, off, ganged, seed):
+        assume(off < n)
+        r = np.random.default_rng(seed)
+        offsets = [0, -off, off]
+        bands = [r.uniform(-1, 1, n) for _ in offsets]
+        bands[0] = np.abs(r.standard_normal(n)) + 2.5
+        op = BandedOperator(offsets, bands)
+        xtrue = r.standard_normal(n)
+        b = op.apply(xtrue)
+        res = bicgstab(op, b, tol=1e-10, maxiter=500, ganged=ganged)
+        assert res.converged
+        assert res.residual_norm <= 1e-10 * np.linalg.norm(b) * 1.01
+        np.testing.assert_allclose(res.x, xtrue, rtol=1e-6, atol=1e-6)
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(6, 24), st.integers(2, 5), st.integers(0, 2**31 - 1))
+    def test_spai_never_worse_than_jacobi(self, n, off, seed):
+        assume(off < n)
+        r = np.random.default_rng(seed)
+        offsets = [0, -1, 1, -off, off]
+        bands = [r.uniform(-0.5, 0.5, n) for _ in offsets]
+        bands[0] = np.abs(r.standard_normal(n)) + 2.5
+        op = BandedOperator(offsets, bands)
+        moffs, mbands = spai_bands(op.offsets, op.bands)
+        A = op.to_dense()
+        M = BandedOperator(moffs, mbands).to_dense()
+        Mj = np.diag(1.0 / np.diag(A))
+        eye = np.eye(n)
+        assert (
+            np.linalg.norm(A @ M - eye)
+            <= np.linalg.norm(A @ Mj - eye) + 1e-9
+        )
+
+
+class TestPhysicsProperties:
+    @given(arrays(np.float64, 32, elements=st.floats(0, 1e8)))
+    def test_limiters_bounded(self, R):
+        for lim in FluxLimiter:
+            lam = limiter_lambda(lim, R)
+            assert np.all(lam > 0.0)
+            assert np.all(lam <= 1.0 / 3.0 + 1e-12)
+            # causality: lambda * R <= 1 (flux <= c E)
+            if lim is not FluxLimiter.DIFFUSION:
+                assert np.all(lam * R <= 1.0 + 1e-9)
+
+    @given(arrays(np.float64, 16, elements=st.floats(0, 60)))
+    def test_planck_cdf_in_unit_interval(self, x):
+        c = planck_cdf(x)
+        assert np.all((0.0 <= c) & (c <= 1.0))
+
+    @given(st.integers(1, 12), st.floats(0.1, 10.0))
+    def test_group_fractions_partition(self, ng, t):
+        g = EnergyGroups.logarithmic(ng, lo=1e-3, hi=50)
+        fr = g.planck_fractions(t_ratio=t)
+        assert np.all(fr >= 0.0)
+        assert fr.sum() <= 1.0 + 1e-9
+
+    @given(
+        arrays(np.float64, (3, 4), elements=st.floats(0.1, 100.0)),
+        arrays(np.float64, (3, 4), elements=st.floats(-50.0, 50.0)),
+        arrays(np.float64, (3, 4), elements=st.floats(-50.0, 50.0)),
+        arrays(np.float64, (3, 4), elements=st.floats(0.01, 100.0)),
+        st.floats(1.05, 3.0),
+    )
+    def test_eos_roundtrip(self, rho, v1, v2, p, gamma):
+        eos = IdealGasEOS(gamma)
+        w = np.stack([rho, v1, v2, p])
+        u = primitive_to_conserved(w, eos)
+        w2 = conserved_to_primitive(u, eos)
+        np.testing.assert_allclose(w2, w, rtol=1e-9, atol=1e-9)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.floats(0.1, 10), st.floats(-2, 2), st.floats(0.1, 10),
+        st.floats(0.1, 10), st.floats(-2, 2), st.floats(0.1, 10),
+    )
+    def test_exact_riemann_far_field(self, rl, vl, pl, rr, vr, pr):
+        xi = np.array([-1e3, 1e3])
+        rho, v, p = exact_riemann((rl, vl, pl), (rr, vr, pr), xi)
+        assert rho[0] == pytest.approx(rl)
+        assert rho[1] == pytest.approx(rr)
+        assert np.all(rho > 0) and np.all(p > 0)
+
+
+class TestFieldProperties:
+    @given(st.integers(1, 3), st.integers(1, 10), st.integers(1, 10), st.integers(1, 3))
+    def test_interior_strip_consistency(self, ns, n1, n2, g):
+        f = Field(ns, (n1, n2), nghost=g)
+        rng = np.random.default_rng(0)
+        f.interior = rng.standard_normal((ns, n1, n2))
+        # send strips are inside the interior
+        for side in ("west", "east", "south", "north"):
+            strip = f.send_strip(side, width=1)
+            assert strip.size == ns * (n2 if side in ("west", "east") else n1)
+        # ghost zeroing never touches the interior
+        before = f.interior.copy()
+        f.fill_ghosts_zero()
+        np.testing.assert_array_equal(f.interior, before)
+
+    @given(st.integers(2, 10), st.integers(2, 10))
+    def test_reflect_is_involution_on_ghosts(self, n1, n2):
+        f = Field(1, (n1, n2), nghost=1)
+        rng = np.random.default_rng(1)
+        f.interior = rng.standard_normal((1, n1, n2))
+        f.reflect_side("west")
+        once = f.data.copy()
+        f.reflect_side("west")
+        np.testing.assert_array_equal(f.data, once)
+
+
+class TestMeshProperties:
+    @given(
+        st.integers(1, 30), st.integers(1, 30),
+        st.sampled_from(["cartesian", "cylindrical", "spherical"]),
+    )
+    def test_geometry_positive(self, nx1, nx2, coord):
+        extent2 = (0.1, np.pi - 0.1) if coord == "spherical" else (0.0, 1.0)
+        m = Mesh2D.uniform(nx1, nx2, extent1=(0.1, 2.0), extent2=extent2, coord=coord)
+        assert np.all(m.volumes > 0)
+        assert np.all(m.areas_x1 >= 0)
+        assert np.all(m.areas_x2 >= 0)
+
+    @given(st.integers(2, 20), st.integers(2, 20))
+    def test_subset_partition_volumes(self, nx1, nx2):
+        m = Mesh2D.uniform(nx1, nx2, coord="cylindrical", extent1=(0, 1))
+        mid1, mid2 = nx1 // 2, nx2 // 2
+        assume(mid1 >= 1 and mid2 >= 1)
+        parts = [
+            m.subset(slice(0, mid1), slice(0, nx2)),
+            m.subset(slice(mid1, nx1), slice(0, nx2)),
+        ]
+        total = sum(p.volumes.sum() for p in parts)
+        assert total == pytest.approx(m.volumes.sum())

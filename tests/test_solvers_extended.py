@@ -1,0 +1,187 @@
+"""Tests for the GMRES baseline and the ILU(0) preconditioner."""
+
+import numpy as np
+import pytest
+
+from repro.kernels import KernelSuite
+from repro.linalg import (
+    BandedOperator,
+    ILU0Preconditioner,
+    SPAIPreconditioner,
+    StencilOperator,
+    assemble_dense,
+    bicgstab,
+    gmres,
+    ilu0_banded,
+)
+from repro.monitor import Counters
+from repro.parallel import BoundaryCondition
+from repro.testing import banded_system, diffusion_coeffs
+
+RNG = np.random.default_rng(9)
+
+
+class TestGMRES:
+    def test_solves_stencil_system(self):
+        coeffs = diffusion_coeffs(ns=2, n1=8, n2=6)
+        op = StencilOperator(coeffs)
+        xtrue = RNG.standard_normal(op.operand_shape)
+        b = op.apply(xtrue)
+        res = gmres(op, b, tol=1e-10)
+        assert res.converged
+        np.testing.assert_allclose(res.x, xtrue, rtol=1e-7, atol=1e-8)
+
+    def test_agrees_with_bicgstab(self):
+        coeffs = diffusion_coeffs(ns=1, n1=9, n2=7, coupled=False)
+        op = StencilOperator(coeffs)
+        b = RNG.standard_normal(op.operand_shape)
+        xg = gmres(op, b, tol=1e-12).x
+        xb = bicgstab(op, b, tol=1e-12).x
+        np.testing.assert_allclose(xg, xb, rtol=1e-8, atol=1e-9)
+
+    def test_restart_shorter_than_convergence(self):
+        # With a short restart the method must still converge (possibly
+        # more iterations).
+        coeffs = diffusion_coeffs(ns=1, n1=10, n2=10, coupled=False)
+        op = StencilOperator(coeffs)
+        b = RNG.standard_normal(op.operand_shape)
+        full = gmres(op, b, tol=1e-10, restart=60)
+        short = gmres(op, b, tol=1e-10, restart=3)
+        assert full.converged and short.converged
+        assert short.iterations >= full.iterations
+
+    def test_monotone_residual_within_cycle(self):
+        coeffs = diffusion_coeffs(ns=1, n1=8, n2=8, coupled=False)
+        op = StencilOperator(coeffs)
+        b = RNG.standard_normal(op.operand_shape)
+        res = gmres(op, b, tol=1e-12, restart=50)
+        inner = res.history[1:]  # drop the initial true-residual entry
+        assert all(a >= b - 1e-13 for a, b in zip(inner, inner[1:]))
+
+    def test_preconditioned(self):
+        coeffs = diffusion_coeffs(ns=2, n1=9, n2=8)
+        op = StencilOperator(coeffs)
+        b = RNG.standard_normal(op.operand_shape)
+        plain = gmres(op, b, tol=1e-10)
+        spai = gmres(op, b, tol=1e-10, M=SPAIPreconditioner.from_stencil(coeffs))
+        assert spai.converged
+        assert spai.iterations < plain.iterations
+
+    def test_zero_rhs_and_validation(self):
+        op = StencilOperator(diffusion_coeffs(ns=1, n1=4, n2=4, coupled=False))
+        res = gmres(op, np.zeros(op.operand_shape))
+        assert res.converged and res.iterations == 0
+        with pytest.raises(ValueError):
+            gmres(op, np.zeros(3))
+        with pytest.raises(ValueError):
+            gmres(op, np.zeros(op.operand_shape), restart=0)
+
+    def test_initial_guess_exact(self):
+        coeffs = diffusion_coeffs(ns=1, n1=5, n2=5, coupled=False)
+        op = StencilOperator(coeffs)
+        xtrue = RNG.standard_normal(op.operand_shape)
+        b = op.apply(xtrue)
+        res = gmres(op, b, x0=xtrue, tol=1e-10)
+        assert res.converged and res.iterations == 0
+
+    def test_counters(self):
+        c = Counters()
+        suite = KernelSuite("vector", counters=c)
+        coeffs = diffusion_coeffs(ns=1, n1=6, n2=6, coupled=False)
+        op = StencilOperator(coeffs, suite=suite)
+        res = gmres(op, RNG.standard_normal(op.operand_shape), suite=suite)
+        assert c.linear_solves == 1
+        assert c.solver_iterations == res.iterations
+
+    def test_maxiter(self):
+        coeffs = diffusion_coeffs(ns=2, n1=10, n2=10)
+        op = StencilOperator(coeffs)
+        res = gmres(op, RNG.standard_normal(op.operand_shape), tol=1e-14, maxiter=2)
+        assert res.iterations <= 2
+        assert not res.converged
+
+
+class TestILU0:
+    def test_tridiagonal_is_exact_lu(self):
+        # ILU(0) on a tridiagonal matrix has no dropped fill: the
+        # factorization is the exact LU and one solve inverts A.
+        n = 40
+        r = np.random.default_rng(1)
+        offsets = [0, -1, 1]
+        bands = [np.abs(r.standard_normal(n)) + 3.0,
+                 r.standard_normal(n), r.standard_normal(n)]
+        op = BandedOperator(offsets, bands)
+        fact = ilu0_banded(op.offsets, op.bands)
+        x = r.standard_normal(n)
+        b = op.apply(x)
+        np.testing.assert_allclose(fact.solve(b), x, rtol=1e-10, atol=1e-10)
+
+    def test_factorization_reproduces_pattern_entries(self):
+        # L@U must equal A *on A's pattern* (the defining ILU(0) property).
+        offsets, bands, _ = banded_system(n=30, band_offset=6, seed=3)
+        op = BandedOperator(offsets, bands)
+        fact = ilu0_banded(op.offsets, op.bands)
+        n = op.n
+        L = np.eye(n)
+        for d, band in fact.lower.items():
+            for i in range(n):
+                if 0 <= i + d < n:
+                    L[i, i + d] = band[i]
+        U = np.zeros((n, n))
+        for d, band in fact.upper.items():
+            for i in range(n):
+                if 0 <= i + d < n:
+                    U[i, i + d] = band[i]
+        A = op.to_dense()
+        product = L @ U
+        for d in op.offsets:
+            for i in range(n):
+                j = i + d
+                if 0 <= j < n:
+                    assert product[i, j] == pytest.approx(A[i, j], rel=1e-10, abs=1e-12)
+
+    def test_preconditions_banded_solve(self):
+        offsets, bands, rhs = banded_system(n=120, band_offset=11, seed=5)
+        op = BandedOperator(offsets, bands)
+        plain = bicgstab(op, rhs, tol=1e-10)
+        ilu = bicgstab(op, rhs, tol=1e-10, M=ILU0Preconditioner.from_banded(op.offsets, op.bands))
+        assert ilu.converged
+        assert ilu.iterations < plain.iterations
+        np.testing.assert_allclose(ilu.x, plain.x, rtol=1e-6, atol=1e-8)
+
+    def test_stencil_preconditioner_beats_spai_iterations(self):
+        # The 2004 trade: ILU(0) cuts more iterations than SPAI ...
+        coeffs = diffusion_coeffs(ns=2, n1=10, n2=8)
+        op = StencilOperator(coeffs)
+        b = RNG.standard_normal(op.operand_shape)
+        spai = bicgstab(op, b, tol=1e-10, M=SPAIPreconditioner.from_stencil(coeffs))
+        ilu = bicgstab(op, b, tol=1e-10, M=ILU0Preconditioner.from_stencil(coeffs))
+        assert ilu.converged and spai.converged
+        assert ilu.iterations <= spai.iterations
+        np.testing.assert_allclose(ilu.x, spai.x, rtol=1e-6, atol=1e-8)
+
+    def test_reflect_bc_path(self):
+        coeffs = diffusion_coeffs(ns=1, n1=6, n2=5, coupled=False)
+        op = StencilOperator(coeffs, bc=BoundaryCondition.REFLECT)
+        b = RNG.standard_normal(op.operand_shape)
+        M = ILU0Preconditioner.from_stencil(coeffs, bc=BoundaryCondition.REFLECT)
+        res = bicgstab(op, b, tol=1e-10, M=M)
+        assert res.converged
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ilu0_banded([1, -1], [np.ones(4), np.ones(4)])  # no diagonal
+        fact = ilu0_banded([0], [np.ones(4)])
+        with pytest.raises(ValueError):
+            fact.solve(np.ones(5))
+        with pytest.raises(ZeroDivisionError):
+            ilu0_banded([0, -1, 1], [np.zeros(4), np.ones(4), np.ones(4)])
+
+    def test_apply_out_parameter(self):
+        coeffs = diffusion_coeffs(ns=1, n1=4, n2=4, coupled=False)
+        M = ILU0Preconditioner.from_stencil(coeffs)
+        x = RNG.standard_normal((1, 4, 4))
+        out = np.empty_like(x)
+        got = M.apply(x, out=out)
+        assert got is out
+        np.testing.assert_allclose(out, M.apply(x))
