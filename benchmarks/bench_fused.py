@@ -1,0 +1,169 @@
+"""Fused-kernel hot path — whole-application timing, fused vs unfused.
+
+The fused execution layer collapses the BiCGSTAB inner loop's
+back-to-back kernel launches (Matvec then ganged dots, DAXPY then
+DAXPY) into single launches and draws all scratch vectors from a
+reusable workspace.  This benchmark runs the scaled Gaussian-pulse
+problem both ways on the vector (SVE-proxy) backend and records:
+
+* whole-app time, measured as back-to-back (fused, unfused) pairs
+  with the garbage collector off.  The accepted statistic is the
+  median of the per-pair CPU-time ratios: pairing cancels machine
+  drift, the median shrugs off outliers, and process time excludes
+  scheduler preemption, which dominates wall-clock noise on shared
+  CI machines.  Wall seconds are recorded alongside for reference;
+* kernel launches, fused-op count and reduction rounds;
+* bitwise agreement of the final radiation field (the fused vector
+  path is exactly the unfused computation, re-batched).
+
+Besides the rendered text report it emits ``BENCH_fused.json``, the
+machine-readable artifact CI archives for trend tracking.
+"""
+
+import gc
+import json
+import time
+
+import numpy as np
+
+from repro.problems import GaussianPulseProblem
+from repro.v2d import Simulation, V2DConfig
+
+PAIRS = 9
+#: A deliberately solver-dominant configuration: the large timestep
+#: needs ~13 BiCGSTAB iterations per solve, so >80% of the wall time
+#: sits in the loop the fused layer restructures (at the default
+#: timestep the system build dilutes the fused win below timing noise
+#: -- the same Amdahl dilution the paper reports for whole-app SVE
+#: speedup).
+CFG = dict(
+    scale=1,
+    nx1=120,
+    nx2=90,
+    nsteps=3,
+    dt=2e-2,
+    precond="jacobi",
+    solver_tol=1e-8,
+    profile=False,
+)
+
+
+def make_sim(fused: bool) -> Simulation:
+    cfg = V2DConfig.scaled_test_problem(fused=fused, **CFG)
+    return Simulation(cfg, GaussianPulseProblem())
+
+
+def run_once(fused: bool):
+    sim = make_sim(fused)
+    gc.collect()
+    gc.disable()
+    t0 = time.perf_counter()
+    c0 = time.process_time()
+    sim.run()
+    cpu = time.process_time() - c0
+    wall = time.perf_counter() - t0
+    gc.enable()
+    solves = [s for rep in sim.step_reports for s in rep.solves]
+    return {
+        "wall": wall,
+        "cpu": cpu,
+        "E": sim.integrator.E.interior.copy(),
+        "kernel_calls": sim.counters.kernel_calls,
+        "fused_ops": sim.counters.fused_ops,
+        "iterations": sum(s.iterations for s in solves),
+        "reduction_rounds": sum(s.reductions for s in solves),
+        "converged": all(s.converged for s in solves),
+    }
+
+
+class TestFusedBenchmark:
+    # NOTE: the comparison must run before the single-shot app
+    # benchmarks.  The ``benchmark`` fixture keeps its target
+    # simulations alive for the session report, and that retained
+    # memory measurably skews the paired timing if it is already
+    # resident (pytest runs tests in definition order).
+    def test_fused_vs_unfused(self, report_dir, write_report):
+        run_once(True), run_once(False)          # warm-up
+        fused, unfused = run_once(True), run_once(False)
+        walls = {"fused": [fused["wall"]], "unfused": [unfused["wall"]]}
+        cpus = {"fused": [fused["cpu"]], "unfused": [unfused["cpu"]]}
+        for k in range(PAIRS - 1):               # back-to-back timed pairs
+            # Alternate within-pair order so linear machine drift biases
+            # neither side.
+            order = (True, False) if k % 2 else (False, True)
+            for f in order:
+                r = run_once(f)
+                walls["fused" if f else "unfused"].append(r["wall"])
+                cpus["fused" if f else "unfused"].append(r["cpu"])
+        t_fused, t_unfused = min(walls["fused"]), min(walls["unfused"])
+        pair_ratios = sorted(
+            f / u for f, u in zip(cpus["fused"], cpus["unfused"])
+        )
+        ratio = pair_ratios[len(pair_ratios) // 2]
+
+        # Correctness before speed: same bits, strictly fewer launches,
+        # one reduction round saved in setup per solve.
+        assert fused["converged"] and unfused["converged"]
+        np.testing.assert_array_equal(fused["E"], unfused["E"])
+        assert fused["iterations"] == unfused["iterations"]
+        assert fused["fused_ops"] > 0 and unfused["fused_ops"] == 0
+        assert fused["kernel_calls"] < unfused["kernel_calls"]
+        assert fused["reduction_rounds"] < unfused["reduction_rounds"]
+
+        payload = {
+            "benchmark": "fused_vs_unfused",
+            "config": {**CFG, "backend": "vector", "pairs": PAIRS},
+            "walls": {k: sorted(v) for k, v in walls.items()},
+            "cpu_seconds": {k: sorted(v) for k, v in cpus.items()},
+            "wall_seconds": {"fused": t_fused, "unfused": t_unfused},
+            "pair_ratios": [round(r, 4) for r in pair_ratios],
+            "speedup": 1.0 / ratio,
+            "counters": {
+                k: {
+                    "kernel_calls": d["kernel_calls"],
+                    "fused_ops": d["fused_ops"],
+                    "reduction_rounds": d["reduction_rounds"],
+                    "solver_iterations": d["iterations"],
+                }
+                for k, d in (("fused", fused), ("unfused", unfused))
+            },
+            "bitwise_equal": True,
+        }
+        json_path = report_dir / "BENCH_fused.json"
+        json_path.write_text(json.dumps(payload, indent=2) + "\n")
+
+        write_report(
+            "fused",
+            "\n".join(
+                [
+                    "FUSED KERNELS — whole-app wall time, vector backend",
+                    f"  fused  : {t_fused:.4f} s  "
+                    f"({fused['kernel_calls']} launches, "
+                    f"{fused['reduction_rounds']} reduction rounds)",
+                    f"  unfused: {t_unfused:.4f} s  "
+                    f"({unfused['kernel_calls']} launches, "
+                    f"{unfused['reduction_rounds']} reduction rounds)",
+                    f"  ratio  : {ratio:.3f} "
+                    f"(median fused/unfused CPU-time over {PAIRS} "
+                    f"pairs), results bitwise identical",
+                    f"[json written to {json_path}]",
+                ]
+            ),
+        )
+
+        # The fused path must not be slower: it strictly reduces
+        # launches and allocations, and on an idle machine the median
+        # paired ratio sits at or below one (solver-only, the fused
+        # loop runs ~20% faster).  The structural wins above are
+        # asserted exactly; the timing gate carries enough slack to
+        # absorb the noise floor of loaded single-core CI runners
+        # while still tripping on a real fused-path regression.
+        assert ratio < 1.10
+
+    def test_bench_fused_app(self, benchmark):
+        sim = make_sim(True)
+        benchmark.pedantic(sim.run, rounds=1, iterations=1)
+
+    def test_bench_unfused_app(self, benchmark):
+        sim = make_sim(False)
+        benchmark.pedantic(sim.run, rounds=1, iterations=1)

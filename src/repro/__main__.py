@@ -27,7 +27,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         nx1=args.nx1, nx2=args.nx2, nsteps=args.nsteps, dt=args.dt,
         nprx1=args.nprx1, nprx2=args.nprx2,
         backend=args.backend, precond=args.precond,
-        ganged=not args.classic, solver_tol=args.tol,
+        ganged=not args.classic, fused=not args.unfused,
+        solver_tol=args.tol,
     )
     problem = GaussianPulseProblem()
     if cfg.nranks == 1:
@@ -129,6 +130,8 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--precond", choices=("spai", "jacobi", "none"), default="spai")
     p.add_argument("--classic", action="store_true",
                    help="textbook BiCGSTAB instead of ganged reductions")
+    p.add_argument("--unfused", action="store_true",
+                   help="separate kernel launches instead of the fused hot path")
     p.add_argument("--tol", type=float, default=1e-10)
     p.add_argument("--profile", action="store_true")
     p.set_defaults(fn=_cmd_run)

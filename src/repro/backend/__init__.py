@@ -21,9 +21,11 @@ which is precisely the SVE-on/SVE-off contract.
 
 from repro.backend.base import Backend
 from repro.backend.dispatch import (
+    FUSED_PRIMITIVES,
     available_backends,
     default_backend,
     get_backend,
+    native_fused_ops,
     register_backend,
     use_backend,
 )
@@ -39,4 +41,6 @@ __all__ = [
     "available_backends",
     "default_backend",
     "use_backend",
+    "FUSED_PRIMITIVES",
+    "native_fused_ops",
 ]

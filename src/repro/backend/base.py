@@ -19,6 +19,32 @@ DDAXPY     ``a*x + b*y + z``                      :meth:`Backend.ddaxpy`
 All primitives accept and return ``float64`` NumPy arrays; scalar
 backends still *store* data in NumPy arrays (as V2D stores vectors in
 Fortran arrays) but traverse them with explicit loops.
+
+Fused operations
+----------------
+The BiCGSTAB inner loop issues the primitives back to back on the same
+operands (a matvec immediately followed by ganged dot products against
+its result; a DAXPY followed by a norm of the update).  The base class
+exposes *fused* forms of those pairings -- :meth:`Backend.axpy_dot`,
+:meth:`Backend.dscal_dot` and :meth:`Backend.stencil_apply_dots` --
+whose default implementations are the unfused composition of the
+underlying primitives (the reference semantics every override must
+reproduce).  A backend may override them with true single-pass code:
+the scalar backend accumulates the dot products inside the very loop
+that produces the output element, the way a fused SVE kernel keeps the
+value in a register instead of re-loading it.
+
+Dot specifications (the ``dots`` argument of the fused ops) come in
+three forms; with ``out`` the fused op's array result::
+
+    None          ->  (out, out)       e.g. a norm of the result
+    Array w       ->  (out, w)
+    (a, b) tuple  ->  (a, b)           an independent pair, ganged along
+
+The BLAS-1 updates additionally accept a preallocated ``work`` buffer
+so vectorized backends can handle aliased ``out`` operands without
+allocating temporaries -- the solver's inner loop reuses one such
+buffer across all iterations and solves.
 """
 
 from __future__ import annotations
@@ -97,11 +123,30 @@ class Backend(ABC):
     # BLAS-1 style updates
     # ------------------------------------------------------------------
     @abstractmethod
-    def axpy(self, a: float, x: Array, y: Array, out: Array | None = None) -> Array:
-        """``out = a*x + y`` (DAXPY)."""
+    def axpy(
+        self,
+        a: float,
+        x: Array,
+        y: Array,
+        out: Array | None = None,
+        work: Array | None = None,
+    ) -> Array:
+        """``out = a*x + y`` (DAXPY).
+
+        ``work`` is an optional scratch buffer of the operand shape;
+        backends that would otherwise allocate a temporary for aliased
+        ``out`` operands use it instead.  Results are unchanged.
+        """
 
     @abstractmethod
-    def dscal(self, c: Array, d: float, y: Array, out: Array | None = None) -> Array:
+    def dscal(
+        self,
+        c: Array,
+        d: float,
+        y: Array,
+        out: Array | None = None,
+        work: Array | None = None,
+    ) -> Array:
         """``out = c - d*y`` (the paper's DSCAL routine)."""
 
     @abstractmethod
@@ -113,6 +158,7 @@ class Backend(ABC):
         y: Array,
         z: Array,
         out: Array | None = None,
+        work: Array | None = None,
     ) -> Array:
         """``out = a*x + b*y + z`` (DDAXPY)."""
 
@@ -153,12 +199,16 @@ class Backend(ABC):
         north: Array,
         x: Array,
         out: Array | None = None,
+        work: Array | None = None,
     ) -> Array:
         """Apply a 5-point stencil to a ghost-padded field.
 
         ``x`` has shape ``(nx1 + 2, nx2 + 2)`` (one ghost layer on every
         side); the five coefficient arrays and ``out`` have the interior
-        shape ``(nx1, nx2)``.  For interior index ``(i, j)``::
+        shape ``(nx1, nx2)``.  An optional interior-shaped ``work``
+        buffer replaces any temporaries a whole-array implementation
+        would allocate (results are identical with and without it).
+        For interior index ``(i, j)``::
 
             out[i,j] = diag[i,j]*x[i+1,j+1]
                      + west[i,j]*x[i,  j+1] + east[i,j]*x[i+2,j+1]
@@ -184,6 +234,77 @@ class Backend(ABC):
         Used by the stand-alone Table-II driver, which exercises the
         kernels on a 1000-equation banded system.
         """
+
+    # ------------------------------------------------------------------
+    # Fused operations (hot-path pairings of the primitives above).
+    # Defaults are the unfused composition -- the reference semantics;
+    # overrides must match them to reassociation error or better.
+    # ------------------------------------------------------------------
+    def axpy_dot(
+        self,
+        a: float,
+        x: Array,
+        y: Array,
+        w: Array | None = None,
+        out: Array | None = None,
+        work: Array | None = None,
+    ) -> tuple[Array, float]:
+        """Fused DAXPY + DPROD: ``out = a*x + y``, returning
+        ``(out, <out, w>)`` (``w=None`` means ``<out, out>``, i.e. the
+        squared norm of the update -- "daxpy_norm")."""
+        out = self.axpy(a, x, y, out=out, work=work)
+        return out, self.dot(out, out if w is None else w)
+
+    def dscal_dot(
+        self,
+        c: Array,
+        d: float,
+        y: Array,
+        w: Array | None = None,
+        out: Array | None = None,
+        work: Array | None = None,
+    ) -> tuple[Array, float]:
+        """Fused DSCAL + DPROD: ``out = c - d*y`` plus ``<out, w>``
+        (``w=None`` -> squared norm; the residual-update + norm pairing)."""
+        out = self.dscal(c, d, y, out=out, work=work)
+        return out, self.dot(out, out if w is None else w)
+
+    def stencil_apply_dots(
+        self,
+        diag: Array,
+        west: Array,
+        east: Array,
+        south: Array,
+        north: Array,
+        x: Array,
+        dots: Sequence[object],
+        out: Array | None = None,
+    ) -> tuple[Array, Array]:
+        """Fused MATVEC + ganged DPROD: apply the 5-point stencil and
+        compute the requested inner products in the same sweep.
+
+        ``dots`` entries follow the dot-specification forms of the
+        module docstring (``None`` / array / ``(a, b)`` pair).  Returns
+        ``(out, dot_values)`` with one value per spec, local to this
+        rank (the caller reduces).
+        """
+        out = self.stencil_apply(diag, west, east, south, north, x, out=out)
+        return out, self.multi_dot(self._resolve_dot_pairs(out, dots))
+
+    @staticmethod
+    def _resolve_dot_pairs(
+        out: Array, dots: Sequence[object]
+    ) -> list[tuple[Array, Array]]:
+        """Expand dot specifications into explicit operand pairs."""
+        pairs: list[tuple[Array, Array]] = []
+        for spec in dots:
+            if spec is None:
+                pairs.append((out, out))
+            elif isinstance(spec, tuple):
+                pairs.append(spec)
+            else:
+                pairs.append((out, spec))  # type: ignore[arg-type]
+        return pairs
 
     # ------------------------------------------------------------------
     # Helpers shared by concrete backends

@@ -63,6 +63,27 @@ def get_backend(name: str | Backend, **kwargs: object) -> Backend:
 register_backend("scalar", ScalarBackend)
 register_backend("vector", VectorBackend)
 
+#: Fused hot-path operations a backend may override with single-pass code.
+FUSED_PRIMITIVES: tuple[str, ...] = ("axpy_dot", "dscal_dot", "stencil_apply_dots")
+
+
+def native_fused_ops(backend: Backend) -> tuple[str, ...]:
+    """Names of fused primitives ``backend`` implements natively.
+
+    A fused op counts as native when the backend's class overrides the
+    base-class default (which is the unfused composition).  The scalar
+    backend fuses in-loop; the vector backend inherits the defaults
+    because whole-array NumPy cannot express register-level fusion --
+    there, fusion materializes as workspace reuse and batched
+    reductions instead.
+    """
+    cls = type(backend)
+    return tuple(
+        name
+        for name in FUSED_PRIMITIVES
+        if getattr(cls, name) is not getattr(Backend, name)
+    )
+
 _default = threading.local()
 
 

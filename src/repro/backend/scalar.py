@@ -65,7 +65,17 @@ class ScalarBackend(Backend):
         return float(np.sqrt(self.dot(x, x)))
 
     # -- BLAS-1 updates --------------------------------------------------
-    def axpy(self, a: float, x: Array, y: Array, out: Array | None = None) -> Array:
+    # Element loops read every operand before writing the element, so
+    # aliased ``out`` is naturally safe; the ``work`` buffer is accepted
+    # for signature compatibility and never needed.
+    def axpy(
+        self,
+        a: float,
+        x: Array,
+        y: Array,
+        out: Array | None = None,
+        work: Array | None = None,
+    ) -> Array:
         self._check_same_shape(x, y)
         out = self._out_like(x, out)
         xf, yf, of = x.ravel(), y.ravel(), out.ravel()
@@ -73,7 +83,14 @@ class ScalarBackend(Backend):
             of[i] = a * xf[i] + yf[i]
         return out
 
-    def dscal(self, c: Array, d: float, y: Array, out: Array | None = None) -> Array:
+    def dscal(
+        self,
+        c: Array,
+        d: float,
+        y: Array,
+        out: Array | None = None,
+        work: Array | None = None,
+    ) -> Array:
         self._check_same_shape(c, y)
         out = self._out_like(c, out)
         cf, yf, of = c.ravel(), y.ravel(), out.ravel()
@@ -89,6 +106,7 @@ class ScalarBackend(Backend):
         y: Array,
         z: Array,
         out: Array | None = None,
+        work: Array | None = None,
     ) -> Array:
         self._check_same_shape(x, y, z)
         out = self._out_like(x, out)
@@ -141,6 +159,97 @@ class ScalarBackend(Backend):
             of[i] = xf[i] * yf[i]
         return out
 
+    # -- fused operations --------------------------------------------------
+    # True single-pass implementations: the dot accumulations ride in the
+    # same element loop that produces the output, so the fresh value is
+    # consumed "from the register" instead of being re-loaded in a second
+    # sweep.  The element order matches the unfused composition exactly,
+    # so results are bit-identical to the base-class reference.
+    def axpy_dot(
+        self,
+        a: float,
+        x: Array,
+        y: Array,
+        w: Array | None = None,
+        out: Array | None = None,
+        work: Array | None = None,
+    ) -> tuple[Array, float]:
+        self._check_same_shape(x, y)
+        if w is not None:
+            self._check_same_shape(x, w)
+        out = self._out_like(x, out)
+        xf, yf, of = x.ravel(), y.ravel(), out.ravel()
+        wf = None if w is None else w.ravel()
+        acc = 0.0
+        for i in range(xf.shape[0]):
+            v = a * xf[i] + yf[i]
+            of[i] = v
+            acc += v * (v if wf is None else wf[i])
+        return out, acc
+
+    def dscal_dot(
+        self,
+        c: Array,
+        d: float,
+        y: Array,
+        w: Array | None = None,
+        out: Array | None = None,
+        work: Array | None = None,
+    ) -> tuple[Array, float]:
+        self._check_same_shape(c, y)
+        if w is not None:
+            self._check_same_shape(c, w)
+        out = self._out_like(c, out)
+        cf, yf, of = c.ravel(), y.ravel(), out.ravel()
+        wf = None if w is None else w.ravel()
+        acc = 0.0
+        for i in range(cf.shape[0]):
+            v = cf[i] - d * yf[i]
+            of[i] = v
+            acc += v * (v if wf is None else wf[i])
+        return out, acc
+
+    def stencil_apply_dots(
+        self,
+        diag: Array,
+        west: Array,
+        east: Array,
+        south: Array,
+        north: Array,
+        x: Array,
+        dots: Sequence[object],
+        out: Array | None = None,
+    ) -> tuple[Array, Array]:
+        self._check_same_shape(diag, west, east, south, north)
+        n1, n2 = diag.shape
+        if x.shape != (n1 + 2, n2 + 2):
+            raise ValueError(
+                f"ghost-padded field must be {(n1 + 2, n2 + 2)}, got {x.shape}"
+            )
+        out = self._out_like(diag, out)
+        specs = list(dots)
+        accs = [0.0] * len(specs)
+        # Row-major sweep = the flattened order of the unfused multi_dot,
+        # so each accumulation is bit-identical to the composition.
+        for i in range(n1):
+            for j in range(n2):
+                v = (
+                    diag[i, j] * x[i + 1, j + 1]
+                    + west[i, j] * x[i, j + 1]
+                    + east[i, j] * x[i + 2, j + 1]
+                    + south[i, j] * x[i + 1, j]
+                    + north[i, j] * x[i + 1, j + 2]
+                )
+                out[i, j] = v
+                for k, spec in enumerate(specs):
+                    if spec is None:
+                        accs[k] += v * v
+                    elif isinstance(spec, tuple):
+                        accs[k] += spec[0][i, j] * spec[1][i, j]
+                    else:
+                        accs[k] += v * spec[i, j]
+        return out, np.array(accs)
+
     # -- matrix-free operators --------------------------------------------
     def stencil_apply(
         self,
@@ -151,6 +260,7 @@ class ScalarBackend(Backend):
         north: Array,
         x: Array,
         out: Array | None = None,
+        work: Array | None = None,
     ) -> Array:
         self._check_same_shape(diag, west, east, south, north)
         n1, n2 = diag.shape

@@ -58,23 +58,44 @@ class VectorBackend(Backend):
         return float(np.linalg.norm(x.ravel()))
 
     # -- BLAS-1 updates --------------------------------------------------
-    def axpy(self, a: float, x: Array, y: Array, out: Array | None = None) -> Array:
+    # A caller-supplied ``work`` buffer replaces the temporaries the
+    # aliased-``out`` paths would otherwise allocate, making the solver
+    # inner loop allocation-free.  Every work path performs the same
+    # operations in the same order as the allocating path it replaces,
+    # so results are bit-identical with and without ``work``.
+    def axpy(
+        self,
+        a: float,
+        x: Array,
+        y: Array,
+        out: Array | None = None,
+        work: Array | None = None,
+    ) -> Array:
         self._check_same_shape(x, y)
         out = self._out_like(x, out)
         if out is y:
             # out aliases y: scale x into a temporary, then accumulate.
-            tmp = np.multiply(x, a)
+            tmp = work if work is not None else np.empty_like(out)
+            np.multiply(x, a, out=tmp)
             np.add(tmp, y, out=out)
         else:
             np.multiply(x, a, out=out)  # safe when out aliases x
             np.add(out, y, out=out)
         return out
 
-    def dscal(self, c: Array, d: float, y: Array, out: Array | None = None) -> Array:
+    def dscal(
+        self,
+        c: Array,
+        d: float,
+        y: Array,
+        out: Array | None = None,
+        work: Array | None = None,
+    ) -> Array:
         self._check_same_shape(c, y)
         out = self._out_like(c, out)
         if out is c:
-            tmp = np.multiply(y, d)
+            tmp = work if work is not None else np.empty_like(out)
+            np.multiply(y, d, out=tmp)
             np.subtract(c, tmp, out=out)
         else:
             np.multiply(y, d, out=out)  # safe when out aliases y
@@ -89,17 +110,34 @@ class VectorBackend(Backend):
         y: Array,
         z: Array,
         out: Array | None = None,
+        work: Array | None = None,
     ) -> Array:
         self._check_same_shape(x, y, z)
         out = self._out_like(x, out)
         if out is y or out is z:
-            tmp = np.multiply(x, a)
-            tmp += np.multiply(y, b)
-            tmp += z
-            np.copyto(out, tmp)
+            if work is not None:
+                # b*y + (a*x + z), allocation-free: z is read into the
+                # work buffer and y is read by the multiply before out
+                # overwrites either.  This association equals the
+                # two-DAXPY composition axpy(b, y, axpy(a, x, z)), so
+                # the solver's fused x-update is bit-identical to the
+                # unfused one.
+                np.multiply(x, a, out=work)
+                np.add(work, z, out=work)
+                np.multiply(y, b, out=out)
+                np.add(out, work, out=out)
+            else:
+                tmp = np.multiply(x, a)
+                tmp += np.multiply(y, b)
+                tmp += z
+                np.copyto(out, tmp)
         else:
             np.multiply(x, a, out=out)  # safe when out aliases x
-            out += np.multiply(y, b)
+            if work is not None:
+                np.multiply(y, b, out=work)
+                out += work
+            else:
+                out += np.multiply(y, b)
             out += z
         return out
 
@@ -145,6 +183,7 @@ class VectorBackend(Backend):
         north: Array,
         x: Array,
         out: Array | None = None,
+        work: Array | None = None,
     ) -> Array:
         self._check_same_shape(diag, west, east, south, north)
         n1, n2 = diag.shape
@@ -154,17 +193,24 @@ class VectorBackend(Backend):
             )
         out = self._out_like(diag, out)
         # Shifted views of the padded field -- no copies (guide: "use
-        # views, and not copies"); five fused multiply-adds.
+        # views, and not copies"); five fused multiply-adds.  Each
+        # ``band * view`` product lands in ``work`` when supplied
+        # (identical values and association, no per-call temporaries).
         c = x[1:-1, 1:-1]
         w = x[:-2, 1:-1]
         e = x[2:, 1:-1]
         s = x[1:-1, :-2]
         n = x[1:-1, 2:]
         np.multiply(diag, c, out=out)
-        out += west * w
-        out += east * e
-        out += south * s
-        out += north * n
+        if work is not None:
+            for band, view in ((west, w), (east, e), (south, s), (north, n)):
+                np.multiply(band, view, out=work)
+                out += work
+        else:
+            out += west * w
+            out += east * e
+            out += south * s
+            out += north * n
         return out
 
     def banded_matvec(

@@ -1,0 +1,110 @@
+"""Fused-kernel support: solver workspace and reference compositions.
+
+The BiCGSTAB inner loop used to allocate fresh temporaries and issue
+separate kernel launches for every update/reduction pairing.  Two
+pieces live here:
+
+* :class:`SolverWorkspace` -- a bundle of preallocated, shape-checked
+  scratch vectors the solver reuses across iterations *and* across
+  solves, making the vector backend's inner loop allocation-free (the
+  Python-level analogue of hoisting temporaries out of the loop).
+* ``unfused_*`` helpers -- the base-class (unfused) compositions of the
+  fused backend ops, invoked explicitly so property tests can compare
+  any backend's fused override against the reference semantics even
+  when the backend shadows the default.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.backend.base import Array, Backend
+
+#: Scratch vectors the BiCGSTAB loop needs (direction, matvec results,
+#: intermediate residuals, preconditioned vectors, one aliasing buffer).
+WORKSPACE_NAMES: tuple[str, ...] = ("p", "v", "s", "t", "phat", "shat", "work")
+
+
+class SolverWorkspace:
+    """Preallocated solver scratch space, reused across solves.
+
+    ``ensure(shape)`` (re)allocates the named buffers only when the
+    operand shape changes; repeated solves on the same grid reuse the
+    same memory.  ``allocations`` / ``reuses`` expose the hit rate so
+    tests can assert the inner loop really is allocation-free.
+    """
+
+    def __init__(self, names: Sequence[str] = WORKSPACE_NAMES) -> None:
+        self.names = tuple(names)
+        self._arrays: dict[str, Array] = {}
+        self.shape: tuple[int, ...] | None = None
+        self.allocations = 0
+        self.reuses = 0
+
+    def ensure(self, shape: tuple[int, ...], dtype: type = np.float64) -> None:
+        """Guarantee every named buffer exists with ``shape``."""
+        shape = tuple(shape)
+        if self.shape == shape and self._arrays:
+            self.reuses += 1
+            return
+        self._arrays = {name: np.empty(shape, dtype=dtype) for name in self.names}
+        self.shape = shape
+        self.allocations += 1
+
+    def array(self, name: str) -> Array:
+        """The named scratch buffer (``ensure`` must have run)."""
+        if not self._arrays:
+            raise RuntimeError("SolverWorkspace.ensure() has not been called")
+        return self._arrays[name]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SolverWorkspace(shape={self.shape}, "
+            f"allocations={self.allocations}, reuses={self.reuses})"
+        )
+
+
+# ----------------------------------------------------------------------
+# Unfused reference compositions (the semantics every fused override
+# must reproduce).  Calling through ``Backend.<op>`` bypasses any
+# backend override, so these stay the reference even for backends that
+# fuse natively.
+# ----------------------------------------------------------------------
+def unfused_axpy_dot(
+    backend: Backend,
+    a: float,
+    x: Array,
+    y: Array,
+    w: Array | None = None,
+    out: Array | None = None,
+) -> tuple[Array, float]:
+    return Backend.axpy_dot(backend, a, x, y, w=w, out=out)
+
+
+def unfused_dscal_dot(
+    backend: Backend,
+    c: Array,
+    d: float,
+    y: Array,
+    w: Array | None = None,
+    out: Array | None = None,
+) -> tuple[Array, float]:
+    return Backend.dscal_dot(backend, c, d, y, w=w, out=out)
+
+
+def unfused_stencil_apply_dots(
+    backend: Backend,
+    diag: Array,
+    west: Array,
+    east: Array,
+    south: Array,
+    north: Array,
+    x: Array,
+    dots: Sequence[object],
+    out: Array | None = None,
+) -> tuple[Array, Array]:
+    return Backend.stencil_apply_dots(
+        backend, diag, west, east, south, north, x, dots, out=out
+    )

@@ -115,10 +115,18 @@ class MultiSpeciesStencil:
 
     coeffs: StencilCoefficients
     suite: KernelSuite = field(default_factory=KernelSuite)
+    #: Interior-shaped scratch reused across fused applies, so the
+    #: fused hot path allocates nothing after the first call.
+    _scratch: Array | None = field(default=None, init=False, repr=False)
 
     @property
     def backend(self) -> Backend:
         return self.suite.backend
+
+    def _work(self) -> Array:
+        if self._scratch is None or self._scratch.shape != self.coeffs.shape:
+            self._scratch = np.empty(self.coeffs.shape)
+        return self._scratch
 
     def apply(self, xpad: Array, out: Array | None = None) -> Array:
         """``out = A @ x`` with ``xpad`` a ghost-padded ``(ns, nx1+2, nx2+2)`` field.
@@ -164,3 +172,84 @@ class MultiSpeciesStencil:
                     if self.suite.counters is not None:
                         self.suite._account(npts, 2, 24, 8)
         return out
+
+    def apply_dots(
+        self,
+        xpad: Array,
+        dots: list,
+        out: Array | None = None,
+    ) -> tuple[Array, np.ndarray]:
+        """Fused ``A @ x`` plus ganged inner products against the result.
+
+        ``dots`` entries follow the backend dot-spec forms (``None`` ->
+        ``<out, out>``; interior-shaped array ``w`` -> ``<out, w>``; an
+        ``(a, b)`` tuple -> an independent pair ganged along).  Returns
+        ``(out, values)`` with the inner products local to this rank.
+
+        Results are bit-identical to :meth:`apply` followed by a ganged
+        DPROD over the same pairs, on both backends.
+        """
+        c = self.coeffs
+        ns, (n1, n2) = c.nspec, c.shape
+        npts = n1 * n2
+
+        if c.coupling is not None:
+            # Coupled systems: the dots must see the post-coupling
+            # result, so fall back to apply() + ganged DPROD.
+            out = self.apply(xpad, out=out)
+            vals = self.suite.dprod_gang(Backend._resolve_dot_pairs(out, dots))
+            return out, vals
+
+        if xpad.shape != (ns, n1 + 2, n2 + 2):
+            raise ValueError(
+                f"expected padded field {(ns, n1 + 2, n2 + 2)}, got {xpad.shape}"
+            )
+        if out is None:
+            out = np.empty((ns, n1, n2))
+        elif out.shape != (ns, n1, n2):
+            raise ValueError(f"out shape {out.shape} != {(ns, n1, n2)}")
+
+        bk = self.backend
+        if not bk.vectorized and ns == 1:
+            # Single species: hand the whole sweep to the scalar
+            # backend's in-loop fusion.  Its row-major accumulation
+            # order equals the flattened order of the unfused
+            # multi_dot, so the values are bit-identical.
+            specs = []
+            for spec in dots:
+                if spec is None:
+                    specs.append(None)
+                elif isinstance(spec, tuple):
+                    specs.append((spec[0][0], spec[1][0]))
+                else:
+                    specs.append(spec[0])
+            _, vals = bk.stencil_apply_dots(
+                c.diag[0], c.west[0], c.east[0], c.south[0], c.north[0],
+                xpad[0], specs, out=out[0],
+            )
+        else:
+            # Whole-array backends cannot fuse at register level, and
+            # per-species partial sums would reassociate the scalar
+            # backend's continuous accumulation: apply the stencil per
+            # species, then one ganged multi_dot over the full arrays
+            # -- exactly the unfused composition, hence bit-identical.
+            # The persistent scratch keeps the band products out of
+            # fresh temporaries (same values, zero allocations).
+            work = self._work()
+            for s in range(ns):
+                bk.stencil_apply(
+                    c.diag[s], c.west[s], c.east[s], c.south[s], c.north[s],
+                    xpad[s], out=out[s], work=work,
+                )
+            vals = bk.multi_dot(Backend._resolve_dot_pairs(out, dots))
+
+        if self.suite.counters is not None:
+            # One fused launch: the matvec sweep plus in-register dot
+            # accumulation (the ganged operands cost one extra stream
+            # each; the stencil result never round-trips to memory).
+            self.suite._account(ns * npts, 9, 48, 8)
+            self.suite._account(ns * npts * len(dots), 2, 8, 0, launches=0)
+            self.suite.counters.matvecs += 1
+            self.suite.counters.dot_products += len(dots)
+            self.suite.counters.fused_ops += 1
+        return out, vals

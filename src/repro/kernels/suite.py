@@ -54,12 +54,20 @@ class KernelSuite:
         self.counters = counters
 
     # ------------------------------------------------------------------
-    def _account(self, n: int, flops_per: int, loaded_per: int, stored_per: int) -> None:
+    def _account(
+        self,
+        n: int,
+        flops_per: int,
+        loaded_per: int,
+        stored_per: int,
+        launches: int = 1,
+    ) -> None:
         c = self.counters
         if c is None:
             return
         c.add_flops(flops_per * n)
         c.add_traffic(loaded_per * n, stored_per * n)
+        c.kernel_calls += launches
         if self.backend.vectorized:
             c.add_vector_ops(self.backend.vector_op_count(n))
         else:
@@ -93,15 +101,29 @@ class KernelSuite:
     # ------------------------------------------------------------------
     # DAXPY / DSCAL / DDAXPY
     # ------------------------------------------------------------------
-    def daxpy(self, a: float, x: Array, y: Array, out: Array | None = None) -> Array:
+    def daxpy(
+        self,
+        a: float,
+        x: Array,
+        y: Array,
+        out: Array | None = None,
+        work: Array | None = None,
+    ) -> Array:
         """``a*x + y``."""
         self._account(x.size, 2, 16, 8)
-        return self.backend.axpy(a, x, y, out=out)
+        return self.backend.axpy(a, x, y, out=out, work=work)
 
-    def dscal(self, c: Array, d: float, y: Array, out: Array | None = None) -> Array:
+    def dscal(
+        self,
+        c: Array,
+        d: float,
+        y: Array,
+        out: Array | None = None,
+        work: Array | None = None,
+    ) -> Array:
         """``c - d*y`` (vector ``c``, scalar ``d``)."""
         self._account(c.size, 2, 16, 8)
-        return self.backend.dscal(c, d, y, out=out)
+        return self.backend.dscal(c, d, y, out=out, work=work)
 
     def ddaxpy(
         self,
@@ -111,10 +133,50 @@ class KernelSuite:
         y: Array,
         z: Array,
         out: Array | None = None,
+        work: Array | None = None,
     ) -> Array:
         """``a*x + b*y + z``."""
         self._account(x.size, 4, 24, 8)
-        return self.backend.ddaxpy(a, x, b, y, z, out=out)
+        return self.backend.ddaxpy(a, x, b, y, z, out=out, work=work)
+
+    # ------------------------------------------------------------------
+    # Fused hot-path pairings (update + reduction in one launch)
+    # ------------------------------------------------------------------
+    def daxpy_norm(
+        self,
+        a: float,
+        x: Array,
+        y: Array,
+        w: Array | None = None,
+        out: Array | None = None,
+        work: Array | None = None,
+    ) -> tuple[Array, float]:
+        """Fused ``out = a*x + y`` plus ``<out, w>`` (``w=None`` ->
+        ``<out, out>``) in a single kernel launch."""
+        n = x.size
+        self._account(n, 4, 16 + (8 if w is not None else 0), 8)
+        if self.counters is not None:
+            self.counters.dot_products += 1
+            self.counters.fused_ops += 1
+        return self.backend.axpy_dot(a, x, y, w=w, out=out, work=work)
+
+    def dscal_norm(
+        self,
+        c: Array,
+        d: float,
+        y: Array,
+        w: Array | None = None,
+        out: Array | None = None,
+        work: Array | None = None,
+    ) -> tuple[Array, float]:
+        """Fused ``out = c - d*y`` plus ``<out, w>`` (``w=None`` ->
+        ``<out, out>``) in a single kernel launch."""
+        n = c.size
+        self._account(n, 4, 16 + (8 if w is not None else 0), 8)
+        if self.counters is not None:
+            self.counters.dot_products += 1
+            self.counters.fused_ops += 1
+        return self.backend.dscal_dot(c, d, y, w=w, out=out, work=work)
 
     # ------------------------------------------------------------------
     # MATVEC (banded, driver-program form)

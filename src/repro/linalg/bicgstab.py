@@ -28,6 +28,17 @@ Matvec when ``M`` is a SPAI operator.
 Derived norms are validated: whenever the derived residual norm signals
 convergence, the solver recomputes the true residual (one extra Matvec)
 and keeps iterating if rounding in the identities lied.
+
+The ganged variant additionally has a *fused* form (``fused=True``, the
+default): each Matvec and the ganged dots against its result become one
+fused kernel launch (:meth:`LinearOperator.apply_dots`), the two-DAXPY
+solution update becomes one DDAXPY, and all scratch vectors come from a
+preallocated :class:`~repro.kernels.fused.SolverWorkspace` reused
+across solves, so the inner loop is allocation-free.  On the vector
+backend the fused iteration is bit-identical to the unfused ganged one
+(same element operations, same association, same reduction order); on
+the scalar backend the fused DDAXPY reassociates the update, so results
+agree to rounding error.
 """
 
 from __future__ import annotations
@@ -37,6 +48,7 @@ from typing import Callable, Sequence
 
 import numpy as np
 
+from repro.kernels.fused import SolverWorkspace
 from repro.kernels.suite import KernelSuite
 from repro.linalg.operators import LinearOperator
 from repro.linalg.spai import Preconditioner
@@ -76,6 +88,31 @@ class DotContext:
             self.comm.counters.reductions += 1
         return local
 
+    def gang_matvec(
+        self,
+        op: LinearOperator,
+        x: Array,
+        dots: Sequence[object],
+        out: Array | None = None,
+    ) -> tuple[Array, np.ndarray]:
+        """Fused Matvec + ganged dots, one global reduction."""
+        out, local = op.apply_dots(x, dots, out=out)
+        self.reductions += 1
+        if self.comm is not None and self.comm.size > 1:
+            return out, np.asarray(self.comm.allreduce(local))
+        if self.comm is not None:
+            self.comm.counters.reductions += 1
+        return out, np.asarray(local)
+
+    def reduce_scalar(self, local: float) -> float:
+        """Globally reduce one locally computed inner product."""
+        self.reductions += 1
+        if self.comm is not None and self.comm.size > 1:
+            return float(self.comm.allreduce(local))
+        if self.comm is not None:
+            self.comm.counters.reductions += 1
+        return float(local)
+
 
 @dataclass
 class SolveResult:
@@ -90,6 +127,7 @@ class SolveResult:
     matvecs: int                  # operator applications (excl. precond)
     precond_applies: int
     breakdowns: int = 0
+    fused: bool = False           # solved via the fused-kernel path
     history: list[float] = field(default_factory=list)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
@@ -100,9 +138,18 @@ class SolveResult:
 
 
 def _true_residual(
-    op: LinearOperator, b: Array, x: Array, suite: KernelSuite, dots: DotContext
+    op: LinearOperator,
+    b: Array,
+    x: Array,
+    suite: KernelSuite,
+    dots: DotContext,
+    fused: bool = False,
 ) -> tuple[Array, float]:
     ax = op.apply(x)
+    if fused:
+        # One launch: residual update + its squared norm.
+        r, rr_local = suite.dscal_norm(b, 1.0, ax)
+        return r, float(np.sqrt(max(dots.reduce_scalar(rr_local), 0.0)))
     r = suite.dscal(b, 1.0, ax)  # b - Ax
     return r, float(np.sqrt(max(dots.dot(r, r), 0.0)))
 
@@ -118,6 +165,8 @@ def bicgstab(
     suite: KernelSuite | None = None,
     comm: Communicator | None = None,
     ganged: bool = True,
+    fused: bool = True,
+    workspace: SolverWorkspace | None = None,
     max_restarts: int = 10,
     callback: Callable[[int, float], None] | None = None,
 ) -> SolveResult:
@@ -145,6 +194,13 @@ def bicgstab(
     ganged:
         Use V2D's restructured two-reduction iteration (default) or the
         textbook six-reduction one.
+    fused:
+        With ``ganged``, run the fused-kernel hot path: Matvec + ganged
+        dots in one launch, DDAXPY solution updates, and workspace
+        reuse.  Ignored for the textbook variant.
+    workspace:
+        Preallocated :class:`~repro.kernels.fused.SolverWorkspace` to
+        reuse across solves (one is created per call when omitted).
     max_restarts:
         BiCGSTAB breakdown recoveries (``rho ~ 0``) before giving up.
     callback:
@@ -155,6 +211,7 @@ def bicgstab(
         suite = getattr(op, "suite", None) or KernelSuite()
     if b.shape != tuple(op.operand_shape):
         raise ValueError(f"rhs shape {b.shape} != operand shape {op.operand_shape}")
+    use_fused = fused and ganged
     dots = DotContext(suite, comm)
     if suite.counters is not None:
         suite.counters.linear_solves += 1
@@ -171,34 +228,63 @@ def bicgstab(
         mv += 1
         r = suite.dscal(b, 1.0, r)  # r = b - A x0
 
-    bnorm = float(np.sqrt(max(dots.dot(b, b), 0.0)))
+    rr: float | None = None
+    if use_fused:
+        if x0 is None:
+            # r is a fresh copy of b, so (r, r) is (b, b) -- one
+            # reduction covers both.
+            bb = dots.dot(b, b)
+            rr = float(bb)
+        else:
+            bb, rr = (float(val) for val in dots.gang([(b, b), (r, r)]))
+    else:
+        bb = dots.dot(b, b)
+    bnorm = float(np.sqrt(max(bb, 0.0)))
     if bnorm == 0.0:
         # Zero RHS: the solution is zero (relative residual undefined;
         # report absolute zero residual).
         return SolveResult(
             x=np.zeros_like(b), converged=True, iterations=0, residual_norm=0.0,
             relative_residual=0.0, reductions=dots.reductions, matvecs=mv,
-            precond_applies=0,
+            precond_applies=0, fused=use_fused,
         )
     target = tol * bnorm
 
-    rr = dots.dot(r, r)
+    if rr is None:
+        rr = dots.dot(r, r)
     rnorm = float(np.sqrt(max(rr, 0.0)))
     if rnorm <= target:
         return SolveResult(
             x=x, converged=True, iterations=0, residual_norm=rnorm,
             relative_residual=rnorm / bnorm, reductions=dots.reductions,
-            matvecs=mv, precond_applies=0, history=[rnorm],
+            matvecs=mv, precond_applies=0, fused=use_fused, history=[rnorm],
         )
 
     rhat = r.copy()
     rho = rr          # (rhat, r) with rhat = r
-    p = r.copy()
-    v = np.zeros_like(b)
-    phat = np.empty_like(b)
-    shat = np.empty_like(b)
-    s = np.empty_like(b)
-    t = np.empty_like(b)
+    wbuf: Array | None = None
+    if use_fused:
+        # All inner-loop scratch comes from the reusable workspace, so
+        # iterating allocates nothing (x/r/rhat stay fresh: x escapes
+        # via the result and r is rebound on restarts).
+        ws = workspace if workspace is not None else SolverWorkspace()
+        ws.ensure(b.shape, dtype=b.dtype)
+        p = ws.array("p")
+        p[...] = r
+        v = ws.array("v")
+        v[...] = 0.0
+        phat = ws.array("phat")
+        shat = ws.array("shat")
+        s = ws.array("s")
+        t = ws.array("t")
+        wbuf = ws.array("work")
+    else:
+        p = r.copy()
+        v = np.zeros_like(b)
+        phat = np.empty_like(b)
+        shat = np.empty_like(b)
+        s = np.empty_like(b)
+        t = np.empty_like(b)
     alpha = omega = 1.0
     converged = False
     it = 0
@@ -217,7 +303,7 @@ def bicgstab(
         breakdowns += 1
         if breakdowns > max_restarts:
             return False
-        r, rnorm = _true_residual(op, b, x, suite, dots)
+        r, rnorm = _true_residual(op, b, x, suite, dots, fused=use_fused)
         mv += 1
         rr = rnorm * rnorm
         rhat = r.copy()
@@ -230,13 +316,17 @@ def bicgstab(
         it += 1
 
         precond(p, phat)
-        op.apply(phat, out=v)
-        mv += 1
-
-        if ganged:
-            rhv, rv, vv = dots.gang([(rhat, v), (r, v), (v, v)])
+        if use_fused:
+            # One launch: Matvec + the three ganged dots on its result.
+            _, (rhv, rv, vv) = dots.gang_matvec(op, phat, [rhat, r, None], out=v)
+            mv += 1
         else:
-            rhv = dots.dot(rhat, v)
+            op.apply(phat, out=v)
+            mv += 1
+            if ganged:
+                rhv, rv, vv = dots.gang([(rhat, v), (r, v), (v, v)])
+            else:
+                rhv = dots.dot(rhat, v)
         if rhv == 0.0:
             if not restart():
                 break
@@ -252,8 +342,8 @@ def bicgstab(
             snorm = float(np.sqrt(max(dots.dot(s, s), 0.0)))
 
         if snorm <= target:
-            suite.daxpy(alpha, phat, x, out=x)
-            r, rnorm = _true_residual(op, b, x, suite, dots)
+            suite.daxpy(alpha, phat, x, out=x, work=wbuf)
+            r, rnorm = _true_residual(op, b, x, suite, dots, fused=use_fused)
             mv += 1
             rr = rnorm * rnorm
             history.append(rnorm)
@@ -268,16 +358,23 @@ def bicgstab(
             continue
 
         precond(s, shat)
-        op.apply(shat, out=t)
-        mv += 1
-
-        if ganged:
-            ts, tt, ss, rhs_, rht = dots.gang(
-                [(t, s), (t, t), (s, s), (rhat, s), (rhat, t)]
+        if use_fused:
+            # One launch: Matvec + the five ganged dots ((s, s) and
+            # (rhat, s) ride along as independent pairs).
+            _, (ts, tt, ss, rhs_, rht) = dots.gang_matvec(
+                op, shat, [s, None, (s, s), (rhat, s), rhat], out=t
             )
+            mv += 1
         else:
-            ts = dots.dot(t, s)
-            tt = dots.dot(t, t)
+            op.apply(shat, out=t)
+            mv += 1
+            if ganged:
+                ts, tt, ss, rhs_, rht = dots.gang(
+                    [(t, s), (t, t), (s, s), (rhat, s), (rhat, t)]
+                )
+            else:
+                ts = dots.dot(t, s)
+                tt = dots.dot(t, t)
         if tt == 0.0:
             if not restart():
                 break
@@ -285,8 +382,14 @@ def bicgstab(
         omega = ts / tt
 
         # x += alpha*phat + omega*shat
-        suite.daxpy(alpha, phat, x, out=x)
-        suite.daxpy(omega, shat, x, out=x)
+        if use_fused:
+            # One DDAXPY launch; on the vector backend its association
+            # (omega*shat + (alpha*phat + x)) matches the two-DAXPY
+            # composition bit for bit.
+            suite.ddaxpy(alpha, phat, omega, shat, x, out=x, work=wbuf)
+        else:
+            suite.daxpy(alpha, phat, x, out=x)
+            suite.daxpy(omega, shat, x, out=x)
         # r = s - omega t
         suite.dscal(s, omega, t, out=r)
 
@@ -304,7 +407,7 @@ def bicgstab(
             callback(it, rnorm)
 
         if rnorm <= target:
-            r, rnorm = _true_residual(op, b, x, suite, dots)
+            r, rnorm = _true_residual(op, b, x, suite, dots, fused=use_fused)
             mv += 1
             rr = rnorm * rnorm
             if rnorm <= target:
@@ -330,11 +433,11 @@ def bicgstab(
 
         beta = (rho_new / rho) * (alpha / omega)
         # p = r + beta*(p - omega*v)  ==  beta*p + (-beta*omega)*v + r
-        suite.ddaxpy(beta, p, -beta * omega, v, r, out=p)
+        suite.ddaxpy(beta, p, -beta * omega, v, r, out=p, work=wbuf)
         rho = rho_new
 
     if not converged:
-        _, rnorm = _true_residual(op, b, x, suite, dots)
+        _, rnorm = _true_residual(op, b, x, suite, dots, fused=use_fused)
         mv += 1
         converged = rnorm <= target
 
@@ -351,5 +454,6 @@ def bicgstab(
         matvecs=mv,
         precond_applies=mapplies,
         breakdowns=breakdowns,
+        fused=use_fused,
         history=history,
     )

@@ -21,6 +21,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.backend.base import Backend
 from repro.grid.field import Field
 from repro.kernels.stencil import MultiSpeciesStencil, StencilCoefficients
 from repro.kernels.suite import KernelSuite
@@ -53,6 +54,24 @@ class LinearOperator(ABC):
     def new_vector(self) -> Array:
         """A zeroed vector of the operand shape."""
         return np.zeros(self.operand_shape)
+
+    def apply_dots(
+        self, x: Array, dots: Sequence[object], out: Array | None = None
+    ) -> tuple[Array, Array]:
+        """Fused ``A x`` plus ganged inner products against the result.
+
+        ``dots`` entries follow the backend dot-spec forms (``None`` ->
+        ``<Ax, Ax>``; array ``w`` -> ``<Ax, w>``; ``(a, b)`` tuple -> an
+        independent pair).  Returns ``(Ax, values)`` with the values
+        local to this rank.  The default is the unfused composition;
+        operators with a fused kernel path override it.
+        """
+        out = self.apply(x, out=out)
+        pairs = Backend._resolve_dot_pairs(out, dots)
+        suite = getattr(self, "suite", None)
+        if suite is not None:
+            return out, suite.dprod_gang(pairs)
+        return out, np.array([float(np.dot(a.ravel(), b.ravel())) for a, b in pairs])
 
     def __matmul__(self, x: Array) -> Array:
         return self.apply(x)
@@ -125,6 +144,13 @@ class StencilOperator(LinearOperator):
     def apply(self, x: Array, out: Array | None = None) -> Array:
         work = self.fill_ghosts(x)
         return self._stencil.apply(work.data, out=out)
+
+    def apply_dots(
+        self, x: Array, dots: Sequence[object], out: Array | None = None
+    ) -> tuple[Array, Array]:
+        """Fused Matvec + ganged DPROD through the stencil kernel."""
+        work = self.fill_ghosts(x)
+        return self._stencil.apply_dots(work.data, dots, out=out)
 
 
 class BandedOperator(LinearOperator):

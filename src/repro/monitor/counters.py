@@ -36,6 +36,8 @@ PAPI_EVENTS: dict[str, str] = {
     "PAPI_DOTPROD": "dot_products",
     "PAPI_SOLVES": "linear_solves",
     "PAPI_ITERS": "solver_iterations",
+    "PAPI_KNL_CALL": "kernel_calls",
+    "PAPI_FUSED_OP": "fused_ops",
 }
 
 
@@ -63,6 +65,8 @@ class Counters:
     dot_products: int = 0
     linear_solves: int = 0
     solver_iterations: int = 0
+    kernel_calls: int = 0
+    fused_ops: int = 0
 
     def add_flops(self, n: int) -> None:
         self.flops += n

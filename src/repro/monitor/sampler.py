@@ -95,6 +95,24 @@ class SamplingProfiler:
         while not self._stop.wait(self.interval):
             self._sample_once()
 
+    # ------------------------------------------------------------------
+    def sample_now(self) -> None:
+        """Take one sample synchronously.
+
+        Lets callers drive sampling deterministically (e.g. from a
+        known program point or a test) instead of from the timer
+        thread; hits accumulate into the same report.
+        """
+        self._sample_once()
+
+    def report(self) -> SampleReport:
+        """The samples aggregated so far, without stopping the timer
+        thread (which need not be running at all when sampling is
+        driven via :meth:`sample_now`)."""
+        return SampleReport(
+            counts=dict(self._hits), total=self._total, interval=self.interval
+        )
+
     def start(self) -> None:
         if self._thread is not None:
             raise RuntimeError("sampler already running")

@@ -189,6 +189,39 @@ class Communicator:
         result = self.reduce(payload, op=op, root=0)
         return self.bcast(result, root=0)
 
+    def allreduce_batch(
+        self, payloads: Sequence[Any], ops: Sequence[ReduceOp] | None = None
+    ) -> list[Any]:
+        """Several logical all-reduces carried by one reduction round.
+
+        Each payload may use a different operator (``ops`` defaults to
+        SUM for all).  The batch costs a single global synchronization
+        -- and is counted as one reduction -- whereas issuing the calls
+        separately would cost ``len(payloads)``.  Combination is
+        rank-ordered at the root, so results are deterministic and
+        match the individual :meth:`allreduce` calls exactly.
+        """
+        payloads = list(payloads)
+        if ops is None:
+            ops = [ReduceOp.SUM] * len(payloads)
+        elif len(ops) != len(payloads):
+            raise ValueError("ops must pair up with payloads")
+        tag = _COLL_TAG + 5
+        self.counters.reductions += 1
+        if self.size == 1:
+            return payloads
+        if self.rank == 0:
+            parts: list[list[Any]] = [payloads] + [
+                self.recv(r, tag) for r in range(1, self.size)
+            ]
+            accs = list(parts[0])
+            for part in parts[1:]:
+                for k, op in enumerate(ops):
+                    accs[k] = op.combine(accs[k], part[k])
+            return self.bcast(accs, root=0)
+        self.send(payloads, 0, tag)
+        return self.bcast(None, root=0)
+
     # ------------------------------------------------------------------
     def split_counters(self) -> Counters:
         """Detach and return accumulated counters, resetting the live set."""

@@ -34,6 +34,7 @@ import numpy as np
 
 from repro.grid.field import Field
 from repro.grid.mesh import Mesh2D
+from repro.kernels.fused import SolverWorkspace
 from repro.kernels.suite import KernelSuite
 from repro.linalg.bicgstab import SolveResult, bicgstab
 from repro.linalg.operators import LinearOperator, StencilOperator
@@ -73,6 +74,10 @@ class _ProfiledOperator(LinearOperator):
     def apply(self, x: Array, out: Array | None = None) -> Array:
         with self._profiler.region(self._name, rank=self._rank):
             return self._op.apply(x, out=out)
+
+    def apply_dots(self, x, dots, out: Array | None = None):
+        with self._profiler.region(self._name, rank=self._rank):
+            return self._op.apply_dots(x, dots, out=out)
 
 
 class _ProfiledPreconditioner(Preconditioner):
@@ -148,6 +153,7 @@ class RadiationIntegrator:
         solver_tol: float = 1e-8,
         solver_maxiter: int = 500,
         ganged: bool = True,
+        fused: bool = True,
         coupling_rate: float = 0.0,
         couple_matter: bool = False,
         c_light: float = 1.0,
@@ -169,6 +175,10 @@ class RadiationIntegrator:
         self.solver_tol = solver_tol
         self.solver_maxiter = solver_maxiter
         self.ganged = ganged
+        self.fused = fused
+        # One workspace for every solve of every step: the fused solver
+        # reuses its scratch vectors instead of reallocating them.
+        self._workspace = SolverWorkspace()
         self.coupling = (
             basis.pair_coupling_matrix(coupling_rate) if coupling_rate > 0 else None
         )
@@ -280,6 +290,8 @@ class RadiationIntegrator:
                 suite=self.suite,
                 comm=self.comm,
                 ganged=self.ganged,
+                fused=self.fused,
+                workspace=self._workspace,
             )
 
         if self.profiler is not None:
@@ -362,9 +374,11 @@ class RadiationIntegrator:
         if self.comm is not None and self.comm.size > 1:
             from repro.parallel.comm import ReduceOp
 
-            tmin = self.comm.allreduce(tmin, op=ReduceOp.MIN)
-            tmax = self.comm.allreduce(tmax, op=ReduceOp.MAX)
-        report.temp_min, report.temp_max = tmin, tmax
+            # One batched reduction round carries both extrema.
+            tmin, tmax = self.comm.allreduce_batch(
+                [tmin, tmax], ops=[ReduceOp.MIN, ReduceOp.MAX]
+            )
+        report.temp_min, report.temp_max = float(tmin), float(tmax)
         return report
 
     def total_energy(self) -> float:

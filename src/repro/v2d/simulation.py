@@ -106,6 +106,7 @@ class Simulation:
             solver_tol=config.solver_tol,
             solver_maxiter=config.solver_maxiter,
             ganged=config.ganged,
+            fused=config.fused,
             coupling_rate=config.coupling_rate,
             couple_matter=config.couple_matter,
             c_light=config.c_light,
@@ -267,8 +268,8 @@ class Simulation:
         num = float(np.sum(diff * diff * self.mesh.volumes[None]))
         den = float(np.sum(exact * exact * self.mesh.volumes[None]))
         if self.comm is not None and self.comm.size > 1:
-            num = float(self.comm.allreduce(num))
-            den = float(self.comm.allreduce(den))
+            # Both norms ride one batched reduction round.
+            num, den = (float(v) for v in self.comm.allreduce_batch([num, den]))
         return float(np.sqrt(num / den)) if den > 0 else None
 
 

@@ -1,0 +1,263 @@
+"""Golden-value regression tests for the DESIGN.md shape invariants.
+
+These pin the qualitative "shape" claims of DESIGN.md Sec. 4 (T-I.a-c,
+T-II.a, D.a) as fast analytic assertions over both the transcribed
+paper tables (:mod:`repro.perfmodel.paper_data`) and the fitted cost
+model (:mod:`repro.perfmodel.costmodel`).  A regression in either --
+a typo'd table entry, a refit that breaks the compiler ordering, a
+model change that loses the GNU scaling knee -- fails CI here instead
+of silently corrupting benchmark plots.
+
+Invariant wording follows DESIGN.md Sec. 4:
+
+* T-I.a  -- compiler ordering: GNU slowest everywhere; Cray(opt)
+  fastest for Np <= 25; Fujitsu fastest for Np >= 40; serially
+  Cray(no-opt) ~ Fujitsu, both slower than Cray(opt).
+* T-I.b  -- parallel efficiency decays with Np; time is non-increasing
+  up to each compiler's knee (GNU's knee is at Np ~ 40, after which
+  time *rises*).
+* T-I.c  -- at fixed Np, flatter topologies (NX2 > 1) are no slower
+  than the 1-D strip decomposition.
+* T-II.a -- every kernel's SVE:no-SVE time ratio is < 0.35; MATVEC and
+  DPROD reach <= 0.2; DSCAL gains least.
+* D.a    -- Amdahl dilution: the whole-app speedup is smaller than the
+  smallest kernel speedup (equivalently, the app-level SVE ratio
+  exceeds the largest kernel-level ratio).
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.perfmodel import CostModel, KernelTimeModel, PAPER_TABLE2_RATIOS
+from repro.perfmodel.paper_data import COMPILER_KEYS, PAPER_TABLE1
+
+EPS = 1e-12
+
+
+def _paper_time(row, key):
+    return row.time(key)
+
+
+@pytest.fixture(scope="module")
+def model():
+    return CostModel()
+
+
+def _times(source, model):
+    """Yield (row, {compiler: time}) with ``None`` for unreported paper
+    cells; ``source`` selects transcribed paper data or model output."""
+    for row in PAPER_TABLE1:
+        if source == "paper":
+            cells = {k: row.time(k) for k in COMPILER_KEYS}
+        else:
+            cells = {
+                k: model.predict(k, row.nx1, row.nx2).total for k in COMPILER_KEYS
+            }
+        yield row, cells
+
+
+SOURCES = ("paper", "model")
+
+
+# ---------------------------------------------------------------------------
+# Exact golden values: the transcription itself must not drift.
+# ---------------------------------------------------------------------------
+class TestGoldenValues:
+    def test_serial_row_paper_times(self):
+        row = PAPER_TABLE1[0]
+        assert (row.np_, row.nx1, row.nx2) == (1, 1, 1)
+        assert row.time("gnu") == 363.91
+        assert row.time("fujitsu") == 252.31
+        assert row.time("cray-opt") == 181.26
+        assert row.time("cray-noopt") == 262.57
+
+    def test_table2_ratios_pinned(self):
+        assert PAPER_TABLE2_RATIOS == {
+            "MATVEC": pytest.approx(0.16),
+            "DPROD": pytest.approx(0.18),
+            "DAXPY": pytest.approx(0.26),
+            "DSCAL": pytest.approx(0.31),
+            "DDAXPY": pytest.approx(0.22),
+        }
+
+    def test_kernel_time_model_matches_paper_table2(self):
+        table = KernelTimeModel().table2()
+        assert set(table) == set(PAPER_TABLE2_RATIOS)
+        for kernel, (no_sve, sve, ratio) in table.items():
+            assert ratio == pytest.approx(PAPER_TABLE2_RATIOS[kernel], abs=5e-3)
+            assert sve / no_sve == pytest.approx(ratio, rel=1e-2)
+
+    def test_topology_set_is_the_paper_campaign(self):
+        topos = [(r.np_, r.nx1, r.nx2) for r in PAPER_TABLE1]
+        assert topos == [
+            (1, 1, 1), (10, 10, 1), (20, 20, 1), (20, 10, 2), (20, 5, 4),
+            (25, 25, 1), (40, 40, 1), (40, 20, 2), (40, 10, 4),
+            (50, 50, 1), (50, 25, 2), (50, 10, 5),
+        ]
+        assert all(r.np_ == r.nx1 * r.nx2 for r in PAPER_TABLE1)
+
+
+# ---------------------------------------------------------------------------
+# T-I.a: compiler ordering.
+# ---------------------------------------------------------------------------
+class TestTIaCompilerOrdering:
+    @pytest.mark.parametrize("source", SOURCES)
+    def test_gnu_slowest_at_every_topology(self, source, model):
+        for row, cells in _times(source, model):
+            others = [
+                v for k, v in cells.items() if k != "gnu" and v is not None
+            ]
+            assert cells["gnu"] > max(others), (
+                f"GNU not slowest at Np={row.np_} ({row.nx1}x{row.nx2})"
+            )
+
+    @pytest.mark.parametrize("source", SOURCES)
+    def test_cray_opt_fastest_up_to_25(self, source, model):
+        for row, cells in _times(source, model):
+            if row.np_ > 25:
+                continue
+            others = [
+                v for k, v in cells.items() if k != "cray-opt" and v is not None
+            ]
+            assert cells["cray-opt"] < min(others), (
+                f"Cray(opt) not fastest at Np={row.np_} ({row.nx1}x{row.nx2})"
+            )
+
+    @pytest.mark.parametrize("source", SOURCES)
+    def test_fujitsu_fastest_from_40(self, source, model):
+        seen = 0
+        for row, cells in _times(source, model):
+            if row.np_ < 40:
+                continue
+            seen += 1
+            others = [
+                v for k, v in cells.items() if k != "fujitsu" and v is not None
+            ]
+            assert cells["fujitsu"] < min(others), (
+                f"Fujitsu not fastest at Np={row.np_} ({row.nx1}x{row.nx2})"
+            )
+        assert seen == 6
+
+    @pytest.mark.parametrize("source", SOURCES)
+    def test_serial_noopt_tracks_fujitsu_above_cray_opt(self, source, model):
+        _, cells = next(iter(_times(source, model)))
+        # Cray without -O3/SVE lands within ~10% of Fujitsu ...
+        assert cells["cray-noopt"] == pytest.approx(cells["fujitsu"], rel=0.10)
+        # ... and both are well behind the optimized Cray build.
+        assert cells["cray-noopt"] > 1.2 * cells["cray-opt"]
+        assert cells["fujitsu"] > 1.2 * cells["cray-opt"]
+
+
+# ---------------------------------------------------------------------------
+# T-I.b: strong-scaling efficiency decay and the GNU knee.
+# ---------------------------------------------------------------------------
+def _best_per_np(source, model, key):
+    """Per-Np best (minimum over reported topologies) time for ``key``."""
+    best: dict[int, float] = {}
+    for row, cells in _times(source, model):
+        t = cells[key]
+        if t is None:
+            continue
+        best[row.np_] = min(best.get(row.np_, math.inf), t)
+    return dict(sorted(best.items()))
+
+
+class TestTIbEfficiencyDecay:
+    @pytest.mark.parametrize("source", SOURCES)
+    @pytest.mark.parametrize("key", ["gnu", "fujitsu", "cray-opt"])
+    def test_efficiency_strictly_decays(self, source, key, model):
+        best = _best_per_np(source, model, key)
+        serial = best[1]
+        effs = [serial / (np_ * t) for np_, t in best.items()]
+        assert effs[0] == pytest.approx(1.0)
+        for lo, hi in zip(effs[1:], effs):
+            assert lo < hi, f"{key} efficiency did not decay ({source})"
+
+    @pytest.mark.parametrize("source", SOURCES)
+    @pytest.mark.parametrize("key", ["gnu", "fujitsu", "cray-opt"])
+    def test_time_non_increasing_up_to_knee(self, source, key, model):
+        best = _best_per_np(source, model, key)
+        # Each compiler's scaling knee: Cray(opt)'s poorly-vectorized
+        # reductions bite first (Np~20), GNU's at Np~40, Fujitsu keeps
+        # improving through the whole campaign.
+        knee = {"gnu": 40, "cray-opt": 20}.get(key, 50)
+        upto = [t for np_, t in best.items() if np_ <= knee]
+        for nxt, cur in zip(upto[1:], upto):
+            assert nxt <= cur * (1 + EPS)
+
+    @pytest.mark.parametrize("source", SOURCES)
+    def test_gnu_time_rises_past_its_knee(self, source, model):
+        best = _best_per_np(source, model, "gnu")
+        assert best[50] > best[40], (
+            "GNU's reduction-bound knee at Np~40 disappeared"
+        )
+
+
+# ---------------------------------------------------------------------------
+# T-I.c: flatter topologies beat 1-D strips at fixed Np.
+# ---------------------------------------------------------------------------
+class TestTIcTopologyShape:
+    @pytest.mark.parametrize("source", SOURCES)
+    @pytest.mark.parametrize("key", ["gnu", "fujitsu", "cray-opt"])
+    def test_flat_topologies_no_slower_than_strips(self, source, key, model):
+        rows = list(_times(source, model))
+        checked = 0
+        for np_ in {r.np_ for r, _ in rows}:
+            strip = next(
+                (c[key] for r, c in rows if r.np_ == np_ and r.nx2 == 1), None
+            )
+            if strip is None:
+                continue
+            for row, cells in rows:
+                if row.np_ != np_ or row.nx2 == 1 or cells[key] is None:
+                    continue
+                checked += 1
+                assert cells[key] <= strip * (1 + EPS), (
+                    f"{key}: {row.nx1}x{row.nx2} slower than {np_}x1 strip"
+                )
+        # Two flat rows each at Np = 20, 40 and 50.
+        assert checked == 6
+
+
+# ---------------------------------------------------------------------------
+# T-II.a: kernel-level SVE gains.
+# ---------------------------------------------------------------------------
+class TestTIIaKernelRatios:
+    @pytest.fixture(params=["paper", "model"])
+    def ratios(self, request):
+        if request.param == "paper":
+            return dict(PAPER_TABLE2_RATIOS)
+        return {k: v[2] for k, v in KernelTimeModel().table2().items()}
+
+    def test_all_kernels_gain_under_sve(self, ratios):
+        for kernel, ratio in ratios.items():
+            assert 0.0 < ratio < 0.35, f"{kernel} ratio {ratio} out of range"
+
+    def test_matvec_and_dprod_gain_most(self, ratios):
+        assert ratios["MATVEC"] <= 0.2 + EPS
+        assert ratios["DPROD"] <= 0.2 + EPS
+
+    def test_dscal_gains_least(self, ratios):
+        assert ratios["DSCAL"] == max(ratios.values())
+
+
+# ---------------------------------------------------------------------------
+# D.a: Amdahl dilution.
+# ---------------------------------------------------------------------------
+class TestDaAmdahlDilution:
+    def test_app_ratio_exceeds_every_kernel_ratio(self, model):
+        app = model.app_sve_ratio()
+        assert app > max(PAPER_TABLE2_RATIOS.values())
+        # Whole-app speedup < smallest kernel speedup, the paper's
+        # headline: 1.45x app vs 3.2-6.3x kernels.
+        assert 1 / app < min(1 / r for r in PAPER_TABLE2_RATIOS.values())
+        assert 1.3 < 1 / app < 1.6
+
+    def test_serial_cray_pair_reproduces_app_ratio(self, model):
+        # 181.26 / 262.57 -- the measurement app_sve_ratio() models.
+        opt = model.predict("cray-opt", 1, 1).total
+        noopt = model.predict("cray-noopt", 1, 1).total
+        assert opt / noopt == pytest.approx(model.app_sve_ratio(), rel=0.05)
