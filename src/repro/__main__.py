@@ -10,6 +10,7 @@ Commands regenerate the paper's artifacts or run the simulator:
 * ``calibration`` -- the Table-I fit coefficients and residuals
 * ``scaling``     -- the future-work projection (larger problem, more ranks)
 * ``run``         -- run the Gaussian-pulse problem at a chosen scale
+* ``chaos``       -- seeded fault-injection sweep against a clean baseline
 * ``driver``      -- the Sec. II-F kernel driver on this substrate
 """
 
@@ -17,6 +18,65 @@ from __future__ import annotations
 
 import argparse
 import sys
+
+
+def _parse_inject(spec: str | None) -> dict[str, float]:
+    """Parse ``--inject "numeric=0.001,comm=0.01,io=0.2"`` into rates."""
+    rates = {"numeric": 0.0, "comm": 0.0, "io": 0.0}
+    if not spec:
+        return rates
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        try:
+            site, value = part.split("=")
+            rates[site.strip()]  # KeyError on unknown site
+            rates[site.strip()] = float(value)
+        except (ValueError, KeyError):
+            raise SystemExit(
+                f"bad --inject entry {part!r}; expected site=rate with site "
+                f"in {sorted(rates)}"
+            ) from None
+    return rates
+
+
+def _make_resilience(args: argparse.Namespace):
+    """Build a ResilienceConfig from CLI flags, or None when inert."""
+    from repro.resilience import ResilienceConfig, RetryPolicy
+
+    rates = _parse_inject(getattr(args, "inject", None))
+    if not any(rates.values()) and not getattr(args, "resilient", False):
+        return None
+    return ResilienceConfig(
+        seed=args.inject_seed,
+        numeric_rate=rates["numeric"],
+        comm_rate=rates["comm"],
+        io_rate=rates["io"],
+        retry=RetryPolicy(
+            max_attempts=args.retry_attempts,
+            backoff=args.retry_backoff,
+            dt_floor=args.dt_floor,
+        ),
+        max_rollbacks=args.max_rollbacks,
+    )
+
+
+def _add_resilience_flags(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--inject", metavar="SITE=RATE[,...]", default=None,
+                   help='fault rates, e.g. "numeric=0.001,comm=0.01,io=0.2"')
+    p.add_argument("--inject-seed", type=int, default=0,
+                   help="chaos seed (replays exactly per seed+rank)")
+    p.add_argument("--resilient", action="store_true",
+                   help="arm recovery layers even with no injection")
+    p.add_argument("--retry-attempts", type=int, default=3,
+                   help="step attempts before escalating to rollback")
+    p.add_argument("--retry-backoff", type=float, default=0.5,
+                   help="dt multiplier per step retry")
+    p.add_argument("--dt-floor", type=float, default=1e-12,
+                   help="smallest dt the backoff may reach")
+    p.add_argument("--max-rollbacks", type=int, default=2,
+                   help="checkpoint-rollback budget for the whole run")
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -29,6 +89,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
         backend=args.backend, precond=args.precond,
         ganged=not args.classic, fused=not args.unfused,
         solver_tol=args.tol,
+        checkpoint_path=args.checkpoint_path,
+        checkpoint_interval=args.checkpoint_interval,
+        resilience=_make_resilience(args),
     )
     problem = GaussianPulseProblem()
     if cfg.nranks == 1:
@@ -40,6 +103,71 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print()
         print(report.flat_profile())
     return 0 if report.all_converged else 1
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    """Seeded chaos sweep: clean baseline, then the same run under faults.
+
+    Exits 0 only when the faulted run completes, the recovery machinery
+    demonstrably engaged, and the final solution stays within tolerance
+    of the fault-free baseline.
+    """
+    import tempfile
+
+    from repro.problems import GaussianPulseProblem
+    from repro.resilience import ResilienceReport
+    from repro.v2d import Simulation, V2DConfig, run_parallel
+
+    problem = GaussianPulseProblem()
+    common = dict(
+        nx1=args.nx1, nx2=args.nx2, nsteps=args.nsteps, dt=args.dt,
+        nprx1=args.nprx1, nprx2=args.nprx2, precond=args.precond,
+        solver_tol=args.tol, profile=False,
+    )
+
+    def execute(cfg: V2DConfig):
+        if cfg.nranks == 1:
+            return [Simulation(cfg, problem).run()]
+        return run_parallel(cfg, problem)
+
+    baseline = execute(V2DConfig(**common))[0]
+    err_ref = baseline.solution_error
+    print(f"baseline: error {err_ref:.6e}, "
+          f"energy {baseline.final_energy:.6e}")
+
+    rc = _make_resilience(args)
+    if rc is None:
+        print("chaos: no fault rates given (--inject) -- nothing to sweep")
+        return 2
+    with tempfile.TemporaryDirectory() as tmp:
+        cfg = V2DConfig(
+            **common,
+            checkpoint_path=f"{tmp}/chaos-ck",
+            checkpoint_interval=max(1, args.nsteps // 4),
+            resilience=rc,
+        )
+        reports = execute(cfg)
+
+    merged = ResilienceReport()
+    for rep in reports:
+        if rep.resilience is not None:
+            merged.merge(rep.resilience)
+    chaos = reports[0]
+    err = chaos.solution_error
+    print(f"chaos:    error {err:.6e}, energy {chaos.final_energy:.6e}")
+    print(merged.summary())
+
+    import numpy as np
+
+    tol = max(2.0 * err_ref, err_ref + args.error_margin)
+    completed = chaos.nsteps >= args.nsteps
+    recovered = merged.total_recoveries > 0
+    accurate = err is not None and np.isfinite(err) and err <= tol
+    print(
+        f"verdict: completed={completed} recoveries={merged.total_recoveries} "
+        f"error-ok={accurate} (tolerance {tol:.3e})"
+    )
+    return 0 if (completed and recovered and accurate) else 1
 
 
 def _cmd_driver(args: argparse.Namespace) -> int:
@@ -134,7 +262,27 @@ def main(argv: list[str] | None = None) -> int:
                    help="separate kernel launches instead of the fused hot path")
     p.add_argument("--tol", type=float, default=1e-10)
     p.add_argument("--profile", action="store_true")
+    p.add_argument("--checkpoint-path", default=None)
+    p.add_argument("--checkpoint-interval", type=int, default=0)
+    _add_resilience_flags(p)
     p.set_defaults(fn=_cmd_run)
+
+    p = sub.add_parser(
+        "chaos", help="seeded fault-injection sweep vs a clean baseline"
+    )
+    p.add_argument("--nx1", type=int, default=32)
+    p.add_argument("--nx2", type=int, default=16)
+    p.add_argument("--nsteps", type=int, default=6)
+    p.add_argument("--dt", type=float, default=2e-4)
+    p.add_argument("--nprx1", type=int, default=1)
+    p.add_argument("--nprx2", type=int, default=1)
+    p.add_argument("--precond", choices=("spai", "jacobi", "none"),
+                   default="jacobi")
+    p.add_argument("--tol", type=float, default=1e-10)
+    p.add_argument("--error-margin", type=float, default=1e-3,
+                   help="absolute slack allowed over the baseline error")
+    _add_resilience_flags(p)
+    p.set_defaults(fn=_cmd_chaos)
 
     p = sub.add_parser("driver", help="the Sec. II-F kernel driver")
     p.add_argument("--n", type=int, default=1000)

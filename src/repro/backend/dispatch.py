@@ -20,6 +20,43 @@ from repro.backend.vector import VectorBackend
 _FACTORIES: dict[str, Callable[..., Backend]] = {}
 _lock = threading.Lock()
 
+#: Optional process-wide wrapper applied to every backend built by name
+#: (fault-injection hook; ``None`` means backends come out unwrapped).
+_fault_wrapper: Callable[[Backend], Backend] | None = None
+
+
+def install_fault_wrapper(wrapper: Callable[[Backend], Backend] | None) -> None:
+    """Install (or with ``None`` remove) the backend fault wrapper.
+
+    Once installed, every backend constructed by :func:`get_backend`
+    from a registry *name* is passed through ``wrapper`` before being
+    returned -- the hook the fault-injection harness uses to corrupt
+    kernel launches without any solver code knowing.  Backend
+    *instances* passed through :func:`get_backend` are never wrapped,
+    so explicitly constructed backends stay pristine.
+    """
+    global _fault_wrapper
+    with _lock:
+        _fault_wrapper = wrapper
+
+
+def fault_wrapper() -> Callable[[Backend], Backend] | None:
+    """The currently installed backend fault wrapper, if any."""
+    with _lock:
+        return _fault_wrapper
+
+
+@contextmanager
+def faulty_backends(wrapper: Callable[[Backend], Backend]) -> Iterator[None]:
+    """Scope :func:`install_fault_wrapper` to a ``with`` block."""
+    with _lock:
+        previous = _fault_wrapper
+    install_fault_wrapper(wrapper)
+    try:
+        yield
+    finally:
+        install_fault_wrapper(previous)
+
 
 def register_backend(name: str, factory: Callable[..., Backend]) -> None:
     """Register a backend factory under ``name``.
@@ -57,7 +94,11 @@ def get_backend(name: str | Backend, **kwargs: object) -> Backend:
             raise KeyError(
                 f"unknown backend {name!r}; available: {sorted(_FACTORIES)}"
             ) from None
-    return factory(**kwargs)
+        wrapper = _fault_wrapper
+    backend = factory(**kwargs)
+    if wrapper is not None:
+        backend = wrapper(backend)
+    return backend
 
 
 register_backend("scalar", ScalarBackend)

@@ -5,10 +5,19 @@ library we substitute NumPy ``.npz`` archives with the same code path:
 each rank contributes its tile, tiles are gathered collectively to
 rank 0 (the analogue of a collective parallel write), and restart
 scatters them back.
+
+Writes are crash-safe (temp file + atomic rename) and archives carry a
+content checksum verified on load; failures surface as the typed
+``Checkpoint*Error`` hierarchy below.
 """
 
 from repro.io.checkpoint import (
     Checkpoint,
+    CheckpointCorruptError,
+    CheckpointError,
+    CheckpointFormatError,
+    CheckpointNotFoundError,
+    CheckpointWriteError,
     load_checkpoint,
     save_checkpoint,
     gather_global_field,
@@ -16,6 +25,11 @@ from repro.io.checkpoint import (
 
 __all__ = [
     "Checkpoint",
+    "CheckpointCorruptError",
+    "CheckpointError",
+    "CheckpointFormatError",
+    "CheckpointNotFoundError",
+    "CheckpointWriteError",
     "save_checkpoint",
     "load_checkpoint",
     "gather_global_field",

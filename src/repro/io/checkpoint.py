@@ -4,21 +4,63 @@ A checkpoint stores the global radiation field, material state, clock
 and step counter.  In decomposed runs the tiles are gathered to rank 0
 before writing (one collective gather per field -- the message pattern
 of a collective parallel HDF5 write) and scattered after reading.
+
+Crash safety: the archive is written to a temporary file in the same
+directory and atomically renamed into place, so a crash (or injected
+io fault) mid-write can never tear an existing checkpoint -- the
+previous one stays intact and loadable.  Every archive carries a CRC32
+content checksum that :func:`load_checkpoint` verifies; truncation or
+bit rot raises :class:`CheckpointCorruptError` instead of surfacing a
+raw zip/numpy trace, and a missing file or missing/ill-shaped fields
+raise :class:`CheckpointNotFoundError` / :class:`CheckpointFormatError`
+with an actionable message.
 """
 
 from __future__ import annotations
 
+import os
+import pickle
+import zipfile
+import zlib
 from dataclasses import dataclass
 from pathlib import Path
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.parallel.cart import CartComm
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.resilience.faults import FaultInjector
+
 Array = np.ndarray
 
-#: format marker stored in every archive
-FORMAT_VERSION = 1
+#: format marker stored in every archive (2 = checksummed archives;
+#: version-1 archives without a checksum still load)
+FORMAT_VERSION = 2
+
+#: archive members every checkpoint must carry
+_REQUIRED_FIELDS = ("format_version", "E", "rho", "temp", "time", "step")
+
+
+class CheckpointError(Exception):
+    """Base class for checkpoint I/O failures."""
+
+
+class CheckpointNotFoundError(CheckpointError, FileNotFoundError):
+    """The requested checkpoint file does not exist."""
+
+
+class CheckpointCorruptError(CheckpointError):
+    """The archive is truncated or its content checksum mismatches."""
+
+
+class CheckpointFormatError(CheckpointError, ValueError):
+    """The archive is readable but not a valid checkpoint."""
+
+
+class CheckpointWriteError(CheckpointError, OSError):
+    """A checkpoint write failed (or was fault-injected to fail)."""
 
 
 @dataclass
@@ -77,6 +119,16 @@ def scatter_global_field(global_arr: Array | None, cart: CartComm | None) -> Arr
     return cart.comm.scatter(tiles, root=0)
 
 
+def _content_checksum(E: Array, rho: Array, temp: Array, time: float, step: int) -> int:
+    """CRC32 over the physical content of a checkpoint."""
+    crc = 0
+    for arr in (E, rho, temp):
+        crc = zlib.crc32(np.ascontiguousarray(arr, dtype=np.float64).tobytes(), crc)
+    crc = zlib.crc32(np.float64(time).tobytes(), crc)
+    crc = zlib.crc32(np.int64(step).tobytes(), crc)
+    return crc
+
+
 def save_checkpoint(
     path: str | Path,
     E: Array,
@@ -86,11 +138,20 @@ def save_checkpoint(
     step: int,
     cart: CartComm | None = None,
     meta: dict[str, str] | None = None,
+    injector: "FaultInjector | None" = None,
 ) -> Path | None:
     """Write a checkpoint; returns the path on the writing rank.
 
     In decomposed runs only rank 0 touches the filesystem; other ranks
-    participate in the gathers and return ``None``.
+    participate in the gathers and return ``None``.  The write is
+    atomic: data lands in ``<name>.tmp`` first and is renamed over the
+    target only once complete, so an interrupted (or fault-injected)
+    write leaves any previous checkpoint at ``path`` untouched.
+
+    ``injector`` is the io fault-injection hook: a fired ``"fail"``
+    fault aborts before anything is written; a fired ``"truncate"``
+    fault models a torn write -- the temp file is chopped and the
+    rename never happens.  Both raise :class:`CheckpointWriteError`.
     """
     ge = gather_global_field(E, cart)
     gr = gather_global_field(rho, cart)
@@ -100,17 +161,39 @@ def save_checkpoint(
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     meta = dict(meta or {})
-    np.savez_compressed(
-        path,
-        format_version=FORMAT_VERSION,
-        E=ge,
-        rho=gr,
-        temp=gt,
-        time=float(time),
-        step=int(step),
-        meta_keys=np.array(sorted(meta), dtype=object),
-        meta_vals=np.array([meta[k] for k in sorted(meta)], dtype=object),
-    )
+    kind = injector.fire("io") if injector is not None else None
+    if kind == "fail":
+        raise CheckpointWriteError(f"injected io fault: write of {path} failed")
+    crc = _content_checksum(ge, gr, gt, time, step)
+    tmp = path.with_name(path.name + ".tmp")
+    try:
+        with open(tmp, "wb") as fh:
+            np.savez_compressed(
+                fh,
+                format_version=FORMAT_VERSION,
+                E=ge,
+                rho=gr,
+                temp=gt,
+                time=float(time),
+                step=int(step),
+                checksum=np.uint32(crc),
+                meta_keys=np.array(sorted(meta), dtype=object),
+                meta_vals=np.array([meta[k] for k in sorted(meta)], dtype=object),
+            )
+            fh.flush()
+            os.fsync(fh.fileno())
+        if kind == "truncate":
+            # Torn write: half the archive made it to disk, the crash
+            # happened before the atomic rename -- path is untouched.
+            size = tmp.stat().st_size
+            with open(tmp, "r+b") as fh:
+                fh.truncate(max(size // 2, 1))
+            raise CheckpointWriteError(
+                f"injected io fault: write of {path} torn mid-archive"
+            )
+        os.replace(tmp, path)
+    finally:
+        tmp.unlink(missing_ok=True)
     return path
 
 
@@ -119,15 +202,20 @@ def load_checkpoint(path: str | Path, cart: CartComm | None = None) -> Checkpoin
 
     In decomposed runs rank 0 reads the archive and scatters tiles; the
     returned :class:`Checkpoint` then holds *tile-local* fields.
+
+    Raises
+    ------
+    CheckpointNotFoundError
+        No file at ``path`` (on the reading rank).
+    CheckpointCorruptError
+        Unreadable archive, or content checksum mismatch (truncation,
+        bit rot, torn write).
+    CheckpointFormatError
+        Valid archive but wrong version, missing fields, or
+        ill-shaped arrays.
     """
     if cart is None or cart.rank == 0:
-        with np.load(path, allow_pickle=True) as z:
-            version = int(z["format_version"])
-            if version != FORMAT_VERSION:
-                raise ValueError(f"unsupported checkpoint version {version}")
-            E, rho, temp = z["E"], z["rho"], z["temp"]
-            time, step = float(z["time"]), int(z["step"])
-            meta = dict(zip(z["meta_keys"].tolist(), z["meta_vals"].tolist()))
+        E, rho, temp, time, step, meta = _read_archive(Path(path))
     else:
         E = rho = temp = None
         time = step = meta = None
@@ -138,3 +226,61 @@ def load_checkpoint(path: str | Path, cart: CartComm | None = None) -> Checkpoin
         rho = scatter_global_field(rho, cart)
         temp = scatter_global_field(temp, cart)
     return Checkpoint(E=E, rho=rho, temp=temp, time=time, step=step, meta=meta)
+
+
+def _read_archive(path: Path):
+    if not path.exists():
+        raise CheckpointNotFoundError(
+            f"checkpoint not found: {path} (was the run checkpointed, "
+            f"and is the path the one passed to save_checkpoint?)"
+        )
+    try:
+        z = np.load(path, allow_pickle=True)
+    except (zipfile.BadZipFile, pickle.UnpicklingError, OSError, ValueError,
+            EOFError) as exc:
+        raise CheckpointCorruptError(
+            f"checkpoint {path} is not a readable archive "
+            f"(truncated or torn write?): {exc}"
+        ) from exc
+    with z:
+        missing = [k for k in _REQUIRED_FIELDS if k not in z.files]
+        if missing:
+            raise CheckpointFormatError(
+                f"checkpoint {path} is missing required fields {missing}; "
+                f"found {sorted(z.files)}"
+            )
+        try:
+            version = int(z["format_version"])
+            if version not in (1, FORMAT_VERSION):
+                raise CheckpointFormatError(
+                    f"unsupported checkpoint version {version} in {path} "
+                    f"(this build reads versions 1 and {FORMAT_VERSION})"
+                )
+            E, rho, temp = z["E"], z["rho"], z["temp"]
+            time, step = float(z["time"]), int(z["step"])
+            meta = dict(zip(z["meta_keys"].tolist(), z["meta_vals"].tolist())) \
+                if "meta_keys" in z.files else {}
+            stored_crc = int(z["checksum"]) if "checksum" in z.files else None
+        except (zipfile.BadZipFile, zlib.error, OSError, EOFError) as exc:
+            raise CheckpointCorruptError(
+                f"checkpoint {path} is truncated or corrupt: {exc}"
+            ) from exc
+    if E.ndim != 3:
+        raise CheckpointFormatError(
+            f"checkpoint {path}: E must be (ncomp, nx1, nx2), got shape {E.shape}"
+        )
+    for name, arr in (("rho", rho), ("temp", temp)):
+        if arr.shape != E.shape[1:]:
+            raise CheckpointFormatError(
+                f"checkpoint {path}: {name} shape {arr.shape} does not match "
+                f"the grid {E.shape[1:]} of E"
+            )
+    if stored_crc is not None:
+        crc = _content_checksum(E, rho, temp, time, step)
+        if crc != stored_crc:
+            raise CheckpointCorruptError(
+                f"checkpoint {path} failed its content checksum "
+                f"(stored {stored_crc:#010x}, computed {crc:#010x}); "
+                f"the archive was corrupted after writing"
+            )
+    return E, rho, temp, time, step, meta

@@ -137,6 +137,22 @@ class SolveResult:
         )
 
 
+def _norm_from_sq(v: float) -> float:
+    """``sqrt`` of a reduced sum of squares, poisoning impossibilities.
+
+    ``(x, x)`` is a sum of non-negative terms, so a negative reduction
+    can only mean a corrupted value (e.g. an injected comm fault).
+    Clamping it to zero would fake an exact zero norm -- and a zero
+    *rhs* norm silently commits ``x = 0`` as converged -- so negative
+    inputs poison to NaN, which every caller treats as a breakdown.
+    Finite non-negative inputs are untouched (bitwise-identical clean
+    runs).
+    """
+    if v < 0.0:
+        return float("nan")
+    return float(np.sqrt(v))
+
+
 def _true_residual(
     op: LinearOperator,
     b: Array,
@@ -149,9 +165,9 @@ def _true_residual(
     if fused:
         # One launch: residual update + its squared norm.
         r, rr_local = suite.dscal_norm(b, 1.0, ax)
-        return r, float(np.sqrt(max(dots.reduce_scalar(rr_local), 0.0)))
+        return r, _norm_from_sq(dots.reduce_scalar(rr_local))
     r = suite.dscal(b, 1.0, ax)  # b - Ax
-    return r, float(np.sqrt(max(dots.dot(r, r), 0.0)))
+    return r, _norm_from_sq(dots.dot(r, r))
 
 
 def bicgstab(
@@ -239,7 +255,7 @@ def bicgstab(
             bb, rr = (float(val) for val in dots.gang([(b, b), (r, r)]))
     else:
         bb = dots.dot(b, b)
-    bnorm = float(np.sqrt(max(bb, 0.0)))
+    bnorm = _norm_from_sq(float(bb))
     if bnorm == 0.0:
         # Zero RHS: the solution is zero (relative residual undefined;
         # report absolute zero residual).
@@ -252,7 +268,15 @@ def bicgstab(
 
     if rr is None:
         rr = dots.dot(r, r)
-    rnorm = float(np.sqrt(max(rr, 0.0)))
+    rnorm = _norm_from_sq(float(rr))
+    if not (np.isfinite(bnorm) and np.isfinite(rnorm)):
+        # Poisoned rhs or initial guess: nothing to iterate on.
+        return SolveResult(
+            x=x, converged=False, iterations=0, residual_norm=rnorm,
+            relative_residual=rnorm / bnorm if bnorm else np.inf,
+            reductions=dots.reductions, matvecs=mv, precond_applies=0,
+            fused=use_fused, history=[rnorm],
+        )
     if rnorm <= target:
         return SolveResult(
             x=x, converged=True, iterations=0, residual_norm=rnorm,
@@ -305,6 +329,10 @@ def bicgstab(
             return False
         r, rnorm = _true_residual(op, b, x, suite, dots, fused=use_fused)
         mv += 1
+        if not np.isfinite(rnorm):
+            # The iterate itself is poisoned; restarting from it cannot
+            # recover, so give up and let the caller escalate.
+            return False
         rr = rnorm * rnorm
         rhat = r.copy()
         rho = rr
@@ -327,7 +355,7 @@ def bicgstab(
                 rhv, rv, vv = dots.gang([(rhat, v), (r, v), (v, v)])
             else:
                 rhv = dots.dot(rhat, v)
-        if rhv == 0.0:
+        if rhv == 0.0 or not np.isfinite(rhv):
             if not restart():
                 break
             continue
@@ -339,7 +367,11 @@ def bicgstab(
             ss_derived = max(rr - 2.0 * alpha * rv + alpha * alpha * vv, 0.0)
             snorm = float(np.sqrt(ss_derived))
         else:
-            snorm = float(np.sqrt(max(dots.dot(s, s), 0.0)))
+            snorm = _norm_from_sq(dots.dot(s, s))
+        if not np.isfinite(snorm):
+            if not restart():
+                break
+            continue
 
         if snorm <= target:
             suite.daxpy(alpha, phat, x, out=x, work=wbuf)
@@ -375,7 +407,7 @@ def bicgstab(
             else:
                 ts = dots.dot(t, s)
                 tt = dots.dot(t, t)
-        if tt == 0.0:
+        if tt == 0.0 or not np.isfinite(tt) or not np.isfinite(ts):
             if not restart():
                 break
             continue
@@ -399,12 +431,17 @@ def bicgstab(
             rho_next = rhs_ - omega * rht
         else:
             rr = dots.dot(r, r)
-            rnorm = float(np.sqrt(max(rr, 0.0)))
+            rnorm = _norm_from_sq(float(rr))
             rho_next = None
 
         history.append(rnorm)
         if callback is not None:
             callback(it, rnorm)
+
+        if not np.isfinite(rnorm):
+            if not restart():
+                break
+            continue
 
         if rnorm <= target:
             r, rnorm = _true_residual(op, b, x, suite, dots, fused=use_fused)
@@ -426,7 +463,7 @@ def bicgstab(
             rho_new = rho_next
         else:
             rho_new = dots.dot(rhat, r)
-        if rho_new == 0.0:
+        if rho_new == 0.0 or not np.isfinite(rho_new):
             if not restart():
                 break
             continue

@@ -19,7 +19,7 @@ from typing import Callable
 import numpy as np
 
 from repro.kernels.suite import KernelSuite
-from repro.linalg.bicgstab import DotContext, SolveResult
+from repro.linalg.bicgstab import DotContext, SolveResult, _norm_from_sq
 from repro.linalg.operators import LinearOperator
 from repro.linalg.spai import Preconditioner
 from repro.parallel.comm import Communicator
@@ -60,12 +60,20 @@ def gmres(
     mapplies = 0
     history: list[float] = []
 
-    bnorm = float(np.sqrt(max(dots.dot(b, b), 0.0)))
+    bnorm = _norm_from_sq(dots.dot(b, b))
     if bnorm == 0.0:
         return SolveResult(
             x=np.zeros_like(b), converged=True, iterations=0, residual_norm=0.0,
             relative_residual=0.0, reductions=dots.reductions, matvecs=0,
             precond_applies=0,
+        )
+    if not np.isfinite(bnorm):
+        # Poisoned rhs (or corrupted reduction): nothing to iterate on.
+        return SolveResult(
+            x=np.zeros_like(b) if x0 is None else x0.copy(), converged=False,
+            iterations=0, residual_norm=float("nan"),
+            relative_residual=float("nan"), reductions=dots.reductions,
+            matvecs=0, precond_applies=0,
         )
     target = tol * bnorm
 
@@ -87,8 +95,11 @@ def gmres(
         ax = op.apply(x)
         mv += 1
         r = suite.dscal(b, 1.0, ax)
-        rnorm = float(np.sqrt(max(dots.dot(r, r), 0.0)))
+        rnorm = _norm_from_sq(dots.dot(r, r))
         history.append(rnorm)
+        if not np.isfinite(rnorm):
+            # Poisoned iterate: no basis can be built from it.
+            break
         if rnorm <= target:
             converged = True
             break
@@ -115,7 +126,11 @@ def gmres(
             for j in range(k + 1):
                 H[j, k] = hcol[j]
                 w = suite.daxpy(-hcol[j], V[j], w)
-            hk1 = float(np.sqrt(max(dots.dot(w, w), 0.0)))
+            hk1 = _norm_from_sq(dots.dot(w, w))
+            if not np.isfinite(hk1):
+                # Corrupted orthogonalization: close the cycle early on
+                # whatever basis was built so far.
+                hk1 = 0.0
             H[k + 1, k] = hk1
 
             # Apply stored Givens rotations to the new column.
@@ -138,23 +153,26 @@ def gmres(
             history.append(rnorm)
             if callback is not None:
                 callback(it, rnorm)
-            if rnorm <= target or hk1 == 0.0:
+            if rnorm <= target or hk1 == 0.0 or not np.isfinite(rnorm):
                 break
             V.append(w / hk1)
 
-        # Solve the small triangular system and update x.
+        # Solve the small triangular system and update x (skipping the
+        # update entirely if corruption made the coefficients non-finite,
+        # so the incoming x survives for the caller to diagnose).
         y = np.zeros(k_used)
         for i in range(k_used - 1, -1, -1):
             y[i] = (g[i] - H[i, i + 1 : k_used] @ y[i + 1 : k_used]) / H[i, i]
-        for i in range(k_used):
-            suite.daxpy(float(y[i]), Z[i], x, out=x)
+        if np.all(np.isfinite(y)):
+            for i in range(k_used):
+                suite.daxpy(float(y[i]), Z[i], x, out=x)
 
         if rnorm <= target:
             # verify with the true residual on the next loop turn
             ax = op.apply(x)
             mv += 1
             rtrue = suite.dscal(b, 1.0, ax)
-            rnorm = float(np.sqrt(max(dots.dot(rtrue, rtrue), 0.0)))
+            rnorm = _norm_from_sq(dots.dot(rtrue, rtrue))
             converged = rnorm <= target
             if converged:
                 break
@@ -163,7 +181,7 @@ def gmres(
         ax = op.apply(x)
         mv += 1
         rtrue = suite.dscal(b, 1.0, ax)
-        rnorm = float(np.sqrt(max(dots.dot(rtrue, rtrue), 0.0)))
+        rnorm = _norm_from_sq(dots.dot(rtrue, rtrue))
         converged = rnorm <= target
 
     if suite.counters is not None:

@@ -38,6 +38,18 @@ PAPI_EVENTS: dict[str, str] = {
     "PAPI_ITERS": "solver_iterations",
     "PAPI_KNL_CALL": "kernel_calls",
     "PAPI_FUSED_OP": "fused_ops",
+    # Resilience events (software-only; no PAPI preset exists, the
+    # names follow the same convention).
+    "PAPI_FLT_INJ": "faults_injected",
+    "PAPI_FLT_NUM": "faults_numeric",
+    "PAPI_FLT_COM": "faults_comm",
+    "PAPI_FLT_IO": "faults_io",
+    "PAPI_RCV_MSG": "comm_retransmits",
+    "PAPI_RCV_SLV": "solver_escalations",
+    "PAPI_RCV_GMR": "solver_fallbacks",
+    "PAPI_RCV_STP": "step_retries",
+    "PAPI_RCV_RBK": "rollbacks",
+    "PAPI_RCV_IO": "io_recoveries",
 }
 
 
@@ -67,6 +79,17 @@ class Counters:
     solver_iterations: int = 0
     kernel_calls: int = 0
     fused_ops: int = 0
+    # Resilience: injected faults by site, recoveries by layer.
+    faults_injected: int = 0
+    faults_numeric: int = 0
+    faults_comm: int = 0
+    faults_io: int = 0
+    comm_retransmits: int = 0
+    solver_escalations: int = 0
+    solver_fallbacks: int = 0
+    step_retries: int = 0
+    rollbacks: int = 0
+    io_recoveries: int = 0
 
     def add_flops(self, n: int) -> None:
         self.flops += n
@@ -90,6 +113,18 @@ class Counters:
     def bytes_moved(self) -> int:
         """Total memory traffic in bytes (loads + stores)."""
         return self.bytes_loaded + self.bytes_stored
+
+    @property
+    def recoveries(self) -> int:
+        """Recovery actions across every resilience layer."""
+        return (
+            self.comm_retransmits
+            + self.solver_escalations
+            + self.solver_fallbacks
+            + self.step_retries
+            + self.rollbacks
+            + self.io_recoveries
+        )
 
     @property
     def arithmetic_intensity(self) -> float:

@@ -1,0 +1,98 @@
+"""Communication fault injection: the ``FaultyCommunicator``.
+
+Wraps a :class:`~repro.parallel.comm.Communicator` so every outgoing
+message makes one fault draw.  Three things can happen to a faulted
+message:
+
+* **drop** -- the message is lost on the wire.  The wrapper models the
+  reliable-transport response: the loss is detected (missing ack) and
+  the payload retransmitted, counted as a transport-layer recovery
+  (``comm_retransmits``).  Blocking matched receives therefore never
+  deadlock -- exactly the guarantee MPI's reliable transport gives the
+  application.
+* **corrupt** -- one numeric element of the payload is corrupted
+  before delivery.  Corruption is restricted to payloads where the
+  downstream control flow stays rank-consistent: point-to-point user
+  traffic (halo strips) and root-bound reduction contributions, whose
+  combined result is re-broadcast identically to every rank.  A
+  corrupting fault drawn for any other payload (broadcast fan-out,
+  scatter, control tuples) is expressed as a drop instead, so a fault
+  can never make ranks *disagree* about control flow and deadlock the
+  simulated world.
+* **delay** -- counted only: with blocking matched receives a late
+  delivery is semantically invisible, so the event exercises the
+  accounting path without changing results.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.parallel.comm import _COLL_TAG, Communicator
+from repro.resilience.faults import FaultInjector
+
+#: Collective tags whose payloads are rank-consistent to corrupt:
+#: contributions sent *to* a reduction root (reduce, allreduce_batch),
+#: combined there and re-broadcast identically to every rank.
+_CORRUPTIBLE_COLL_TAGS = frozenset({_COLL_TAG + 4, _COLL_TAG + 5})
+
+
+def _is_numeric_payload(payload: Any) -> bool:
+    if isinstance(payload, np.ndarray):
+        return payload.dtype.kind == "f" and payload.size > 0
+    if isinstance(payload, (float, np.floating)):
+        return True
+    if isinstance(payload, list) and payload:
+        return all(_is_numeric_payload(p) for p in payload)
+    return False
+
+
+class FaultyCommunicator(Communicator):
+    """A communicator endpoint with an unreliable (but recovering) wire."""
+
+    def __init__(self, inner: Communicator, injector: FaultInjector) -> None:
+        super().__init__(inner.world, inner.rank, counters=inner.counters)
+        self.injector = injector
+
+    # ------------------------------------------------------------------
+    def _corruptible(self, payload: Any, tag: int) -> bool:
+        if not (tag < _COLL_TAG or tag in _CORRUPTIBLE_COLL_TAGS):
+            return False
+        return _is_numeric_payload(payload)
+
+    def _corrupt(self, payload: Any) -> Any:
+        inj = self.injector
+        kind = inj.numeric_kind(site="comm")
+        if isinstance(payload, np.ndarray):
+            corrupted = payload.copy()
+            inj.corrupt_array(corrupted, kind, site="comm")
+            return corrupted
+        if isinstance(payload, list):
+            out = list(payload)
+            idx = int(inj.rng("comm").integers(len(out)))
+            out[idx] = self._corrupt(out[idx])
+            return out
+        return inj.corrupt_value(float(payload), kind, site="comm")
+
+    # ------------------------------------------------------------------
+    def send(self, payload: Any, dest: int, tag: int = 0) -> None:
+        kind = self.injector.fire("comm")
+        if kind == "corrupt" and not self._corruptible(payload, tag):
+            # The fault still strikes the message, but an uncorruptible
+            # control payload is modelled as lost instead of garbled.
+            kind = "drop"
+        if kind == "corrupt":
+            payload = self._corrupt(payload)
+        elif kind == "drop":
+            # Lost on the wire; the reliable transport detects the
+            # missing ack and retransmits -- the delivery below is the
+            # retransmission.
+            if self.counters is not None:
+                self.counters.comm_retransmits += 1
+        # "delay" (and None) fall through: delivery order is unchanged.
+        super().send(payload, dest, tag)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"FaultyCommunicator(rank={self.rank}, size={self.size})"

@@ -1,0 +1,38 @@
+"""Typed failure taxonomy for the resilience layer.
+
+Each exception marks the boundary at which a failure was *detected* so
+the matching recovery layer can act: a :class:`NonFiniteStateError`
+escapes a timestep and is handled by the step-level dt-backoff retry;
+a :class:`StepRetryExhaustedError` escapes the retry loop and is
+handled by the run-level checkpoint rollback; a
+:class:`RollbackExhaustedError` means every layer gave up and the run
+aborts loudly instead of committing garbage.
+"""
+
+from __future__ import annotations
+
+
+class ResilienceError(RuntimeError):
+    """Base class for failures surfaced by the recovery machinery."""
+
+
+class NonFiniteStateError(ResilienceError):
+    """A solve or step produced non-finite (or unphysical) state.
+
+    Raised at the transport-integrator boundary *before* the offending
+    solution is committed, so the failure is attributed to the step and
+    solve site that produced it instead of propagating silently.
+    """
+
+    def __init__(self, message: str, *, site: int = 0, step: int = 0) -> None:
+        super().__init__(message)
+        self.site = site
+        self.step = step
+
+
+class StepRetryExhaustedError(ResilienceError):
+    """A timestep kept failing through every dt-backoff retry."""
+
+
+class RollbackExhaustedError(ResilienceError):
+    """The run-level checkpoint-rollback budget is spent."""

@@ -1,0 +1,275 @@
+"""Deterministic, seedable fault injection.
+
+The harness models the transient-fault classes that long A64FX-class
+campaigns contend with (and that the stellar-merger and FLASH
+supernova production studies report handling as a matter of course):
+
+* **numeric** -- silent data corruption inside a kernel: a NaN, an
+  Inf, a flipped bit in a double, or a bit-flip-sized magnitude
+  perturbation, applied to the output of a backend primitive.
+* **comm** -- a message lost, corrupted, or delayed on the wire.
+* **io** -- a checkpoint write that fails outright or is torn
+  (truncated) mid-write.
+
+Determinism: every site draws from its own ``numpy`` PCG64 stream
+seeded by ``(seed, rank, site)``, so a chaos run replays exactly given
+the same seed and the same call sequence, and the comm stream is not
+perturbed by how many kernels ran (and vice versa).
+
+:class:`FaultyBackend` is the kernel-level injection site: a proxy
+around any :class:`~repro.backend.base.Backend` that corrupts the
+output of the compute primitives (the five V2D routines and their
+fused forms) with a per-launch probability.  It can be installed
+explicitly, or process-wide through
+:func:`repro.backend.dispatch.install_fault_wrapper`.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.backend.base import Array, Backend
+from repro.monitor.counters import Counters
+
+#: Injection sites, in stream-seeding order.
+SITES = ("numeric", "comm", "io")
+
+#: How a numeric fault corrupts a value.
+NUMERIC_KINDS = ("nan", "inf", "perturb", "bitflip")
+
+#: What happens to a faulted message.
+COMM_KINDS = ("drop", "corrupt", "delay")
+
+#: What happens to a faulted checkpoint write.
+IO_KINDS = ("fail", "truncate")
+
+
+class FaultInjector:
+    """Seeded fault source shared by every injection site of one rank.
+
+    Parameters
+    ----------
+    seed, rank:
+        Stream seeds; runs replay exactly for equal values.
+    numeric_rate, comm_rate, io_rate:
+        Per-event fault probabilities (per kernel launch / message /
+        checkpoint write) in ``[0, 1]``.
+    numeric_kinds:
+        Subset of :data:`NUMERIC_KINDS` to draw corruption styles from.
+    counters:
+        Optional :class:`~repro.monitor.counters.Counters` receiving
+        ``faults_*`` increments, so injections surface in the standard
+        diagnostics.
+    """
+
+    def __init__(
+        self,
+        *,
+        seed: int = 0,
+        rank: int = 0,
+        numeric_rate: float = 0.0,
+        comm_rate: float = 0.0,
+        io_rate: float = 0.0,
+        numeric_kinds: Sequence[str] = NUMERIC_KINDS,
+        counters: Counters | None = None,
+    ) -> None:
+        rates = {"numeric": numeric_rate, "comm": comm_rate, "io": io_rate}
+        for site, rate in rates.items():
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{site} fault rate must be in [0, 1], got {rate}")
+        unknown = set(numeric_kinds) - set(NUMERIC_KINDS)
+        if unknown or not numeric_kinds:
+            raise ValueError(
+                f"numeric_kinds must be a non-empty subset of {NUMERIC_KINDS}"
+            )
+        self.seed = int(seed)
+        self.rank = int(rank)
+        self.rates = rates
+        self.numeric_kinds = tuple(numeric_kinds)
+        self.counters = counters
+        self._rng = {
+            site: np.random.default_rng([self.seed, self.rank, i])
+            for i, site in enumerate(SITES)
+        }
+        self.injected: dict[str, int] = {site: 0 for site in SITES}
+        self.by_kind: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    def rng(self, site: str) -> np.random.Generator:
+        return self._rng[site]
+
+    def armed(self, site: str) -> bool:
+        """Whether this site can fire at all."""
+        return self.rates[site] > 0.0
+
+    def fire(self, site: str) -> str | None:
+        """One Bernoulli draw for ``site``; the fault kind, or ``None``.
+
+        Firing is counted (locally and in ``counters``) the moment it
+        happens, so injected-fault totals are exact even when a
+        downstream layer masks the fault.
+        """
+        rate = self.rates[site]
+        if rate <= 0.0:
+            return None
+        rng = self._rng[site]
+        if rng.random() >= rate:
+            return None
+        if site == "numeric":
+            kind = str(rng.choice(self.numeric_kinds))
+        elif site == "comm":
+            kind = str(rng.choice(COMM_KINDS))
+        else:
+            kind = str(rng.choice(IO_KINDS))
+        self.injected[site] += 1
+        self.by_kind[kind] = self.by_kind.get(kind, 0) + 1
+        c = self.counters
+        if c is not None:
+            c.faults_injected += 1
+            if site == "numeric":
+                c.faults_numeric += 1
+            elif site == "comm":
+                c.faults_comm += 1
+            else:
+                c.faults_io += 1
+        return kind
+
+    # ------------------------------------------------------------------
+    def numeric_kind(self, site: str = "numeric") -> str:
+        """Draw a corruption style from ``site``'s stream."""
+        return str(self._rng[site].choice(self.numeric_kinds))
+
+    def corrupt_value(self, x: float, kind: str, site: str = "numeric") -> float:
+        """Return ``x`` corrupted in the requested style."""
+        rng = self._rng[site]
+        if kind == "nan":
+            return float("nan")
+        if kind == "inf":
+            return float("inf") if rng.random() < 0.5 else float("-inf")
+        if kind == "perturb":
+            # Exponent-bit-flip-sized magnitude error.
+            base = x if x != 0.0 else 1.0
+            return float(base * 2.0 ** int(rng.integers(20, 60)))
+        if kind == "bitflip":
+            bits = np.array([x], dtype=np.float64).view(np.uint64)
+            bits ^= np.uint64(1) << np.uint64(int(rng.integers(0, 64)))
+            return float(bits.view(np.float64)[0])
+        raise ValueError(f"unknown numeric fault kind {kind!r}")
+
+    def corrupt_array(self, arr: Array, kind: str, site: str = "numeric") -> None:
+        """Corrupt one element of ``arr`` in place (float arrays only)."""
+        if arr.size == 0 or arr.dtype.kind != "f":
+            return
+        rng = self._rng[site]
+        loc = np.unravel_index(int(rng.integers(arr.size)), arr.shape)
+        arr[loc] = self.corrupt_value(float(arr[loc]), kind, site=site)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"FaultInjector(seed={self.seed}, rank={self.rank}, "
+            f"rates={self.rates}, injected={self.injected})"
+        )
+
+
+class FaultyBackend(Backend):
+    """Backend proxy that corrupts compute-kernel outputs.
+
+    Each compute primitive (DPROD/DAXPY/DSCAL/DDAXPY/MATVEC and the
+    fused pairings) makes one ``fire("numeric")`` draw per launch; on a
+    hit, one element of the output (or the scalar result) is corrupted
+    in the drawn style.  Data-movement primitives (copy/fill/scale/
+    add/sub/mul) pass through untouched so the blast radius matches
+    the paper's five instrumented routines.
+    """
+
+    def __init__(self, inner: Backend, injector: FaultInjector) -> None:
+        super().__init__(vector_bits=inner.vector_bits)
+        self.inner = inner
+        self.injector = injector
+        self.name = f"{inner.name}+faults"
+        self.vectorized = inner.vectorized
+
+    def vector_op_count(self, n: int) -> int:
+        return self.inner.vector_op_count(n)
+
+    # ------------------------------------------------------------------
+    def _arr(self, out: Array) -> Array:
+        kind = self.injector.fire("numeric")
+        if kind is not None:
+            self.injector.corrupt_array(out, kind)
+        return out
+
+    def _val(self, v: float) -> float:
+        kind = self.injector.fire("numeric")
+        if kind is not None:
+            return self.injector.corrupt_value(float(v), kind)
+        return v
+
+    # ------------------------------------------------------------------
+    # Corrupted compute primitives
+    # ------------------------------------------------------------------
+    def dot(self, x, y):
+        return self._val(self.inner.dot(x, y))
+
+    def multi_dot(self, pairs):
+        return self._arr(self.inner.multi_dot(pairs))
+
+    def norm2(self, x):
+        return self._val(self.inner.norm2(x))
+
+    def axpy(self, a, x, y, out=None, work=None):
+        return self._arr(self.inner.axpy(a, x, y, out=out, work=work))
+
+    def dscal(self, c, d, y, out=None, work=None):
+        return self._arr(self.inner.dscal(c, d, y, out=out, work=work))
+
+    def ddaxpy(self, a, x, b, y, z, out=None, work=None):
+        return self._arr(self.inner.ddaxpy(a, x, b, y, z, out=out, work=work))
+
+    def stencil_apply(self, diag, west, east, south, north, x, out=None, work=None):
+        return self._arr(
+            self.inner.stencil_apply(diag, west, east, south, north, x, out=out, work=work)
+        )
+
+    def banded_matvec(self, offsets, bands, x, out=None):
+        return self._arr(self.inner.banded_matvec(offsets, bands, x, out=out))
+
+    def axpy_dot(self, a, x, y, w=None, out=None, work=None):
+        out, d = self.inner.axpy_dot(a, x, y, w=w, out=out, work=work)
+        return self._arr(out), d
+
+    def dscal_dot(self, c, d, y, w=None, out=None, work=None):
+        out, dd = self.inner.dscal_dot(c, d, y, w=w, out=out, work=work)
+        return self._arr(out), dd
+
+    def stencil_apply_dots(self, diag, west, east, south, north, x, dots, out=None):
+        out, vals = self.inner.stencil_apply_dots(
+            diag, west, east, south, north, x, dots, out=out
+        )
+        return self._arr(out), vals
+
+    # ------------------------------------------------------------------
+    # Clean pass-throughs (data movement)
+    # ------------------------------------------------------------------
+    def scale(self, alpha, x, out=None):
+        return self.inner.scale(alpha, x, out=out)
+
+    def copy(self, x, out=None):
+        return self.inner.copy(x, out=out)
+
+    def fill(self, x, value):
+        return self.inner.fill(x, value)
+
+    def add(self, x, y, out=None):
+        return self.inner.add(x, y, out=out)
+
+    def sub(self, x, y, out=None):
+        return self.inner.sub(x, y, out=out)
+
+    def mul(self, x, y, out=None):
+        return self.inner.mul(x, y, out=out)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"FaultyBackend({self.inner!r})"

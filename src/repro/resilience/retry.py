@@ -1,0 +1,57 @@
+"""Step-level recovery: exponential dt backoff.
+
+When a timestep fails validation (non-finite or unphysical state that
+even the solver-level ladder could not repair), the driver rolls the
+in-memory state back to the start of the step and retries with a
+smaller dt -- a stiffer implicit system is better conditioned and a
+smaller step moves the iterate less, so transient corruption usually
+washes out.  The policy bounds the attempts, the shrink factor, and
+the absolute dt floor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class RetryPolicy:
+    """Bounds for the step-level dt-backoff retry loop.
+
+    Parameters
+    ----------
+    max_attempts:
+        Total tries per step, including the first (1 disables retry).
+    backoff:
+        dt multiplier applied per retry, in (0, 1].
+    dt_floor:
+        Absolute lower bound on the retried dt.
+    """
+
+    max_attempts: int = 3
+    backoff: float = 0.5
+    dt_floor: float = 1e-12
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        if not 0.0 < self.backoff <= 1.0:
+            raise ValueError("backoff must be in (0, 1]")
+        if self.dt_floor <= 0.0:
+            raise ValueError("dt_floor must be positive")
+
+    def next_dt(self, dt: float) -> float:
+        """The dt for the next attempt after a failure at ``dt``."""
+        return max(dt * self.backoff, self.dt_floor)
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "max_attempts": self.max_attempts,
+            "backoff": self.backoff,
+            "dt_floor": self.dt_floor,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RetryPolicy":
+        return cls(**data)

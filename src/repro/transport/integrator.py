@@ -47,6 +47,8 @@ from repro.linalg.spai import (
 from repro.monitor.profiler import Profiler
 from repro.parallel.cart import CartComm
 from repro.parallel.halo import BoundaryCondition, HaloExchanger
+from repro.resilience.errors import NonFiniteStateError
+from repro.resilience.escalation import SolveStats, solve_with_escalation
 from repro.transport.fld import FluxLimiter
 from repro.transport.groups import RadiationBasis
 from repro.transport.opacity import OpacityModel
@@ -102,6 +104,7 @@ class StepReport:
     total_energy: float = 0.0
     temp_min: float = 0.0
     temp_max: float = 0.0
+    retries: int = 0              # step-level dt-backoff retries taken
 
     @property
     def iterations(self) -> int:
@@ -138,6 +141,12 @@ class RadiationIntegrator:
     couple_matter:
         Evolve the material temperature via emission-absorption
         exchange (solve 3 still runs with a frozen-T source otherwise).
+    escalate:
+        Arm solver-level recovery: a failed or non-finite solve walks
+        the escalation ladder (fused -> unfused -> GMRES) and each
+        step's committed state passes a global validity gate.  Off by
+        default -- the un-armed integrator is bit-identical to one
+        without the resilience machinery.
     """
 
     def __init__(
@@ -161,6 +170,7 @@ class RadiationIntegrator:
         cv: float = 1.0,
         emission: bool = False,
         profiler: Profiler | None = None,
+        escalate: bool = False,
     ) -> None:
         if precond not in PRECONDITIONERS:
             raise ValueError(f"precond must be one of {PRECONDITIONERS}")
@@ -188,6 +198,12 @@ class RadiationIntegrator:
         self.cv = cv
         self.emission = emission
         self.profiler = profiler
+        # Solver-level recovery: degrade fused -> unfused -> GMRES
+        # instead of committing a failed solve.
+        self.escalate = escalate
+        self.solve_stats: list[SolveStats] = []
+        self.degraded_solves = 0
+        self.degraded_seconds = 0.0
         self.rank = cart.rank if cart is not None else 0
 
         n1, n2 = mesh.shape
@@ -280,6 +296,34 @@ class RadiationIntegrator:
         M = self._make_preconditioner(system)
 
         def run() -> SolveResult:
+            if self.escalate:
+                stats = solve_with_escalation(
+                    op,
+                    system.rhs,
+                    x0=x0,
+                    tol=self.solver_tol,
+                    maxiter=self.solver_maxiter,
+                    M=M,
+                    suite=self.suite,
+                    comm=self.comm,
+                    ganged=self.ganged,
+                    fused=self.fused,
+                    workspace=self._workspace,
+                    counters=self.suite.counters,
+                    site=site,
+                )
+                self.solve_stats.append(stats)
+                if stats.degraded:
+                    self.degraded_solves += 1
+                    self.degraded_seconds += stats.degraded_seconds
+                if not stats.ok:
+                    raise NonFiniteStateError(
+                        f"solve site {site} failed after escalation through "
+                        f"{'/'.join(stats.methods)}",
+                        site=site,
+                        step=self.step_count + 1,
+                    )
+                return stats.final
             return bicgstab(
                 op,
                 system.rhs,
@@ -303,6 +347,52 @@ class RadiationIntegrator:
                 with self.profiler.region("BiCGSTAB", rank=self.rank):
                     return run()
         return run()
+
+    # ------------------------------------------------------------------
+    def _guard_solution(self, res: SolveResult, site: int) -> Array:
+        """Reject a non-finite solve before it reaches the state.
+
+        This is the always-on boundary check between the linear solver
+        and the transport state: a NaN/Inf iterate never propagates
+        into ``E``/``temp`` regardless of whether any resilience
+        machinery is armed.  Finite solutions pass through untouched.
+        """
+        if not np.all(np.isfinite(res.x)):
+            raise NonFiniteStateError(
+                f"solve site {site} produced a non-finite radiation field "
+                f"(iterations={res.iterations}, converged={res.converged})",
+                site=site,
+                step=self.step_count + 1,
+            )
+        return res.x
+
+    def _validate_step(self, e_new: Array, temp_new: Array) -> None:
+        """Physical-validity gate before committing a step.
+
+        Only armed in ``escalate`` mode (it costs one batched global
+        reduction in decomposed runs).  The flag is combined by a MIN
+        all-reduce so every rank accepts or retries in lockstep; any
+        non-finite contribution fails the comparison conservatively.
+        """
+        emin = float(e_new.min())
+        escale = float(np.abs(e_new).max())
+        ok = (
+            bool(np.all(np.isfinite(temp_new)))
+            and np.isfinite(emin)
+            and np.isfinite(escale)
+            and emin >= -1e-8 * max(1.0, escale)
+        )
+        if self.comm is not None and self.comm.size > 1:
+            from repro.parallel.comm import ReduceOp
+
+            flag = self.comm.allreduce(1.0 if ok else 0.0, op=ReduceOp.MIN)
+            ok = bool(flag >= 1.0)
+        if not ok:
+            raise NonFiniteStateError(
+                f"step {self.step_count + 1} failed validation: "
+                f"min(E) = {emin:.3e} against scale {escale:.3e}",
+                step=self.step_count + 1,
+            )
 
     # ------------------------------------------------------------------
     def _matter_update(self, E: Array, dt: float) -> Array:
@@ -337,7 +427,7 @@ class RadiationIntegrator:
         sys1 = self._build(self.E.data, dt, self.temp)
         res1 = self._solve(sys1, x0=e_old, site=1)
         report.solves.append(res1)
-        e_star = res1.x
+        e_star = self._guard_solution(res1, site=1)
 
         # --- Solve 2: corrector (D from E*, RHS still from E^n) -------
         work = Field(self.basis.ncomp, self.mesh.shape, nghost=1)
@@ -346,7 +436,7 @@ class RadiationIntegrator:
         sys2 = self._build(work.data, dt, self.temp, e_rhs=e_old)
         res2 = self._solve(sys2, x0=e_star, site=2)
         report.solves.append(res2)
-        e_corr = res2.x
+        e_corr = self._guard_solution(res2, site=2)
 
         # --- Matter update + Solve 3 (emission at T^{n+1}) ------------
         if self.profiler is not None:
@@ -362,9 +452,12 @@ class RadiationIntegrator:
         sys3 = self._build(work.data, dt, new_temp, e_rhs=e_old)
         res3 = self._solve(sys3, x0=e_corr, site=3)
         report.solves.append(res3)
+        e_new = self._guard_solution(res3, site=3)
+        if self.escalate:
+            self._validate_step(e_new, new_temp)
 
         # Commit.
-        self.E.interior = res3.x
+        self.E.interior = e_new
         self.temp = new_temp
         self.time += dt
         self.step_count += 1

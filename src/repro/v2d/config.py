@@ -13,6 +13,7 @@ import json
 from dataclasses import dataclass
 
 from repro.grid.decomposition import TileDecomposition
+from repro.resilience.config import ResilienceConfig
 from repro.transport.fld import FluxLimiter
 
 
@@ -74,6 +75,9 @@ class V2DConfig:
     # --- instrumentation -----------------------------------------------------
     profile: bool = True
 
+    # --- resilience (fault injection + layered recovery) ---------------------
+    resilience: ResilienceConfig | None = None
+
     def __post_init__(self) -> None:
         if self.nx1 < 1 or self.nx2 < 1:
             raise ValueError("grid must have at least one zone per direction")
@@ -126,6 +130,7 @@ class V2DConfig:
         out["extent1"] = list(self.extent1)
         out["extent2"] = list(self.extent2)
         out["limiter"] = None if self.limiter is None else self.limiter.value
+        out["resilience"] = None if self.resilience is None else self.resilience.to_dict()
         return out
 
     @classmethod
@@ -141,6 +146,10 @@ class V2DConfig:
                 kw[key] = tuple(kw[key])
         if kw.get("limiter") is not None and not isinstance(kw["limiter"], FluxLimiter):
             kw["limiter"] = FluxLimiter(kw["limiter"])
+        if kw.get("resilience") is not None and not isinstance(
+            kw["resilience"], ResilienceConfig
+        ):
+            kw["resilience"] = ResilienceConfig.from_dict(kw["resilience"])
         return cls(**kw)
 
     def to_json(self, path: str) -> None:

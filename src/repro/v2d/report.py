@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from repro.monitor.counters import Counters
 from repro.monitor.profiler import Profiler
 from repro.monitor.timers import PerfStatResult
+from repro.resilience.report import ResilienceReport
 from repro.transport.integrator import StepReport
 
 
@@ -31,6 +32,7 @@ class RunReport:
     final_time: float = 0.0
     final_energy: float = 0.0
     solution_error: float | None = None
+    resilience: ResilienceReport | None = None
 
     # ------------------------------------------------------------------
     @property
@@ -97,6 +99,10 @@ class RunReport:
                 f"{self.counters.bytes_sent:,} bytes, "
                 f"{self.counters.reductions} reductions"
             )
+        if self.resilience is not None and (
+            self.resilience.total_injected or self.resilience.total_recoveries
+        ):
+            lines.extend("  " + ln for ln in self.resilience.summary().splitlines())
         return "\n".join(lines)
 
     def flat_profile(self) -> str:

@@ -17,7 +17,7 @@ from repro.backend.dispatch import get_backend
 from repro.grid.mesh import Mesh2D
 from repro.hydro.eos import IdealGasEOS
 from repro.hydro.solver import HydroBC, HydroSolver2D
-from repro.io.checkpoint import save_checkpoint
+from repro.io.checkpoint import CheckpointWriteError, save_checkpoint
 from repro.kernels.suite import KernelSuite
 from repro.monitor.counters import Counters
 from repro.monitor.profiler import Profiler
@@ -26,6 +26,14 @@ from repro.parallel.cart import CartComm
 from repro.parallel.comm import Communicator
 from repro.parallel.runtime import run_spmd
 from repro.problems.base import Problem
+from repro.resilience import (
+    FaultyBackend,
+    FaultyCommunicator,
+    NonFiniteStateError,
+    ResilienceReport,
+    RollbackExhaustedError,
+    StepRetryExhaustedError,
+)
 from repro.transport.groups import EnergyGroups, RadiationBasis
 from repro.transport.integrator import RadiationIntegrator, StepReport
 from repro.v2d.config import V2DConfig
@@ -89,6 +97,28 @@ class Simulation:
             config.backend,
             **({"vector_bits": config.vector_bits} if config.backend == "vector" else {}),
         )
+
+        # Resilience: arm the seeded fault-injection sites and the
+        # recovery layers when a ResilienceConfig is attached.  With
+        # none attached (the default) nothing below changes behaviour.
+        rc = config.resilience
+        self._injector = (
+            rc.make_injector(self.rank, counters=self.counters)
+            if rc is not None
+            else None
+        )
+        if self._injector is not None and self._injector.armed("numeric"):
+            backend = FaultyBackend(backend, self._injector)
+        if (
+            self._injector is not None
+            and self._injector.armed("comm")
+            and cart is not None
+        ):
+            # Wrap before anything captures the communicator, so halo
+            # exchange and solver reductions all ride the faulty wire.
+            cart.comm = FaultyCommunicator(cart.comm, self._injector)
+        self._last_checkpoint: tuple[str, int] | None = None
+
         self.suite = KernelSuite(backend, counters=self.counters)
         self.profiler = Profiler() if config.profile else None
 
@@ -114,6 +144,7 @@ class Simulation:
             cv=config.cv,
             emission=config.emission,
             profiler=self.profiler,
+            escalate=rc.escalation if rc is not None else False,
         )
 
         # Hydro (only when the problem calls for it).
@@ -193,9 +224,8 @@ class Simulation:
             hy.U.interior[3] += self.integrator.rho * self.config.cv * d_temp
             # Keep the integrator's temperature consistent with hydro.
 
-    def step(self) -> StepReport:
+    def _step_once(self, dt: float) -> StepReport:
         """One coupled timestep (hydro substeps + three radiation solves)."""
-        dt = self.config.dt
         if self.hydro is not None:
             if self.profiler is not None:
                 with self.profiler.region("hydro", rank=self.rank):
@@ -208,37 +238,153 @@ class Simulation:
                 self._feed_back_heating(t_before)
         else:
             report = self.integrator.step(dt)
-        self.step_reports.append(report)
         return report
+
+    # -- step-level recovery: in-memory snapshot + dt backoff ----------
+    def _snapshot_state(self) -> dict:
+        it = self.integrator
+        snap = {
+            "E": it.E.data.copy(),
+            "rho": it.rho.copy(),
+            "temp": it.temp.copy(),
+            "time": it.time,
+            "step": it.step_count,
+        }
+        if self.hydro is not None:
+            snap["U"] = self.hydro.U.data.copy()
+        return snap
+
+    def _restore_state(self, snap: dict) -> None:
+        it = self.integrator
+        it.E.data[...] = snap["E"]
+        it.rho[...] = snap["rho"]
+        it.temp = snap["temp"].copy()
+        it.time = snap["time"]
+        it.step_count = snap["step"]
+        if self.hydro is not None:
+            self.hydro.U.data[...] = snap["U"]
+
+    def step(self) -> StepReport:
+        """Advance one timestep, retrying with dt backoff when armed.
+
+        Without a resilience config this is exactly one
+        :meth:`_step_once`.  With one, a step that fails validation
+        (escalation exhausted, non-finite or unphysical state) is
+        rolled back to an in-memory snapshot and retried with the
+        timestep shrunk by the :class:`RetryPolicy`; the retry budget
+        exhausting raises :class:`StepRetryExhaustedError` for the
+        run-level layer to handle.
+        """
+        rc = self.config.resilience
+        dt = self.config.dt
+        if rc is None:
+            report = self._step_once(dt)
+            self.step_reports.append(report)
+            return report
+
+        policy = rc.retry
+        failures = 0
+        while True:
+            snap = self._snapshot_state()
+            try:
+                report = self._step_once(dt)
+            except NonFiniteStateError as exc:
+                self._restore_state(snap)
+                failures += 1
+                if failures >= policy.max_attempts:
+                    raise StepRetryExhaustedError(
+                        f"step {self.integrator.step_count + 1} failed "
+                        f"{failures} attempts (last dt {dt:.3e}): {exc}"
+                    ) from exc
+                self.counters.step_retries += 1
+                dt = policy.next_dt(dt)
+                continue
+            report.retries = failures
+            self.step_reports.append(report)
+            return report
 
     # ------------------------------------------------------------------
     def _maybe_checkpoint(self, step: int) -> None:
         cfg = self.config
         if cfg.checkpoint_interval <= 0 or step % cfg.checkpoint_interval != 0:
             return
+        self._write_checkpoint(step)
+
+    def _write_checkpoint(self, step: int) -> None:
+        """Write a checkpoint, surviving (and counting) io faults.
+
+        With resilience armed, a failed write is a recovered event: the
+        run continues from the previous good checkpoint (the atomic
+        rename guarantees it survived).  Every rank must agree on which
+        checkpoint is the last good one, so in decomposed runs the
+        writing rank broadcasts the outcome.
+        """
+        cfg = self.config
+        rc = cfg.resilience
         path = f"{cfg.checkpoint_path}.step{step:05d}.npz"
-        save_checkpoint(
-            path,
-            self.integrator.E.interior,
-            self.integrator.rho,
-            self.integrator.temp,
-            time=self.time,
-            step=step,
-            cart=self.cart,
-            meta={"problem": self.problem.name},
-        )
+        ok = True
+        try:
+            save_checkpoint(
+                path,
+                self.integrator.E.interior,
+                self.integrator.rho,
+                self.integrator.temp,
+                time=self.time,
+                step=step,
+                cart=self.cart,
+                meta={"problem": self.problem.name},
+                injector=self._injector,
+            )
+        except CheckpointWriteError:
+            if rc is None:
+                raise
+            ok = False
+            self.counters.io_recoveries += 1
+        if rc is not None and self.comm is not None and self.comm.size > 1:
+            ok = bool(self.comm.bcast(ok, root=0))
+        if ok:
+            self._last_checkpoint = (path, step)
+
+    def _rollback(self) -> None:
+        """Run-level recovery: reload the last good checkpoint."""
+        assert self._last_checkpoint is not None
+        path, step = self._last_checkpoint
+        self.restart_from(path)
+        self.step_reports = [r for r in self.step_reports if r.step <= step]
 
     def run(self) -> RunReport:
         """Run ``config.nsteps`` steps and assemble the report."""
         cfg = self.config
+        rc = cfg.resilience
         label = (
             f"{cfg.nx1}x{cfg.nx2}x{cfg.ncomp} {cfg.backend} "
             f"{cfg.nprx1}x{cfg.nprx2}"
         )
+        rollbacks = 0
+        # Anchor on the absolute step counter so a rollback (which
+        # rewinds it) naturally re-runs the lost steps, while a
+        # restarted simulation still advances nsteps further.
+        target_step = self.integrator.step_count + cfg.nsteps
         with perf_stat() as ps:
-            for k in range(1, cfg.nsteps + 1):
-                self.step()
-                self._maybe_checkpoint(k)
+            if rc is not None and rc.max_rollbacks > 0 and cfg.checkpoint_interval > 0:
+                # Initial checkpoint so the first rollback has a target.
+                self._write_checkpoint(self.integrator.step_count)
+            while self.integrator.step_count < target_step:
+                try:
+                    self.step()
+                except StepRetryExhaustedError as exc:
+                    if rc is None or self._last_checkpoint is None:
+                        raise
+                    if rollbacks >= rc.max_rollbacks:
+                        raise RollbackExhaustedError(
+                            f"rollback budget ({rc.max_rollbacks}) exhausted "
+                            f"at step {self.integrator.step_count + 1}"
+                        ) from exc
+                    rollbacks += 1
+                    self.counters.rollbacks += 1
+                    self._rollback()
+                    continue
+                self._maybe_checkpoint(self.integrator.step_count)
         report = RunReport(
             config_label=label,
             problem_name=self.problem.name,
@@ -253,6 +399,12 @@ class Simulation:
         report.counters.merge(self.counters)
         if self.comm is not None:
             report.counters.merge(self.comm.counters)
+        if rc is not None:
+            report.resilience = ResilienceReport.from_counters(
+                report.counters,
+                degraded_solves=self.integrator.degraded_solves,
+                degraded_seconds=self.integrator.degraded_seconds,
+            )
         err = self.solution_error()
         if err is not None:
             report.solution_error = err
