@@ -12,6 +12,7 @@ Commands regenerate the paper's artifacts or run the simulator:
 * ``run``         -- run the Gaussian-pulse problem at a chosen scale
 * ``chaos``       -- seeded fault-injection sweep against a clean baseline
 * ``driver``      -- the Sec. II-F kernel driver on this substrate
+* ``campaign``    -- sharded scaling-study runner with a result cache
 """
 
 from __future__ import annotations
@@ -38,6 +39,11 @@ def _parse_inject(spec: str | None) -> dict[str, float]:
                 f"bad --inject entry {part!r}; expected site=rate with site "
                 f"in {sorted(rates)}"
             ) from None
+        if not 0.0 <= rates[site.strip()] <= 1.0:
+            raise SystemExit(
+                f"bad --inject entry {part!r}: rate must be a probability "
+                f"in [0, 1], got {rates[site.strip()]}"
+            )
     return rates
 
 
@@ -233,8 +239,13 @@ def _report_cmd(name: str):
 
 
 def main(argv: list[str] | None = None) -> int:
+    from repro import __version__
+
     parser = argparse.ArgumentParser(
         prog="repro", description="V2D / SVE study reproduction"
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -288,6 +299,10 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--n", type=int, default=1000)
     p.add_argument("--reps", type=int, default=50)
     p.set_defaults(fn=_cmd_driver)
+
+    from repro.campaign.cli import add_campaign_parser
+
+    add_campaign_parser(sub)
 
     args = parser.parse_args(argv)
     return args.fn(args)

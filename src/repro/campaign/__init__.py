@@ -1,0 +1,66 @@
+"""Campaign engine: sharded scaling studies with a result cache.
+
+The paper's contribution is a *study* -- compilers x SVE x eleven
+process topologies -- not one run, and this package is the layer that
+runs studies as a service:
+
+* :mod:`repro.campaign.spec` -- declarative :class:`CampaignSpec`
+  (grid/list expansion over problem, topology, backend, resilience and
+  solver knobs) with deterministic per-job names and seeds.
+* :mod:`repro.campaign.hashing` -- canonical content hashes of
+  (config, problem, code version): the cache key.
+* :mod:`repro.campaign.cache` -- content-addressed, CRC-checked,
+  atomically-written result store under ``.repro-cache/``.
+* :mod:`repro.campaign.scheduler` -- the work queue: cache
+  short-circuit, longest-first hand-out over a process pool, bounded
+  retries, failure quarantine.
+* :mod:`repro.campaign.worker` -- the process-pool unit of execution.
+* :mod:`repro.campaign.aggregate` -- campaign-level tables and the
+  ``BENCH_campaign.json`` artifact.
+* :mod:`repro.campaign.cli` -- ``repro campaign run|status|report|clean``.
+"""
+
+from repro.campaign.aggregate import (
+    build_bench_payload,
+    campaign_report,
+    stable_payload,
+    topology_heatmap,
+    write_bench,
+)
+from repro.campaign.cache import DEFAULT_CACHE_DIR, CacheStats, ResultCache
+from repro.campaign.hashing import CACHE_SCHEMA, canonical_json, derive_seed, job_key
+from repro.campaign.scheduler import (
+    JOB_OK,
+    JOB_QUARANTINED,
+    CampaignResult,
+    CampaignScheduler,
+    JobRecord,
+    estimate_cost,
+)
+from repro.campaign.spec import CampaignSpec, CampaignSpecError, JobSpec
+from repro.campaign.worker import execute_job
+
+__all__ = [
+    "CampaignSpec",
+    "CampaignSpecError",
+    "JobSpec",
+    "CampaignScheduler",
+    "CampaignResult",
+    "JobRecord",
+    "JOB_OK",
+    "JOB_QUARANTINED",
+    "estimate_cost",
+    "execute_job",
+    "ResultCache",
+    "CacheStats",
+    "DEFAULT_CACHE_DIR",
+    "CACHE_SCHEMA",
+    "canonical_json",
+    "job_key",
+    "derive_seed",
+    "build_bench_payload",
+    "campaign_report",
+    "stable_payload",
+    "topology_heatmap",
+    "write_bench",
+]

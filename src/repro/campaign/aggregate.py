@@ -1,0 +1,236 @@
+"""Campaign-level aggregation: fold job results into study tables.
+
+Takes the per-job payloads a :class:`~repro.campaign.scheduler.
+CampaignScheduler` run produced and builds the machine-readable
+``BENCH_campaign.json`` plus the human tables (the campaign analogue
+of the paper's Table I): per-job outcome rows, merged PAPI-style
+counters, a strong-scaling speedup column and a topology heatmap.
+
+The payload keeps a strict determinism split: everything timing-
+derived (wall seconds, speedups, scheduler attempts, cache hit/miss
+bookkeeping) lives under the keys listed in :data:`VOLATILE_KEYS` or
+inside per-job ``timing`` subtrees, and :func:`stable_payload` strips
+exactly those -- two runs of the same spec against the same code
+version agree bitwise on the stable view, whether results were
+computed or served from cache.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.campaign.hashing import code_version
+from repro.campaign.scheduler import CampaignResult
+from repro.io.atomic import atomic_write_bytes
+from repro.monitor.counters import Counters
+from repro.v2d.job import TIMING_KEY, strip_timing
+
+#: Top-level payload keys that vary run-to-run even for identical
+#: results (scheduling and wall-clock facts).
+VOLATILE_KEYS = ("timing", "ran", "workers", "cache")
+
+#: Per-job record keys that vary run-to-run.
+VOLATILE_JOB_KEYS = ("cache_hit", "attempts")
+
+
+def build_bench_payload(result: CampaignResult) -> dict[str, Any]:
+    """The ``BENCH_campaign.json`` payload for one campaign run."""
+    totals = Counters()
+    jobs: list[dict[str, Any]] = []
+    for rec in result.records:
+        entry: dict[str, Any] = {
+            "name": rec.job.name,
+            "key": rec.job.key,
+            "problem": rec.job.problem,
+            "seed": rec.job.seed,
+            "status": rec.status,
+            "cache_hit": rec.cache_hit,
+            "attempts": rec.attempts,
+        }
+        if rec.error is not None:
+            entry["error"] = rec.error
+        if rec.result is not None:
+            entry["result"] = rec.result
+            totals.merge_snapshot(rec.result.get("counters", {}))
+        jobs.append(entry)
+    payload: dict[str, Any] = {
+        "bench": "campaign",
+        "campaign": result.spec.name,
+        "campaign_key": result.spec.campaign_key(),
+        "code_version": code_version(),
+        "njobs": result.n_jobs,
+        "ok": result.n_ok,
+        "quarantined": result.n_quarantined,
+        "counters": totals.snapshot(),
+        "jobs": jobs,
+        # -- volatile (scheduling / wall clock) ------------------------
+        "ran": result.ran,
+        "workers": result.workers,
+        "cache": {
+            "hits": result.cache_stats.hits,
+            "misses": result.cache_stats.misses,
+            "corrupt": result.cache_stats.corrupt,
+        },
+        "timing": {
+            "wall_seconds": result.wall_seconds,
+            "speedup": _speedups(jobs),
+        },
+    }
+    return payload
+
+
+def stable_payload(payload: dict[str, Any]) -> dict[str, Any]:
+    """The deterministic view of a bench payload.
+
+    Strips every timing/scheduling field (:data:`VOLATILE_KEYS`,
+    :data:`VOLATILE_JOB_KEYS` and per-result ``timing`` subtrees); the
+    remainder is bitwise-identical between a cold and a warm run of
+    the same spec at the same code version.
+    """
+    out = {k: v for k, v in payload.items() if k not in VOLATILE_KEYS}
+    out["jobs"] = []
+    for entry in payload.get("jobs", ()):
+        job = {k: v for k, v in entry.items() if k not in VOLATILE_JOB_KEYS}
+        if "result" in job and isinstance(job["result"], dict):
+            job["result"] = strip_timing(job["result"])
+        out["jobs"].append(job)
+    return out
+
+
+def write_bench(payload: dict[str, Any], path: str | Path) -> Path:
+    """Atomically write the payload as pretty-printed JSON."""
+    body = json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    return atomic_write_bytes(path, body.encode())
+
+
+# ----------------------------------------------------------------------
+# Derived tables
+# ----------------------------------------------------------------------
+def _wall(entry: dict[str, Any]) -> float | None:
+    result = entry.get("result")
+    if not result:
+        return None
+    return result.get(TIMING_KEY, {}).get("wall_seconds")
+
+
+def _speedups(jobs: list[dict[str, Any]]) -> dict[str, float]:
+    """Strong-scaling speedup vs the serial (1x1) job, when present."""
+    serial = None
+    for entry in jobs:
+        result = entry.get("result")
+        if result and result.get("nranks") == 1 and _wall(entry):
+            serial = _wall(entry)
+            break
+    if not serial:
+        return {}
+    out = {}
+    for entry in jobs:
+        wall = _wall(entry)
+        if wall:
+            out[entry["name"]] = serial / wall
+    return out
+
+
+def topology_heatmap(jobs: list[dict[str, Any]]) -> str:
+    """Text heatmap of wall seconds over the (nprx1, nprx2) plane.
+
+    Cells show seconds; the shade character under each cell ranks it
+    within the campaign (``@`` slowest ... ``.`` fastest), the text
+    stand-in for the paper's per-topology comparison.
+    """
+    cells: dict[tuple[int, int], float] = {}
+    for entry in jobs:
+        result = entry.get("result")
+        wall = _wall(entry)
+        if result and wall is not None:
+            cells[(result["nprx1"], result["nprx2"])] = wall
+    if not cells:
+        return "(no completed jobs with timing)"
+    n1s = sorted({k[0] for k in cells})
+    n2s = sorted({k[1] for k in cells})
+    lo, hi = min(cells.values()), max(cells.values())
+    shades = " .:-=+*#%@"
+
+    def shade(v: float) -> str:
+        if hi <= lo:
+            return shades[0]
+        frac = (v - lo) / (hi - lo)
+        return shades[min(len(shades) - 1, int(frac * (len(shades) - 1)))]
+
+    width = 9
+    lines = ["wall seconds by topology (NPRX1 across, NPRX2 down):"]
+    lines.append("  nprx2\\nprx1" + "".join(f"{n1:>{width}}" for n1 in n1s))
+    for n2 in n2s:
+        row = f"  {n2:>11}"
+        for n1 in n1s:
+            v = cells.get((n1, n2))
+            row += f"{'-':>{width}}" if v is None else f"{v:>{width}.3f}"
+        lines.append(row)
+        row = " " * 13
+        for n1 in n1s:
+            v = cells.get((n1, n2))
+            row += f"{'':>{width}}" if v is None else f"{shade(v):>{width}}"
+        lines.append(row.rstrip())
+    return "\n".join(lines)
+
+
+def campaign_report(payload: dict[str, Any]) -> str:
+    """Human-readable campaign summary (the ``report`` verb's output)."""
+    jobs = payload.get("jobs", [])
+    speedup = payload.get("timing", {}).get("speedup", {})
+    lines = [
+        f"CAMPAIGN {payload.get('campaign')} "
+        f"[key {str(payload.get('campaign_key'))[:12]}..., "
+        f"code {payload.get('code_version')}]",
+        f"  jobs: {payload.get('njobs')}  ok: {payload.get('ok')}  "
+        f"quarantined: {payload.get('quarantined')}",
+    ]
+    cache = payload.get("cache")
+    if cache is not None:
+        lines.append(
+            f"  cache: {cache.get('hits', 0)} hits, "
+            f"{cache.get('misses', 0)} misses, "
+            f"{cache.get('corrupt', 0)} corrupt"
+        )
+    wall = payload.get("timing", {}).get("wall_seconds")
+    if wall is not None:
+        lines.append(f"  campaign wall time: {wall:.2f} s")
+    lines.append("")
+    header = (
+        f"  {'job':<36} {'status':<12} {'iters':>6} {'conv':>5} "
+        f"{'error':>10} {'wall[s]':>8} {'speedup':>8}"
+    )
+    lines.append(header)
+    lines.append("  " + "-" * (len(header) - 2))
+    for entry in jobs:
+        result = entry.get("result") or {}
+        status = entry["status"]
+        if entry.get("cache_hit"):
+            status += " (hit)"
+        err = result.get("solution_error")
+        wall = _wall(entry)
+        sp = speedup.get(entry["name"])
+        lines.append(
+            f"  {entry['name']:<36} {status:<12} "
+            f"{result.get('iterations', '-'):>6} "
+            f"{str(result.get('converged', '-')):>5} "
+            f"{('%.3e' % err) if err is not None else '-':>10} "
+            f"{('%.3f' % wall) if wall is not None else '-':>8} "
+            f"{('%.2f' % sp) if sp is not None else '-':>8}"
+        )
+        if entry.get("error"):
+            lines.append(f"      !! {entry['error']}")
+    counters = payload.get("counters", {})
+    if counters.get("linear_solves"):
+        lines.append("")
+        lines.append(
+            f"  totals: {counters['linear_solves']} solves, "
+            f"{counters.get('solver_iterations', 0)} iterations, "
+            f"{counters.get('messages_sent', 0)} messages, "
+            f"{counters.get('reductions', 0)} reductions"
+        )
+    lines.append("")
+    lines.append(topology_heatmap(jobs))
+    return "\n".join(lines)

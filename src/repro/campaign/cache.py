@@ -1,0 +1,129 @@
+"""Content-addressed result cache and artifact store.
+
+Finished job payloads live under ``.repro-cache/objects/<kk>/<key>.json``
+where ``key`` is the job's content hash (:mod:`repro.campaign.hashing`)
+and ``kk`` its first two hex digits -- the usual fan-out so a big
+campaign does not pile thousands of entries into one directory.
+
+Every entry is written through :func:`repro.io.atomic.atomic_write_bytes`
+-- the same crash-safe temp-file + fsync + rename path checkpoints use
+-- and carries a CRC32 over the canonical payload rendering, verified
+on every read (the CRC discipline of :mod:`repro.io.checkpoint`).  A
+corrupt entry is *detected, evicted and recomputed*, never trusted:
+:meth:`ResultCache.get` returns ``None`` for it and removes the file
+so the scheduler treats the job as a plain miss.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterator
+
+from repro.campaign.hashing import canonical_json
+from repro.io.atomic import atomic_write_bytes, crc32_update
+
+#: Default cache root, relative to the invoking directory.
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+
+@dataclass
+class CacheStats:
+    """Read/write traffic of one cache instance."""
+
+    hits: int = 0
+    misses: int = 0
+    corrupt: int = 0
+    puts: int = 0
+
+    def summary(self) -> str:
+        return (
+            f"cache: {self.hits} hits, {self.misses} misses, "
+            f"{self.corrupt} corrupt (evicted), {self.puts} writes"
+        )
+
+
+class ResultCache:
+    """Content-addressed store of job payloads keyed by config hash."""
+
+    def __init__(self, root: str | Path = DEFAULT_CACHE_DIR) -> None:
+        self.root = Path(root)
+        self.stats = CacheStats()
+
+    # ------------------------------------------------------------------
+    def path_for(self, key: str) -> Path:
+        return self.root / "objects" / key[:2] / f"{key}.json"
+
+    def contains(self, key: str) -> bool:
+        return self.path_for(key).exists()
+
+    def keys(self) -> Iterator[str]:
+        """Every key currently stored (sorted, for stable reports)."""
+        objects = self.root / "objects"
+        if not objects.is_dir():
+            return iter(())
+        return iter(sorted(p.stem for p in objects.glob("*/*.json")))
+
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> dict[str, Any] | None:
+        """The stored payload for ``key``, or ``None`` on miss/corruption.
+
+        A corrupt entry (unparseable, key mismatch, or CRC failure) is
+        evicted so the caller recomputes instead of trusting it.
+        """
+        path = self.path_for(key)
+        try:
+            entry = json.loads(path.read_text())
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except (json.JSONDecodeError, OSError, UnicodeDecodeError):
+            self._evict_corrupt(path)
+            return None
+        if not isinstance(entry, dict) or entry.get("key") != key:
+            self._evict_corrupt(path)
+            return None
+        payload = entry.get("payload")
+        crc = crc32_update(canonical_json(payload).encode())
+        if payload is None or crc != entry.get("crc32"):
+            self._evict_corrupt(path)
+            return None
+        self.stats.hits += 1
+        return payload
+
+    def put(self, key: str, payload: dict[str, Any]) -> Path:
+        """Store ``payload`` under ``key`` (atomic, checksummed)."""
+        body = canonical_json(payload)
+        entry = {
+            "key": key,
+            "crc32": crc32_update(body.encode()),
+            "payload": payload,
+        }
+        self.stats.puts += 1
+        return atomic_write_bytes(
+            self.path_for(key), (canonical_json(entry) + "\n").encode()
+        )
+
+    def _evict_corrupt(self, path: Path) -> None:
+        self.stats.corrupt += 1
+        self.stats.misses += 1
+        path.unlink(missing_ok=True)
+
+    # ------------------------------------------------------------------
+    def clean(self, keys: list[str] | None = None) -> int:
+        """Remove ``keys`` (or every entry when ``None``); returns count."""
+        removed = 0
+        targets = self.keys() if keys is None else keys
+        for key in targets:
+            path = self.path_for(key)
+            if path.exists():
+                path.unlink()
+                removed += 1
+        # Prune empty fan-out directories so clean leaves no debris.
+        objects = self.root / "objects"
+        if objects.is_dir():
+            for sub in objects.iterdir():
+                if sub.is_dir() and not any(sub.iterdir()):
+                    sub.rmdir()
+        return removed

@@ -1,0 +1,77 @@
+"""Canonical content hashing: what makes two jobs "the same run".
+
+The result cache is content-addressed: a job's key is the SHA-256 of a
+canonical JSON rendering of ``(schema, code version, problem, config)``.
+Two invocations that would compute the same physics therefore collide
+onto one cache entry, regardless of campaign name, job ordering,
+worker count, or which spec file spelled them.
+
+What invalidates a key (and hence forces recomputation):
+
+* any :class:`~repro.v2d.config.V2DConfig` field, including solver
+  knobs, topology, backend, and the attached resilience config;
+* the problem name;
+* the code version tag (``repro.__version__``) -- a release that may
+  change numerics must not serve stale results;
+* the cache schema (:data:`CACHE_SCHEMA`) and job payload schema
+  (:data:`~repro.v2d.job.RESULT_SCHEMA`).
+
+Deliberately *not* part of the key: scheduling policy (workers,
+timeouts, retry budgets), which affects when a result materializes but
+never what it contains.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any
+
+import repro
+from repro.v2d.job import RESULT_SCHEMA
+
+#: Version of the key derivation itself; bump to orphan every entry.
+CACHE_SCHEMA = 1
+
+
+def code_version() -> str:
+    """The code-version tag folded into every cache key."""
+    return repro.__version__
+
+
+def canonical_json(obj: Any) -> str:
+    """Deterministic JSON: sorted keys, minimal separators, no NaN.
+
+    The canonical form is what gets hashed and checksummed, so it must
+    be identical across processes and Python versions for equal input.
+    ``allow_nan=False`` keeps the rendering unambiguous (NaN has no
+    JSON spelling); configs never legitimately contain one.
+    """
+    return json.dumps(
+        obj, sort_keys=True, separators=(",", ":"), allow_nan=False
+    )
+
+
+def job_key(config: dict, problem: str, version: str | None = None) -> str:
+    """Content hash (hex SHA-256) identifying one job's result."""
+    material = {
+        "cache_schema": CACHE_SCHEMA,
+        "result_schema": RESULT_SCHEMA,
+        "code_version": version if version is not None else code_version(),
+        "problem": problem,
+        "config": config,
+    }
+    return hashlib.sha256(canonical_json(material).encode()).hexdigest()
+
+
+def derive_seed(campaign_seed: int, job_index: int, job_name: str) -> int:
+    """Deterministic per-job seed from the campaign seed.
+
+    Derived from the job's position and name in the deterministic
+    expansion order -- not from its config hash, which would be
+    circular once the seed is folded back into the config (resilience
+    injection seeds).  Stable across runs, machines and worker counts.
+    """
+    material = f"{campaign_seed}:{job_index}:{job_name}"
+    digest = hashlib.sha256(material.encode()).digest()
+    return int.from_bytes(digest[:4], "big") & 0x7FFFFFFF

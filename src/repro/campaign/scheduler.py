@@ -1,0 +1,291 @@
+"""The campaign work-queue scheduler.
+
+Turns an expanded :class:`~repro.campaign.spec.CampaignSpec` into
+finished results: consults the content-addressed cache first, orders
+the remaining jobs longest-first by the perfmodel cost estimate (the
+LPT heuristic -- with a work-stealing pool, handing out the expensive
+jobs early minimizes the makespan), and runs them on a
+``concurrent.futures`` process pool with bounded per-job retries
+(budgeted by the same :class:`~repro.resilience.retry.RetryPolicy`
+machinery the step-level recovery uses) and a wall-clock deadline.
+
+Failure semantics are the resilience model's, lifted one level up: a
+job that exhausts its attempt budget (or the deadline) is *quarantined*
+-- recorded with its error, never cached -- and the campaign continues;
+one bad configuration cannot take down a study.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.campaign.cache import CacheStats, ResultCache
+from repro.campaign.spec import CampaignSpec, JobSpec
+from repro.campaign.worker import execute_job
+from repro.perfmodel.costmodel import CostModel
+
+#: Outcome states a job record can end in.
+JOB_OK = "ok"
+JOB_QUARANTINED = "quarantined"
+
+ProgressFn = Callable[[str], None]
+
+
+@dataclass
+class JobRecord:
+    """Terminal state of one job within a campaign run."""
+
+    job: JobSpec
+    status: str
+    cache_hit: bool = False
+    attempts: int = 0
+    result: dict[str, Any] | None = None
+    error: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status == JOB_OK
+
+
+@dataclass
+class CampaignResult:
+    """Everything one scheduler invocation produced."""
+
+    spec: CampaignSpec
+    records: list[JobRecord]
+    cache_stats: CacheStats
+    wall_seconds: float
+    workers: int
+    ran: int = 0
+
+    @property
+    def n_jobs(self) -> int:
+        return len(self.records)
+
+    @property
+    def n_ok(self) -> int:
+        return sum(1 for r in self.records if r.ok)
+
+    @property
+    def n_quarantined(self) -> int:
+        return sum(1 for r in self.records if r.status == JOB_QUARANTINED)
+
+    @property
+    def n_cache_hits(self) -> int:
+        return sum(1 for r in self.records if r.cache_hit)
+
+    def summary(self) -> str:
+        return (
+            f"campaign '{self.spec.name}': {self.n_ok}/{self.n_jobs} ok, "
+            f"{self.n_quarantined} quarantined, "
+            f"cache hits: {self.n_cache_hits}/{self.n_jobs}, "
+            f"ran {self.ran} on {self.workers} workers "
+            f"in {self.wall_seconds:.2f} s"
+        )
+
+
+def estimate_cost(job: JobSpec) -> float:
+    """Scheduling cost estimate (relative seconds) for one job."""
+    cfg = job.config
+    try:
+        model = CostModel(
+            nx1=int(cfg.get("nx1", 64)),
+            nx2=int(cfg.get("nx2", 32)),
+            nsteps=max(1, int(cfg.get("nsteps", 10))),
+        )
+        return model.estimate_job_seconds(
+            nprx1=int(cfg.get("nprx1", 1)),
+            nprx2=int(cfg.get("nprx2", 1)),
+            backend=str(cfg.get("backend", "vector")),
+        )
+    except (ValueError, TypeError):
+        return 0.0
+
+
+class CampaignScheduler:
+    """Runs one campaign: cache short-circuit, LPT queue, retries."""
+
+    def __init__(
+        self,
+        spec: CampaignSpec,
+        cache: ResultCache | None = None,
+        workers: int | None = None,
+        progress: ProgressFn | None = None,
+    ) -> None:
+        self.spec = spec
+        self.cache = cache if cache is not None else ResultCache()
+        self.workers = workers if workers is not None else spec.workers
+        if self.workers < 1:
+            raise ValueError("workers must be at least 1")
+        self._progress = progress or (lambda _msg: None)
+
+    # ------------------------------------------------------------------
+    def run(self) -> CampaignResult:
+        t0 = time.monotonic()
+        jobs = self.spec.expand()
+        records: dict[int, JobRecord] = {}
+        runnable: list[JobSpec] = []
+
+        for job in jobs:
+            if not job.valid:
+                records[job.index] = JobRecord(
+                    job=job,
+                    status=JOB_QUARANTINED,
+                    error=f"invalid configuration: {job.invalid_reason}",
+                )
+                self._progress(
+                    f"[{len(records)}/{len(jobs)}] {job.name}: quarantined "
+                    f"(invalid config)"
+                )
+                continue
+            cached = self.cache.get(job.key)
+            if cached is not None:
+                records[job.index] = JobRecord(
+                    job=job, status=JOB_OK, cache_hit=True, result=cached
+                )
+                self._progress(
+                    f"[{len(records)}/{len(jobs)}] {job.name}: cached"
+                )
+            else:
+                runnable.append(job)
+
+        # Longest-first hand-out order: with a work-stealing pool the
+        # expensive jobs must not land last or they alone set the
+        # campaign makespan.
+        runnable.sort(key=lambda j: (-estimate_cost(j), j.index))
+        if runnable:
+            self._execute(runnable, records, total=len(jobs))
+
+        ordered = [records[j.index] for j in jobs]
+        return CampaignResult(
+            spec=self.spec,
+            records=ordered,
+            cache_stats=self.cache.stats,
+            wall_seconds=time.monotonic() - t0,
+            workers=min(self.workers, max(1, len(runnable))),
+            ran=sum(1 for r in ordered if r.ok and not r.cache_hit),
+        )
+
+    # ------------------------------------------------------------------
+    def _finish(
+        self,
+        records: dict[int, JobRecord],
+        total: int,
+        job: JobSpec,
+        outcome: dict[str, Any],
+        attempts: int,
+    ) -> None:
+        if outcome["status"] == "ok":
+            self.cache.put(job.key, outcome["result"])
+            records[job.index] = JobRecord(
+                job=job, status=JOB_OK, attempts=attempts,
+                result=outcome["result"],
+            )
+            note = "ok"
+        else:
+            records[job.index] = JobRecord(
+                job=job, status=JOB_QUARANTINED, attempts=attempts,
+                error=outcome["error"],
+            )
+            note = f"quarantined after {attempts} attempt(s): {outcome['error']}"
+        self._progress(f"[{len(records)}/{total}] {job.name}: {note}")
+
+    def _execute(
+        self, runnable: list[JobSpec], records: dict[int, JobRecord], total: int
+    ) -> None:
+        workers = min(self.workers, len(runnable))
+        budget = self.spec.retry.max_attempts
+        if workers == 1:
+            # Inline serial path: deterministic, debuggable, no pool.
+            for job in runnable:
+                for attempt in range(1, budget + 1):
+                    outcome = execute_job(job.to_dict())
+                    if outcome["status"] == "ok" or attempt == budget:
+                        self._finish(records, total, job, outcome, attempt)
+                        break
+                    self._progress(
+                        f"{job.name}: attempt {attempt} failed, retrying "
+                        f"({outcome['error']})"
+                    )
+            return
+
+        # Deadline covering every wave of attempts; per-job timeouts
+        # cannot interrupt a compute-bound worker from outside, so the
+        # guarantee is campaign-level: no study waits longer than
+        # timeout x waves, stragglers get quarantined.
+        deadline = None
+        if self.spec.timeout is not None:
+            waves = math.ceil(len(runnable) / workers) * budget
+            deadline = time.monotonic() + self.spec.timeout * waves
+
+        attempts: dict[int, int] = {job.index: 0 for job in runnable}
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            pending: dict[Future, JobSpec] = {}
+            for job in runnable:
+                attempts[job.index] = 1
+                pending[pool.submit(execute_job, job.to_dict())] = job
+            while pending:
+                timeout = None
+                if deadline is not None:
+                    timeout = max(0.0, deadline - time.monotonic())
+                done, _ = wait(pending, timeout=timeout,
+                               return_when=FIRST_COMPLETED)
+                if not done:
+                    for fut, job in pending.items():
+                        fut.cancel()
+                        records[job.index] = JobRecord(
+                            job=job, status=JOB_QUARANTINED,
+                            attempts=attempts[job.index],
+                            error=f"deadline exceeded "
+                                  f"({self.spec.timeout} s/job budget)",
+                        )
+                        self._progress(
+                            f"[{len(records)}/{total}] {job.name}: "
+                            f"quarantined (timeout)"
+                        )
+                    pool.shutdown(wait=False, cancel_futures=True)
+                    return
+                for fut in done:
+                    job = pending.pop(fut)
+                    exc = fut.exception()
+                    if exc is not None:
+                        # Worker process died (signal, OOM): treat as a
+                        # failed attempt, not a campaign abort.
+                        outcome = {
+                            "name": job.name, "key": job.key,
+                            "status": "failed", "result": None,
+                            "error": f"worker crashed: {exc!r}",
+                        }
+                    else:
+                        outcome = fut.result()
+                    if (
+                        outcome["status"] != "ok"
+                        and attempts[job.index] < budget
+                    ):
+                        attempts[job.index] += 1
+                        self._progress(
+                            f"{job.name}: attempt "
+                            f"{attempts[job.index] - 1} failed, retrying "
+                            f"({outcome['error']})"
+                        )
+                        try:
+                            fut = pool.submit(execute_job, job.to_dict())
+                        except Exception as resubmit_exc:  # broken pool
+                            outcome["error"] = (
+                                f"{outcome['error']}; resubmit failed: "
+                                f"{resubmit_exc!r}"
+                            )
+                            self._finish(
+                                records, total, job, outcome,
+                                attempts[job.index],
+                            )
+                        else:
+                            pending[fut] = job
+                        continue
+                    self._finish(
+                        records, total, job, outcome, attempts[job.index]
+                    )

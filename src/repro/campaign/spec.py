@@ -1,0 +1,266 @@
+"""Declarative campaign specs and their deterministic expansion.
+
+A :class:`CampaignSpec` describes a *study* the way the paper ran one:
+a base configuration plus axes to sweep (grid mode), or an explicit
+job list (list mode), over a named test problem.  :meth:`expand`
+turns it into an ordered list of :class:`JobSpec` -- the expansion
+order, per-job names, seeds and content hashes are all deterministic,
+so the same spec always names the same jobs and hits the same cache
+entries no matter where or how often it runs.
+
+Spec files are TOML or JSON with up to four sections::
+
+    [campaign]                      # name, seed, scheduling knobs
+    name = "table1-topologies"
+    problem = "gaussian-pulse"
+    seed = 1234
+    workers = 4
+    retries = 1                     # resubmissions per failed job
+    timeout = 300.0                 # per-job wall budget (seconds)
+
+    [base]                          # V2DConfig fields shared by jobs
+    nx1 = 50
+    nx2 = 25
+
+    [axes]                          # grid mode: cartesian product
+    topology = [[1, 1], [10, 1]]    # special axis -> (nprx1, nprx2)
+    backend = ["vector", "scalar"]
+
+    [[jobs]]                        # list mode: explicit entries,
+    nprx1 = 2                       # each merged over [base]
+    nprx2 = 2
+
+Axis keys are :class:`~repro.v2d.config.V2DConfig` field names, plus
+two specials: ``topology`` (a ``[nprx1, nprx2]`` pair, so sweeps name
+only valid factorizations instead of a product of rank counts) and
+``problem``.  Grid and list mode combine: the grid expands once per
+explicit job entry.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.campaign.hashing import canonical_json, derive_seed, job_key
+from repro.resilience.retry import RetryPolicy
+from repro.v2d.config import V2DConfig
+
+#: V2DConfig field names a spec may set.
+_CONFIG_FIELDS = {f.name for f in dataclasses.fields(V2DConfig)}
+
+#: Axis keys with expansion semantics beyond "set this config field".
+_SPECIAL_AXES = {"topology", "problem"}
+
+#: Recognized [campaign] section keys.
+_CAMPAIGN_KEYS = {"name", "problem", "seed", "workers", "retries", "timeout"}
+
+
+class CampaignSpecError(ValueError):
+    """The spec file or mapping is not a valid campaign description."""
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One fully-resolved unit of work in a campaign.
+
+    ``config`` is the canonical full config dict (every field present,
+    defaults filled) whenever the configuration is constructible; a
+    config the :class:`V2DConfig` validator rejects is kept raw with
+    ``valid=False`` so the campaign can quarantine it instead of
+    refusing to expand.
+    """
+
+    index: int
+    name: str
+    problem: str
+    config: dict
+    seed: int
+    key: str
+    valid: bool = True
+    invalid_reason: str | None = None
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+
+@dataclass
+class CampaignSpec:
+    """A declarative scaling study: base config, sweep axes, policies."""
+
+    name: str
+    problem: str = "gaussian-pulse"
+    base: dict = field(default_factory=dict)
+    axes: dict[str, list] = field(default_factory=dict)
+    jobs: list[dict] = field(default_factory=list)
+    seed: int = 0
+    workers: int = 2
+    timeout: float | None = None
+    retry: RetryPolicy = field(default_factory=lambda: RetryPolicy(max_attempts=2))
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise CampaignSpecError("campaign needs a non-empty name")
+        if self.workers < 1:
+            raise CampaignSpecError("workers must be at least 1")
+        if self.timeout is not None and self.timeout <= 0:
+            raise CampaignSpecError("timeout must be positive (or omitted)")
+        unknown = set(self.base) - _CONFIG_FIELDS
+        if unknown:
+            raise CampaignSpecError(
+                f"[base] sets unknown config fields: {sorted(unknown)}"
+            )
+        for axis, values in self.axes.items():
+            if axis not in _CONFIG_FIELDS | _SPECIAL_AXES:
+                raise CampaignSpecError(
+                    f"unknown sweep axis {axis!r}; expected a V2DConfig "
+                    f"field or one of {sorted(_SPECIAL_AXES)}"
+                )
+            if not isinstance(values, (list, tuple)) or not values:
+                raise CampaignSpecError(
+                    f"axis {axis!r} must list at least one value"
+                )
+
+    # ------------------------------------------------------------------
+    # Loading
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_mapping(cls, data: dict) -> "CampaignSpec":
+        """Build a spec from the parsed file structure."""
+        campaign = dict(data.get("campaign") or {})
+        unknown = set(campaign) - _CAMPAIGN_KEYS
+        if unknown:
+            raise CampaignSpecError(
+                f"unknown [campaign] keys: {sorted(unknown)}; "
+                f"recognized: {sorted(_CAMPAIGN_KEYS)}"
+            )
+        if "name" not in campaign:
+            raise CampaignSpecError("[campaign] must set a name")
+        retries = campaign.pop("retries", 1)
+        if not isinstance(retries, int) or retries < 0:
+            raise CampaignSpecError("retries must be a non-negative integer")
+        stray = set(data) - {"campaign", "base", "axes", "jobs"}
+        if stray:
+            raise CampaignSpecError(
+                f"unknown top-level sections: {sorted(stray)}"
+            )
+        return cls(
+            base=dict(data.get("base") or {}),
+            axes=dict(data.get("axes") or {}),
+            jobs=[dict(j) for j in (data.get("jobs") or [])],
+            retry=RetryPolicy(max_attempts=retries + 1),
+            **campaign,
+        )
+
+    @classmethod
+    def from_file(cls, path: str | Path) -> "CampaignSpec":
+        """Load a ``.toml`` or ``.json`` spec file."""
+        path = Path(path)
+        if not path.exists():
+            raise CampaignSpecError(f"campaign spec not found: {path}")
+        text = path.read_text()
+        if path.suffix == ".toml":
+            import tomllib
+
+            try:
+                data = tomllib.loads(text)
+            except tomllib.TOMLDecodeError as exc:
+                raise CampaignSpecError(f"{path}: invalid TOML: {exc}") from exc
+        elif path.suffix == ".json":
+            try:
+                data = json.loads(text)
+            except json.JSONDecodeError as exc:
+                raise CampaignSpecError(f"{path}: invalid JSON: {exc}") from exc
+        else:
+            raise CampaignSpecError(
+                f"{path}: unsupported spec format {path.suffix!r} "
+                f"(use .toml or .json)"
+            )
+        return cls.from_mapping(data)
+
+    # ------------------------------------------------------------------
+    # Expansion
+    # ------------------------------------------------------------------
+    def expand(self) -> list[JobSpec]:
+        """The ordered, fully-resolved job list this spec names."""
+        entries = self.jobs if self.jobs else [{}]
+        axis_names = sorted(self.axes)
+        grids = [self.axes[a] for a in axis_names]
+        out: list[JobSpec] = []
+        for entry in entries:
+            entry = dict(entry)
+            entry_name = entry.pop("name", None)
+            for combo in itertools.product(*grids):
+                out.append(
+                    self._resolve_job(
+                        index=len(out),
+                        entry=entry,
+                        entry_name=entry_name,
+                        axis_values=dict(zip(axis_names, combo)),
+                    )
+                )
+        return out
+
+    def _resolve_job(
+        self,
+        index: int,
+        entry: dict,
+        entry_name: str | None,
+        axis_values: dict[str, Any],
+    ) -> JobSpec:
+        problem = self.problem
+        overrides: dict[str, Any] = dict(self.base)
+        overrides.update(entry)
+        name_parts: list[str] = [] if entry_name is None else [entry_name]
+        for axis, value in axis_values.items():
+            if axis == "topology":
+                n1, n2 = value
+                overrides["nprx1"], overrides["nprx2"] = int(n1), int(n2)
+                name_parts.append(f"topology={n1}x{n2}")
+            elif axis == "problem":
+                problem = str(value)
+                name_parts.append(f"problem={value}")
+            else:
+                overrides[axis] = value
+                name_parts.append(f"{axis}={value}")
+        if "problem" in entry:
+            problem = str(overrides.pop("problem"))
+        name = ",".join(name_parts) if name_parts else f"job{index:03d}"
+        if self.jobs and entry_name is None:
+            name = f"job{index:03d}" + (f":{name}" if name_parts else "")
+        seed = derive_seed(self.seed, index, name)
+        res = overrides.get("resilience")
+        if isinstance(res, dict) and "seed" not in res:
+            res = dict(res)
+            res["seed"] = seed
+            overrides["resilience"] = res
+        # Canonicalize through V2DConfig so equivalent spellings (with
+        # or without explicit defaults) hash to the same cache key; an
+        # unconstructible config stays raw and is quarantined at run.
+        valid, reason = True, None
+        try:
+            config = V2DConfig.from_dict(overrides).to_dict()
+        except (ValueError, TypeError) as exc:
+            config, valid, reason = dict(overrides), False, str(exc)
+        return JobSpec(
+            index=index,
+            name=name,
+            problem=problem,
+            config=config,
+            seed=seed,
+            key=job_key(config, problem),
+            valid=valid,
+            invalid_reason=reason,
+        )
+
+    # ------------------------------------------------------------------
+    def campaign_key(self) -> str:
+        """Content hash of the whole study (order-sensitive job keys)."""
+        import hashlib
+
+        material = canonical_json([j.key for j in self.expand()])
+        return hashlib.sha256(material.encode()).hexdigest()

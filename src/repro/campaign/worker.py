@@ -1,0 +1,57 @@
+"""The unit of execution a campaign worker process runs.
+
+:func:`execute_job` is the only function that crosses the
+``concurrent.futures`` process boundary, so it is module-level, takes
+one plain-dict payload and returns one plain-dict outcome -- nothing
+that needs pickling beyond JSON-shaped data.  It never raises: every
+failure mode (invalid config, solver blow-up, aborted SPMD world) is
+folded into a ``status="failed"`` record the scheduler can retry or
+quarantine while the rest of the campaign keeps running.
+"""
+
+from __future__ import annotations
+
+import traceback
+from typing import Any
+
+from repro.v2d.job import run_job
+
+#: Per-rank watchdog for decomposed in-job runs, so one wedged job
+#: cannot stall its worker process forever (the scheduler's own
+#: timeout then quarantines it).
+JOB_SPMD_TIMEOUT = 600.0
+
+
+def execute_job(payload: dict[str, Any]) -> dict[str, Any]:
+    """Run one job payload; always returns an outcome record.
+
+    ``payload`` carries the resolved :class:`~repro.campaign.spec.JobSpec`
+    fields (``name``, ``problem``, ``config``, ``key``, ``valid`` ...).
+    The outcome echoes ``name``/``key`` so the scheduler can match it
+    back without trusting future ordering.
+    """
+    outcome: dict[str, Any] = {
+        "name": payload.get("name", "?"),
+        "key": payload.get("key", ""),
+        "status": "failed",
+        "result": None,
+        "error": None,
+    }
+    if not payload.get("valid", True):
+        outcome["error"] = (
+            f"invalid configuration: {payload.get('invalid_reason')}"
+        )
+        return outcome
+    try:
+        result = run_job(
+            payload["config"],
+            problem=payload.get("problem", "gaussian-pulse"),
+            timeout=payload.get("spmd_timeout", JOB_SPMD_TIMEOUT),
+        )
+    except Exception as exc:  # noqa: BLE001 - the whole point is containment
+        tail = traceback.format_exc(limit=3).strip().splitlines()[-1]
+        outcome["error"] = f"{type(exc).__name__}: {exc} ({tail})"
+        return outcome
+    outcome["status"] = "ok"
+    outcome["result"] = result
+    return outcome

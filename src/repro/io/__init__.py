@@ -11,6 +11,7 @@ content checksum verified on load; failures surface as the typed
 ``Checkpoint*Error`` hierarchy below.
 """
 
+from repro.io.atomic import atomic_write_bytes, crc32_update, tmp_path_for
 from repro.io.checkpoint import (
     Checkpoint,
     CheckpointCorruptError,
@@ -24,6 +25,9 @@ from repro.io.checkpoint import (
 )
 
 __all__ = [
+    "atomic_write_bytes",
+    "crc32_update",
+    "tmp_path_for",
     "Checkpoint",
     "CheckpointCorruptError",
     "CheckpointError",

@@ -1,0 +1,54 @@
+"""Crash-safe file writes and content checksums.
+
+The one write discipline every durable artifact in this codebase uses
+(checkpoints in :mod:`repro.io.checkpoint`, cache entries in
+:mod:`repro.campaign.cache`): data lands in a ``<name>.tmp`` sibling
+first, is fsynced, and is renamed over the target only once complete.
+A crash -- or an injected io fault -- mid-write can therefore never
+tear an existing artifact; the previous one stays intact and loadable.
+
+Checksums use CRC32 (:func:`crc32_update`) so every consumer shares
+one notion of "content checksum" and one failure mode: a mismatch
+means the artifact was corrupted *after* a successful atomic write
+(bit rot, manual truncation), never a torn write.
+"""
+
+from __future__ import annotations
+
+import os
+import zlib
+from pathlib import Path
+
+#: Suffix of the temporary sibling an atomic write stages into.
+TMP_SUFFIX = ".tmp"
+
+
+def tmp_path_for(path: Path) -> Path:
+    """The temporary staging sibling for an atomic write to ``path``."""
+    return path.with_name(path.name + TMP_SUFFIX)
+
+
+def crc32_update(data: bytes, crc: int = 0) -> int:
+    """Fold ``data`` into a running CRC32 (start with ``crc=0``)."""
+    return zlib.crc32(data, crc)
+
+
+def atomic_write_bytes(path: str | Path, data: bytes, fsync: bool = True) -> Path:
+    """Write ``data`` to ``path`` atomically; returns the final path.
+
+    Creates parent directories as needed.  On any failure the target is
+    untouched and the temporary sibling is removed.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = tmp_path_for(path)
+    try:
+        with open(tmp, "wb") as fh:
+            fh.write(data)
+            if fsync:
+                fh.flush()
+                os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    finally:
+        tmp.unlink(missing_ok=True)
+    return path

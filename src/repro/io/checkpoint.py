@@ -28,6 +28,7 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from repro.io.atomic import crc32_update, tmp_path_for
 from repro.parallel.cart import CartComm
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -123,9 +124,9 @@ def _content_checksum(E: Array, rho: Array, temp: Array, time: float, step: int)
     """CRC32 over the physical content of a checkpoint."""
     crc = 0
     for arr in (E, rho, temp):
-        crc = zlib.crc32(np.ascontiguousarray(arr, dtype=np.float64).tobytes(), crc)
-    crc = zlib.crc32(np.float64(time).tobytes(), crc)
-    crc = zlib.crc32(np.int64(step).tobytes(), crc)
+        crc = crc32_update(np.ascontiguousarray(arr, dtype=np.float64).tobytes(), crc)
+    crc = crc32_update(np.float64(time).tobytes(), crc)
+    crc = crc32_update(np.int64(step).tobytes(), crc)
     return crc
 
 
@@ -165,7 +166,7 @@ def save_checkpoint(
     if kind == "fail":
         raise CheckpointWriteError(f"injected io fault: write of {path} failed")
     crc = _content_checksum(ge, gr, gt, time, step)
-    tmp = path.with_name(path.name + ".tmp")
+    tmp = tmp_path_for(path)
     try:
         with open(tmp, "wb") as fh:
             np.savez_compressed(

@@ -139,6 +139,22 @@ class Counters:
         """Return a plain-dict copy of all counters."""
         return {f.name: getattr(self, f.name) for f in fields(self)}
 
+    @classmethod
+    def from_snapshot(cls, data: dict[str, int]) -> "Counters":
+        """Rebuild counters from a :meth:`snapshot` dict.
+
+        The inverse of :meth:`snapshot` for serialized counters (a
+        campaign job result that crossed a process boundary as JSON).
+        Unknown keys are ignored so snapshots from newer builds load.
+        """
+        known = {f.name for f in fields(cls)}
+        return cls(**{k: int(v) for k, v in data.items() if k in known})
+
+    def merge_snapshot(self, data: dict[str, int]) -> None:
+        """Accumulate a serialized snapshot into ``self`` (e.g. when
+        folding per-job counter exports into campaign totals)."""
+        self.merge(Counters.from_snapshot(data))
+
     def reset(self) -> None:
         """Zero every counter in place."""
         for f in fields(self):

@@ -198,6 +198,28 @@ class CostModel:
             out.append(model.predict(compiler, n1, n2))
         return out
 
+    def estimate_job_seconds(
+        self, nprx1: int = 1, nprx2: int = 1, backend: str = "vector"
+    ) -> float:
+        """Relative cost estimate for scheduling one campaign job.
+
+        The campaign scheduler orders its work queue longest-first
+        (LPT), so only the *ordering* of these numbers matters, not
+        their absolute scale.  The SVE build maps onto the optimized
+        Cray model, the scalar build onto the unoptimized one; a
+        topology the machine model cannot place (or that does not tile
+        the grid) falls back to a zones-per-step proxy so estimation
+        never fails for a job the worker might still quarantine.
+        """
+        from repro.perfmodel.paper_data import CRAY_NOOPT, CRAY_OPT
+
+        compiler = CRAY_OPT if backend == "vector" else CRAY_NOOPT
+        try:
+            return self.predict(compiler, nprx1, nprx2).total
+        except (ValueError, KeyError):
+            ranks = max(1, nprx1 * nprx2)
+            return self.nx1 * self.nx2 * self.nsteps / ranks
+
     def app_sve_ratio(self) -> float:
         """Whole-application SVE/no-SVE time ratio (serial Cray).
 

@@ -11,10 +11,13 @@ performance instrumentation, and checkpointing.
 * :mod:`repro.v2d.simulation` -- :class:`Simulation` (one rank's
   driver) and :func:`run_parallel` (the ``mpiexec`` path).
 * :mod:`repro.v2d.report` -- :class:`RunReport` run summaries.
+* :mod:`repro.v2d.job` -- :func:`run_job`, the embeddable one-run
+  entrypoint the campaign engine schedules.
 """
 
 from repro.v2d.config import V2DConfig
 from repro.v2d.diagnostics import EnergyLedger, EnergySample, group_spectrum
+from repro.v2d.job import run_job, strip_timing, summarize_reports
 from repro.v2d.report import RunReport
 from repro.v2d.simulation import Simulation, run_parallel
 
@@ -22,6 +25,9 @@ __all__ = [
     "V2DConfig",
     "Simulation",
     "run_parallel",
+    "run_job",
+    "strip_timing",
+    "summarize_reports",
     "RunReport",
     "EnergyLedger",
     "EnergySample",
