@@ -10,6 +10,7 @@ Commands regenerate the paper's artifacts or run the simulator:
 * ``calibration`` -- the Table-I fit coefficients and residuals
 * ``scaling``     -- the future-work projection (larger problem, more ranks)
 * ``run``         -- run the Gaussian-pulse problem at a chosen scale
+* ``trace``       -- traced run exporting a Perfetto-loadable timeline
 * ``chaos``       -- seeded fault-injection sweep against a clean baseline
 * ``driver``      -- the Sec. II-F kernel driver on this substrate
 * ``campaign``    -- sharded scaling-study runner with a result cache
@@ -98,17 +99,88 @@ def _cmd_run(args: argparse.Namespace) -> int:
         checkpoint_path=args.checkpoint_path,
         checkpoint_interval=args.checkpoint_interval,
         resilience=_make_resilience(args),
+        trace=bool(getattr(args, "trace", None)),
     )
     problem = GaussianPulseProblem()
     if cfg.nranks == 1:
-        report = Simulation(cfg, problem).run()
+        reports = [Simulation(cfg, problem).run()]
     else:
-        report = run_parallel(cfg, problem)[0]
+        reports = run_parallel(cfg, problem)
+    report = reports[0]
     print(report.summary())
     if args.profile:
         print()
         print(report.flat_profile())
+    if getattr(args, "trace", None):
+        code = _export_run_trace(reports, args.trace, problem.name)
+        if code != 0:
+            return code
     return 0 if report.all_converged else 1
+
+
+def _export_run_trace(reports, path: str, problem_name: str) -> int:
+    """Merge per-rank tracers, validate, write; 0 on a clean trace."""
+    import sys as _sys
+
+    from repro.monitor.trace import merged_payload, validate_trace, write_trace
+
+    tracers = [rep.tracer for rep in reports if rep.tracer is not None]
+    if not tracers:
+        print("repro: no tracer attached to any rank report", file=_sys.stderr)
+        return 1
+    payload = merged_payload(
+        tracers,
+        metadata={"problem": problem_name, "nranks": len(reports)},
+    )
+    problems = validate_trace(payload)
+    out = write_trace(payload, path)
+    nevents = sum(len(t) for t in tracers)
+    print(f"wrote {out}: {nevents} events over {len(tracers)} rank track(s)")
+    if problems:
+        print(f"trace validation failed ({len(problems)} problem(s)):",
+              file=_sys.stderr)
+        for msg in problems[:10]:
+            print(f"  {msg}", file=_sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """Run the Gaussian pulse with tracing armed and export the timeline."""
+    from repro.monitor.trace import merge_summaries
+    from repro.problems import GaussianPulseProblem
+    from repro.v2d import Simulation, V2DConfig, run_parallel
+
+    cfg = V2DConfig(
+        nx1=args.nx1, nx2=args.nx2, nsteps=args.nsteps, dt=args.dt,
+        nprx1=args.nprx1, nprx2=args.nprx2,
+        backend=args.backend, precond=args.precond,
+        solver_tol=args.tol,
+        trace=True,
+    )
+    problem = GaussianPulseProblem()
+    if cfg.nranks == 1:
+        reports = [Simulation(cfg, problem).run()]
+    else:
+        reports = run_parallel(cfg, problem)
+    code = _export_run_trace(reports, args.output, problem.name)
+
+    tracers = [rep.tracer for rep in reports if rep.tracer is not None]
+    summary = merge_summaries([t.summary() for t in tracers])
+    spans = sorted(summary["spans"].items(), key=lambda kv: -kv[1]["us"])
+    if spans:
+        print(f"  {'span':<16} {'count':>8} {'total ms':>10}")
+        for name, agg in spans[:12]:
+            print(f"  {name:<16} {int(agg['count']):>8} "
+                  f"{agg['us'] / 1000.0:>10.2f}")
+    if summary["instants"]:
+        marks = ", ".join(
+            f"{name} x{n}" for name, n in sorted(summary["instants"].items())
+        )
+        print(f"  instants: {marks}")
+    if code != 0:
+        return code
+    return 0 if reports[0].all_converged else 1
 
 
 def _cmd_chaos(args: argparse.Namespace) -> int:
@@ -275,8 +347,28 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--profile", action="store_true")
     p.add_argument("--checkpoint-path", default=None)
     p.add_argument("--checkpoint-interval", type=int, default=0)
+    p.add_argument("--trace", metavar="PATH", default=None,
+                   help="arm the tracer and write the merged per-rank "
+                        "timeline (Chrome trace-event JSON) to PATH")
     _add_resilience_flags(p)
     p.set_defaults(fn=_cmd_run)
+
+    p = sub.add_parser(
+        "trace",
+        help="traced Gaussian-pulse run exporting a Perfetto timeline",
+    )
+    p.add_argument("--nx1", type=int, default=48)
+    p.add_argument("--nx2", type=int, default=48)
+    p.add_argument("--nsteps", type=int, default=5)
+    p.add_argument("--dt", type=float, default=2e-4)
+    p.add_argument("--nprx1", type=int, default=1)
+    p.add_argument("--nprx2", type=int, default=1)
+    p.add_argument("--backend", choices=("vector", "scalar"), default="vector")
+    p.add_argument("--precond", choices=("spai", "jacobi", "none"), default="spai")
+    p.add_argument("--tol", type=float, default=1e-10)
+    p.add_argument("--output", default="trace.json",
+                   help="trace artifact path (default: trace.json)")
+    p.set_defaults(fn=_cmd_trace)
 
     p = sub.add_parser(
         "chaos", help="seeded fault-injection sweep vs a clean baseline"

@@ -25,6 +25,7 @@ from repro.campaign.hashing import code_version
 from repro.campaign.scheduler import CampaignResult
 from repro.io.atomic import atomic_write_bytes
 from repro.monitor.counters import Counters
+from repro.monitor.trace import merge_summaries
 from repro.v2d.job import TIMING_KEY, strip_timing
 
 #: Top-level payload keys that vary run-to-run even for identical
@@ -78,7 +79,25 @@ def build_bench_payload(result: CampaignResult) -> dict[str, Any]:
             "speedup": _speedups(jobs),
         },
     }
+    trace = _trace_rollup(jobs)
+    if trace is not None:
+        payload["timing"]["trace"] = trace
     return payload
+
+
+def _trace_rollup(jobs: list[dict[str, Any]]) -> dict[str, Any] | None:
+    """Campaign-wide merge of per-job trace summaries, when any exist."""
+    summaries = []
+    for entry in jobs:
+        result = entry.get("result")
+        if not result:
+            continue
+        summ = result.get(TIMING_KEY, {}).get("trace")
+        if summ:
+            summaries.append(summ)
+    if not summaries:
+        return None
+    return merge_summaries(summaries)
 
 
 def stable_payload(payload: dict[str, Any]) -> dict[str, Any]:

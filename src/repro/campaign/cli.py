@@ -39,13 +39,17 @@ def _load_spec(path: str) -> CampaignSpec:
 
 
 def cmd_run(args: argparse.Namespace) -> int:
+    from repro.monitor.trace import Tracer, validate_trace, write_trace
+
     spec = _load_spec(args.spec)
     cache = ResultCache(args.cache_dir)
+    tracer = Tracer("repro campaign") if args.trace else None
     scheduler = CampaignScheduler(
         spec,
         cache=cache,
         workers=args.workers,
         progress=lambda msg: print(msg, flush=True),
+        tracer=tracer,
     )
     result = scheduler.run()
     payload = build_bench_payload(result)
@@ -53,6 +57,16 @@ def cmd_run(args: argparse.Namespace) -> int:
     print(result.summary())
     print(f"cache hits: {result.n_cache_hits}/{result.n_jobs}")
     print(f"wrote {out}")
+    if tracer is not None:
+        trace_payload = tracer.to_payload(
+            metadata={"campaign": spec.name, "njobs": result.n_jobs}
+        )
+        problems = validate_trace(trace_payload)
+        trace_out = write_trace(trace_payload, args.trace)
+        print(f"wrote {trace_out} ({len(tracer)} events)")
+        if problems:
+            print(f"trace validation failed: {problems[0]}", file=sys.stderr)
+            return 1
     return 0 if result.n_quarantined == 0 else 1
 
 
@@ -161,6 +175,9 @@ def add_campaign_parser(sub: argparse._SubParsersAction) -> None:
                     help="worker processes (default: the spec's setting)")
     vp.add_argument("--output", default=DEFAULT_OUTPUT,
                     help=f"bench artifact path (default: {DEFAULT_OUTPUT})")
+    vp.add_argument("--trace", metavar="PATH", default=None,
+                    help="write the scheduler's job-lifecycle timeline "
+                         "(Chrome trace-event JSON) to PATH")
     common(vp)
     vp.set_defaults(fn=cmd_run)
 

@@ -26,6 +26,7 @@ from typing import Any, Callable
 from repro.campaign.cache import CacheStats, ResultCache
 from repro.campaign.spec import CampaignSpec, JobSpec
 from repro.campaign.worker import execute_job
+from repro.monitor.trace import Tracer
 from repro.perfmodel.costmodel import CostModel
 
 #: Outcome states a job record can end in.
@@ -107,7 +108,13 @@ def estimate_cost(job: JobSpec) -> float:
 
 
 class CampaignScheduler:
-    """Runs one campaign: cache short-circuit, LPT queue, retries."""
+    """Runs one campaign: cache short-circuit, LPT queue, retries.
+
+    With a ``tracer``, every job's lifecycle becomes an async
+    ``job:<name>`` window on the scheduler's track (submit to finish),
+    with instants for cache hits, retries and quarantines -- the
+    campaign-level view of what the pool had in flight when.
+    """
 
     def __init__(
         self,
@@ -115,6 +122,7 @@ class CampaignScheduler:
         cache: ResultCache | None = None,
         workers: int | None = None,
         progress: ProgressFn | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         self.spec = spec
         self.cache = cache if cache is not None else ResultCache()
@@ -122,6 +130,31 @@ class CampaignScheduler:
         if self.workers < 1:
             raise ValueError("workers must be at least 1")
         self._progress = progress or (lambda _msg: None)
+        self.tracer = tracer
+        self._job_aids: dict[int, int] = {}
+
+    # -- trace hooks (no-ops without a tracer) -------------------------
+    def _trace_begin(self, job: JobSpec) -> None:
+        if self.tracer is not None:
+            self._job_aids[job.index] = self.tracer.async_begin(
+                f"job:{job.name}", cat="campaign",
+                args={"key": job.key[:12]},
+            )
+
+    def _trace_end(self, job: JobSpec, status: str) -> None:
+        if self.tracer is not None:
+            aid = self._job_aids.pop(job.index, None)
+            if aid is not None:
+                self.tracer.async_end(
+                    f"job:{job.name}", aid, cat="campaign",
+                    args={"status": status},
+                )
+
+    def _trace_instant(self, name: str, job: JobSpec, **args: Any) -> None:
+        if self.tracer is not None:
+            self.tracer.instant(
+                name, cat="campaign", args={"job": job.name, **args}
+            )
 
     # ------------------------------------------------------------------
     def run(self) -> CampaignResult:
@@ -137,6 +170,9 @@ class CampaignScheduler:
                     status=JOB_QUARANTINED,
                     error=f"invalid configuration: {job.invalid_reason}",
                 )
+                self._trace_instant(
+                    "job_quarantined", job, reason="invalid config"
+                )
                 self._progress(
                     f"[{len(records)}/{len(jobs)}] {job.name}: quarantined "
                     f"(invalid config)"
@@ -147,6 +183,7 @@ class CampaignScheduler:
                 records[job.index] = JobRecord(
                     job=job, status=JOB_OK, cache_hit=True, result=cached
                 )
+                self._trace_instant("job_cached", job)
                 self._progress(
                     f"[{len(records)}/{len(jobs)}] {job.name}: cached"
                 )
@@ -192,6 +229,7 @@ class CampaignScheduler:
                 error=outcome["error"],
             )
             note = f"quarantined after {attempts} attempt(s): {outcome['error']}"
+        self._trace_end(job, records[job.index].status)
         self._progress(f"[{len(records)}/{total}] {job.name}: {note}")
 
     def _execute(
@@ -202,11 +240,13 @@ class CampaignScheduler:
         if workers == 1:
             # Inline serial path: deterministic, debuggable, no pool.
             for job in runnable:
+                self._trace_begin(job)
                 for attempt in range(1, budget + 1):
                     outcome = execute_job(job.to_dict())
                     if outcome["status"] == "ok" or attempt == budget:
                         self._finish(records, total, job, outcome, attempt)
                         break
+                    self._trace_instant("job_retry", job, attempt=attempt)
                     self._progress(
                         f"{job.name}: attempt {attempt} failed, retrying "
                         f"({outcome['error']})"
@@ -227,6 +267,7 @@ class CampaignScheduler:
             pending: dict[Future, JobSpec] = {}
             for job in runnable:
                 attempts[job.index] = 1
+                self._trace_begin(job)
                 pending[pool.submit(execute_job, job.to_dict())] = job
             while pending:
                 timeout = None
@@ -243,6 +284,7 @@ class CampaignScheduler:
                             error=f"deadline exceeded "
                                   f"({self.spec.timeout} s/job budget)",
                         )
+                        self._trace_end(job, JOB_QUARANTINED)
                         self._progress(
                             f"[{len(records)}/{total}] {job.name}: "
                             f"quarantined (timeout)"
@@ -267,6 +309,9 @@ class CampaignScheduler:
                         and attempts[job.index] < budget
                     ):
                         attempts[job.index] += 1
+                        self._trace_instant(
+                            "job_retry", job, attempt=attempts[job.index] - 1
+                        )
                         self._progress(
                             f"{job.name}: attempt "
                             f"{attempts[job.index] - 1} failed, retrying "

@@ -52,6 +52,7 @@ from repro.kernels.fused import SolverWorkspace
 from repro.kernels.suite import KernelSuite
 from repro.linalg.operators import LinearOperator
 from repro.linalg.spai import Preconditioner
+from repro.monitor.trace import Tracer
 from repro.parallel.comm import Communicator
 
 Array = np.ndarray
@@ -185,6 +186,8 @@ def bicgstab(
     workspace: SolverWorkspace | None = None,
     max_restarts: int = 10,
     callback: Callable[[int, float], None] | None = None,
+    tracer: Tracer | None = None,
+    trace_rank: int = 0,
 ) -> SolveResult:
     """Solve ``A x = b`` with (preconditioned) BiCGSTAB.
 
@@ -222,6 +225,11 @@ def bicgstab(
     callback:
         Called as ``callback(iteration, residual_norm)`` once per
         iteration with the (possibly derived) residual norm.
+    tracer:
+        Optional :class:`~repro.monitor.trace.Tracer`; when given, the
+        solver marks every iteration (and every breakdown restart) on
+        rank ``trace_rank``'s track.  ``None`` (the default) adds no
+        work to the iteration at all.
     """
     if suite is None:
         suite = getattr(op, "suite", None) or KernelSuite()
@@ -313,6 +321,13 @@ def bicgstab(
     converged = False
     it = 0
 
+    def trace_iter(iteration: int, norm: float) -> None:
+        if tracer is not None:
+            tracer.instant(
+                "bicgstab_iter", rank=trace_rank, cat="solver",
+                args={"iter": iteration, "rnorm": norm},
+            )
+
     def precond(vec: Array, out: Array) -> Array:
         nonlocal mapplies
         if M is None:
@@ -325,6 +340,11 @@ def bicgstab(
         """Recover from a breakdown; returns False when out of budget."""
         nonlocal rhat, rho, rr, rnorm, breakdowns, r, x, mv
         breakdowns += 1
+        if tracer is not None:
+            tracer.instant(
+                "bicgstab_restart", rank=trace_rank, cat="solver",
+                args={"iter": it, "breakdowns": breakdowns},
+            )
         if breakdowns > max_restarts:
             return False
         r, rnorm = _true_residual(op, b, x, suite, dots, fused=use_fused)
@@ -379,6 +399,7 @@ def bicgstab(
             mv += 1
             rr = rnorm * rnorm
             history.append(rnorm)
+            trace_iter(it, rnorm)
             if callback is not None:
                 callback(it, rnorm)
             if rnorm <= target:
@@ -435,6 +456,7 @@ def bicgstab(
             rho_next = None
 
         history.append(rnorm)
+        trace_iter(it, rnorm)
         if callback is not None:
             callback(it, rnorm)
 

@@ -95,6 +95,9 @@ class StencilOperator(LinearOperator):
         this rank's tile and every :meth:`apply` performs a halo
         exchange; sides facing neighbouring tiles take their ghosts
         from the exchange, physical sides from ``bc``.
+    tracer:
+        Optional tracer handed to the internal halo exchanger, so the
+        per-Matvec exchanges of decomposed solves land on the timeline.
     """
 
     def __init__(
@@ -103,6 +106,7 @@ class StencilOperator(LinearOperator):
         suite: KernelSuite | None = None,
         bc: BoundaryCondition | dict[str, BoundaryCondition] = BoundaryCondition.DIRICHLET0,
         cart: CartComm | None = None,
+        tracer=None,
     ) -> None:
         self.coeffs = coeffs
         self.suite = suite if suite is not None else KernelSuite()
@@ -116,7 +120,9 @@ class StencilOperator(LinearOperator):
                 f"tile {cart.tile.shape}"
             )
         self._work = Field(ns, (n1, n2), nghost=1)
-        self._halo = HaloExchanger(cart, bc) if cart is not None else None
+        self._halo = (
+            HaloExchanger(cart, bc, tracer=tracer) if cart is not None else None
+        )
 
     # ------------------------------------------------------------------
     @property

@@ -11,6 +11,9 @@ This package stands in for the measurement stack used in the paper:
   profiler with ParaProf-like flat-profile text reports.
 * :mod:`repro.monitor.sampler` -- Arm-MAP-style statistical sampler
   over the profiler's active-region stacks.
+* :mod:`repro.monitor.trace` -- structured span/event tracer with a
+  process-wide metrics registry, exporting Chrome trace-event JSON
+  (Perfetto-loadable timelines with per-rank tracks).
 
 The paper measured V2D with ``perf stat -e duration_time -e
 cpu-cycles``, PAPI timers inside the linear-algebra routines, TAU's
@@ -24,6 +27,16 @@ from repro.monitor.counters import Counters, EventSet, PAPI_EVENTS
 from repro.monitor.profiler import Profiler, ProfileNode, get_profiler, profile_region
 from repro.monitor.sampler import SampleReport, SamplingProfiler
 from repro.monitor.timers import CpuTimer, PerfStatResult, RegionTimer, WallTimer, perf_stat
+from repro.monitor.trace import (
+    MetricsRegistry,
+    TRACE_SCHEMA,
+    Tracer,
+    get_metrics,
+    merge_summaries,
+    merged_payload,
+    validate_trace,
+    write_trace,
+)
 
 __all__ = [
     "Counters",
@@ -40,4 +53,12 @@ __all__ = [
     "perf_stat",
     "SamplingProfiler",
     "SampleReport",
+    "Tracer",
+    "MetricsRegistry",
+    "TRACE_SCHEMA",
+    "get_metrics",
+    "merge_summaries",
+    "merged_payload",
+    "validate_trace",
+    "write_trace",
 ]

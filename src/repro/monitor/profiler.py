@@ -66,7 +66,12 @@ class Profiler:
         self._lock = threading.Lock()
         #: thread-id -> currently open region (for the MAP-style
         #: sampler); plain dict writes are atomic under the GIL.
+        #: Entries are removed when a thread closes its outermost
+        #: region, and :meth:`active_regions` prunes dead threads.
         self._active: dict[int, ProfileNode | None] = {}
+        #: Bumped by :meth:`reset`; a region that closes after a reset
+        #: discards its timing instead of resurrecting a stale node.
+        self._epoch = 0
 
     def _root(self, rank: int) -> ProfileNode:
         with self._lock:
@@ -78,12 +83,26 @@ class Profiler:
 
     @contextmanager
     def region(self, name: str, rank: int = 0) -> Iterator[ProfileNode]:
-        """Time a named region nested under the current one."""
-        parent = getattr(self._tls, "current", None)
+        """Time a named region nested under the current one.
+
+        Nesting is tracked *per rank*: opening a region with a ``rank``
+        different from the enclosing region's attributes it to the
+        requested rank's own tree (under that rank's innermost open
+        region, or its root) instead of silently hanging it off the
+        enclosing rank's tree.
+        """
+        tls = self._tls
+        epoch = self._epoch
+        current: dict[int, ProfileNode] | None = getattr(tls, "current", None)
+        if current is None:
+            current = tls.current = {}
+            tls.stack = []
+        parent = current.get(rank)
         if parent is None:
             parent = self._root(rank)
         node = parent.child(name)
-        self._tls.current = node
+        current[rank] = node
+        tls.stack.append(node)
         tid = threading.get_ident()
         self._active[tid] = node
         t0 = time.perf_counter()
@@ -91,16 +110,35 @@ class Profiler:
             yield node
         finally:
             dt = time.perf_counter() - t0
-            node.inclusive += dt
-            node.calls += 1
-            self._tls.current = parent
-            self._active[tid] = parent if parent.parent is not None else None
+            stale = epoch != self._epoch
+            if not stale:
+                node.inclusive += dt
+                node.calls += 1
+            stack = getattr(tls, "stack", None)
+            if stack:
+                stack.pop()
+            current[rank] = parent
+            if stale or not stack:
+                # Outermost region closed (or the tree was reset while
+                # open): drop the thread's entry instead of leaking it.
+                self._active.pop(tid, None)
+            else:
+                self._active[tid] = stack[-1]
 
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
     def active_regions(self) -> list[ProfileNode]:
-        """Currently open regions, one per active thread (sampler hook)."""
+        """Currently open regions, one per active thread (sampler hook).
+
+        Entries of threads that have exited are pruned by liveness, so
+        a dead SPMD rank thread can never be reported as "in" a region
+        it will never leave.
+        """
+        live = {t.ident for t in threading.enumerate()}
+        for tid in list(self._active):
+            if tid not in live:
+                self._active.pop(tid, None)
         return [node for node in list(self._active.values()) if node is not None]
 
     def ranks(self) -> list[int]:
@@ -118,17 +156,34 @@ class Profiler:
 
         Regions appearing at several tree positions (e.g. ``matvec``
         called from three BiCGSTAB call sites) are merged, matching
-        TAU's flat profile semantics.
+        TAU's flat profile semantics.  Inclusive time counts only the
+        *outermost* occurrence of a name along each path: a recursive
+        (self-nested) region contributes its inclusive seconds once, not
+        once per depth, so ``exclusive <= inclusive <= total_time``
+        always holds.  Exclusive time and call counts sum over every
+        occurrence (exclusive intervals are disjoint by construction).
         """
         root = self._roots.get(rank)
         out: dict[str, tuple[float, float, int]] = {}
         if root is None:
             return out
-        for node in root.walk():
-            if node is root:
-                continue
-            incl, excl, calls = out.get(node.name, (0.0, 0.0, 0))
-            out[node.name] = (incl + node.inclusive, excl + node.exclusive, calls + node.calls)
+
+        def visit(node: ProfileNode, on_path: set[str]) -> None:
+            for child in node.children.values():
+                incl, excl, calls = out.get(child.name, (0.0, 0.0, 0))
+                outermost = child.name not in on_path
+                out[child.name] = (
+                    incl + (child.inclusive if outermost else 0.0),
+                    excl + child.exclusive,
+                    calls + child.calls,
+                )
+                if outermost:
+                    on_path.add(child.name)
+                visit(child, on_path)
+                if outermost:
+                    on_path.discard(child.name)
+
+        visit(root, set())
         return out
 
     def exclusive_fraction(self, name: str, rank: int = 0) -> float:
@@ -181,7 +236,14 @@ class Profiler:
         return "\n".join(lines)
 
     def reset(self) -> None:
+        """Drop every tree; regions still open discard their timing.
+
+        A region entered before the reset and exited after it belongs
+        to the discarded tree: its exit is a no-op (epoch guard) rather
+        than a write into a node the reset already orphaned.
+        """
         with self._lock:
+            self._epoch += 1
             self._roots.clear()
             self._active.clear()
         self._tls = threading.local()

@@ -18,6 +18,7 @@ from dataclasses import dataclass
 from enum import Enum
 
 from repro.grid.field import Field
+from repro.monitor.trace import Tracer
 from repro.parallel.cart import CartComm
 
 #: direction-of-travel tags: messages are tagged by the side of the
@@ -51,10 +52,17 @@ class HaloExchanger:
         Physical-boundary condition; either one
         :class:`BoundaryCondition` for all sides or a per-side dict
         with keys ``west/east/south/north``.
+    tracer:
+        Optional :class:`~repro.monitor.trace.Tracer`; when given, the
+        posting (``halo_start``) and installation (``halo_finish``)
+        phases become spans on this rank's track and the in-flight
+        window between them an async ``halo_inflight`` event, making
+        communication/compute overlap visible on the timeline.
     """
 
     cart: CartComm
     bc: BoundaryCondition | dict[str, BoundaryCondition] = BoundaryCondition.DIRICHLET0
+    tracer: Tracer | None = None
 
     def _bc_for(self, side: str) -> BoundaryCondition:
         if isinstance(self.bc, BoundaryCondition):
@@ -79,6 +87,16 @@ class HaloExchanger:
         call :meth:`PendingExchange.finish` before touching the halos
         -- the standard overlap pattern for stencil codes.
         """
+        if self.tracer is None:
+            return self._start(field, width, None)
+        rank = self.cart.rank
+        aid = self.tracer.async_begin("halo_inflight", rank=rank, cat="halo")
+        with self.tracer.span("halo_start", rank=rank, cat="halo"):
+            return self._start(field, width, aid)
+
+    def _start(
+        self, field: Field, width: int | None, async_id: int | None
+    ) -> "PendingExchange":
         comm = self.cart.comm
         neighbors = self.cart.neighbors
 
@@ -99,7 +117,7 @@ class HaloExchanger:
             else:
                 tag = _TAG_BASE + _SIDE_TAG[side]
                 pending.append((side, comm.irecv(nbr, tag)))
-        return PendingExchange(self, field, width, pending)
+        return PendingExchange(self, field, width, pending, async_id=async_id)
 
 
 @dataclass
@@ -110,6 +128,7 @@ class PendingExchange:
     field: Field
     width: int | None
     pending: list
+    async_id: int | None = None
     _done: bool = False
 
     def test(self) -> bool:
@@ -120,6 +139,17 @@ class PendingExchange:
         """Wait for and install every neighbour strip (idempotent)."""
         if self._done:
             return
+        tracer = self.exchanger.tracer
+        if tracer is None:
+            self._finish()
+            return
+        rank = self.exchanger.cart.rank
+        with tracer.span("halo_finish", rank=rank, cat="halo"):
+            self._finish()
+        if self.async_id is not None:
+            tracer.async_end("halo_inflight", self.async_id, rank=rank, cat="halo")
+
+    def _finish(self) -> None:
         for side, req in self.pending:
             self.field.ghost_strip(side, self.width)[...] = req.wait()
         self.exchanger.cart.comm.counters.halo_exchanges += 1

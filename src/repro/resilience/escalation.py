@@ -35,6 +35,7 @@ from repro.linalg.gmres import gmres
 from repro.linalg.operators import LinearOperator
 from repro.linalg.spai import Preconditioner
 from repro.monitor.counters import Counters
+from repro.monitor.trace import Tracer
 from repro.parallel.comm import Communicator, ReduceOp
 
 Array = np.ndarray
@@ -123,6 +124,8 @@ def solve_with_escalation(
     gmres_restart: int = 30,
     counters: Counters | None = None,
     site: int = 0,
+    tracer: Tracer | None = None,
+    trace_rank: int = 0,
 ) -> SolveStats:
     """Run the solver ladder; returns the per-attempt record.
 
@@ -138,11 +141,24 @@ def solve_with_escalation(
 
     def attempt(method: str, run) -> bool:
         t0 = time.perf_counter()
-        result = run()
+        if tracer is not None:
+            with tracer.span(
+                f"solve_attempt:{method}", rank=trace_rank,
+                cat="resilience", args={"site": site},
+            ):
+                result = run()
+        else:
+            result = run()
         seconds = time.perf_counter() - t0
         ok = solution_ok(result, comm, global_check=True)
         stats.attempts.append(SolveAttempt(method, result, ok, seconds))
         return ok
+
+    def mark(event: str) -> None:
+        if tracer is not None:
+            tracer.instant(
+                event, rank=trace_rank, cat="resilience", args={"site": site}
+            )
 
     use_fused = fused and ganged
     first = "bicgstab-fused" if use_fused else (
@@ -152,20 +168,24 @@ def solve_with_escalation(
         op, b, x0=x0, tol=tol, maxiter=maxiter, M=M, suite=suite, comm=comm,
         ganged=ganged, fused=use_fused,
         workspace=workspace if use_fused else None,
+        tracer=tracer, trace_rank=trace_rank,
     )):
         return stats
 
     if use_fused:
         if counters is not None:
             counters.solver_escalations += 1
+        mark("solver_escalation")
         if attempt("bicgstab-unfused", lambda: bicgstab(
             op, b, x0=x0, tol=tol, maxiter=maxiter, M=M, suite=suite, comm=comm,
             ganged=True, fused=False,
+            tracer=tracer, trace_rank=trace_rank,
         )):
             return stats
 
     if counters is not None:
         counters.solver_fallbacks += 1
+    mark("solver_fallback")
     attempt("gmres", lambda: gmres(
         op, b, x0=x0, tol=tol, maxiter=maxiter, restart=gmres_restart,
         M=M, suite=suite, comm=comm,

@@ -27,7 +27,7 @@ region names the Sec. II-E breakdown uses (``MATVEC``, ``PRECOND``,
 
 from __future__ import annotations
 
-from contextlib import nullcontext
+from contextlib import ExitStack, nullcontext
 from dataclasses import dataclass, field as dc_field
 
 import numpy as np
@@ -45,6 +45,7 @@ from repro.linalg.spai import (
     SPAIPreconditioner,
 )
 from repro.monitor.profiler import Profiler
+from repro.monitor.trace import Tracer
 from repro.parallel.cart import CartComm
 from repro.parallel.halo import BoundaryCondition, HaloExchanger
 from repro.resilience.errors import NonFiniteStateError
@@ -60,36 +61,77 @@ Array = np.ndarray
 PRECONDITIONERS = ("spai", "jacobi", "none")
 
 
-class _ProfiledOperator(LinearOperator):
-    """Wrap an operator so every apply lands in a profiler region."""
+def _instrument_scope(
+    name: str,
+    rank: int,
+    profiler: Profiler | None,
+    tracer: Tracer | None,
+    cat: str = "integrator",
+):
+    """Context manager entering the profiler region and/or tracer span."""
+    if profiler is None and tracer is None:
+        return nullcontext()
+    stack = ExitStack()
+    if profiler is not None:
+        stack.enter_context(profiler.region(name, rank=rank))
+    if tracer is not None:
+        stack.enter_context(tracer.span(name, rank=rank, cat=cat))
+    return stack
 
-    def __init__(self, op: LinearOperator, profiler: Profiler, name: str, rank: int) -> None:
+
+class _ProfiledOperator(LinearOperator):
+    """Wrap an operator so every apply lands in a profiler region
+    and/or a tracer span."""
+
+    def __init__(
+        self,
+        op: LinearOperator,
+        profiler: Profiler | None,
+        name: str,
+        rank: int,
+        tracer: Tracer | None = None,
+    ) -> None:
         self._op = op
         self._profiler = profiler
         self._name = name
         self._rank = rank
+        self._tracer = tracer
 
     @property
     def operand_shape(self) -> tuple[int, ...]:
         return self._op.operand_shape
 
+    def _scope(self):
+        return _instrument_scope(
+            self._name, self._rank, self._profiler, self._tracer, cat="kernel"
+        )
+
     def apply(self, x: Array, out: Array | None = None) -> Array:
-        with self._profiler.region(self._name, rank=self._rank):
+        with self._scope():
             return self._op.apply(x, out=out)
 
     def apply_dots(self, x, dots, out: Array | None = None):
-        with self._profiler.region(self._name, rank=self._rank):
+        with self._scope():
             return self._op.apply_dots(x, dots, out=out)
 
 
 class _ProfiledPreconditioner(Preconditioner):
-    def __init__(self, M: Preconditioner, profiler: Profiler, rank: int) -> None:
+    def __init__(
+        self,
+        M: Preconditioner,
+        profiler: Profiler | None,
+        rank: int,
+        tracer: Tracer | None = None,
+    ) -> None:
         self._M = M
         self._profiler = profiler
         self._rank = rank
+        self._tracer = tracer
 
     def apply(self, x: Array, out: Array | None = None) -> Array:
-        with self._profiler.region("PRECOND", rank=self._rank):
+        with _instrument_scope(
+            "PRECOND", self._rank, self._profiler, self._tracer, cat="kernel"
+        ):
             return self._M.apply(x, out=out)
 
 
@@ -141,6 +183,11 @@ class RadiationIntegrator:
     couple_matter:
         Evolve the material temperature via emission-absorption
         exchange (solve 3 still runs with a frozen-T source otherwise).
+    tracer:
+        Optional :class:`~repro.monitor.trace.Tracer`; mirrors the
+        profiler regions as timeline spans (and threads through to the
+        halo exchanger, solver and escalation ladder).  ``None`` keeps
+        every hot path on its uninstrumented branch.
     escalate:
         Arm solver-level recovery: a failed or non-finite solve walks
         the escalation ladder (fused -> unfused -> GMRES) and each
@@ -170,6 +217,7 @@ class RadiationIntegrator:
         cv: float = 1.0,
         emission: bool = False,
         profiler: Profiler | None = None,
+        tracer: Tracer | None = None,
         escalate: bool = False,
     ) -> None:
         if precond not in PRECONDITIONERS:
@@ -198,6 +246,7 @@ class RadiationIntegrator:
         self.cv = cv
         self.emission = emission
         self.profiler = profiler
+        self.tracer = tracer
         # Solver-level recovery: degrade fused -> unfused -> GMRES
         # instead of committing a failed solve.
         self.escalate = escalate
@@ -212,7 +261,9 @@ class RadiationIntegrator:
         self.temp = np.ones((n1, n2))
         self.time = 0.0
         self.step_count = 0
-        self._halo = HaloExchanger(cart, bc) if cart is not None else None
+        self._halo = (
+            HaloExchanger(cart, bc, tracer=tracer) if cart is not None else None
+        )
 
     # ------------------------------------------------------------------
     @property
@@ -232,11 +283,9 @@ class RadiationIntegrator:
             self.temp[...] = temp
 
     def _fill_ghosts(self, fld: Field) -> None:
-        if self.profiler is not None:
-            cm = self.profiler.region("halo_exchange", rank=self.rank)
-        else:
-            cm = nullcontext()
-        with cm:
+        with _instrument_scope(
+            "halo_exchange", self.rank, self.profiler, self.tracer, cat="halo"
+        ):
             if self._halo is not None:
                 self._halo.exchange(fld)
             else:
@@ -250,10 +299,10 @@ class RadiationIntegrator:
     def _build(
         self, epad: Array, dt: float, temp: Array, e_rhs: Array | None = None
     ) -> RadiationSystem:
-        if self.profiler is not None:
-            with self.profiler.region("build_system", rank=self.rank):
-                return self._build_inner(epad, dt, temp, e_rhs)
-        return self._build_inner(epad, dt, temp, e_rhs)
+        with _instrument_scope(
+            "build_system", self.rank, self.profiler, self.tracer
+        ):
+            return self._build_inner(epad, dt, temp, e_rhs)
 
     def _build_inner(
         self, epad: Array, dt: float, temp: Array, e_rhs: Array | None
@@ -283,16 +332,21 @@ class RadiationIntegrator:
             M = JacobiPreconditioner.from_stencil(system.coeffs, suite=self.suite)
         else:
             M = IdentityPreconditioner()
-        if self.profiler is not None:
-            M = _ProfiledPreconditioner(M, self.profiler, self.rank)
+        if self.profiler is not None or self.tracer is not None:
+            M = _ProfiledPreconditioner(
+                M, self.profiler, self.rank, tracer=self.tracer
+            )
         return M
 
     def _solve(self, system: RadiationSystem, x0: Array, site: int) -> SolveResult:
         op: LinearOperator = StencilOperator(
-            system.coeffs, suite=self.suite, bc=self.bc, cart=self.cart
+            system.coeffs, suite=self.suite, bc=self.bc, cart=self.cart,
+            tracer=self.tracer,
         )
-        if self.profiler is not None:
-            op = _ProfiledOperator(op, self.profiler, "MATVEC", self.rank)
+        if self.profiler is not None or self.tracer is not None:
+            op = _ProfiledOperator(
+                op, self.profiler, "MATVEC", self.rank, tracer=self.tracer
+            )
         M = self._make_preconditioner(system)
 
         def run() -> SolveResult:
@@ -311,6 +365,8 @@ class RadiationIntegrator:
                     workspace=self._workspace,
                     counters=self.suite.counters,
                     site=site,
+                    tracer=self.tracer,
+                    trace_rank=self.rank,
                 )
                 self.solve_stats.append(stats)
                 if stats.degraded:
@@ -336,15 +392,23 @@ class RadiationIntegrator:
                 ganged=self.ganged,
                 fused=self.fused,
                 workspace=self._workspace,
+                tracer=self.tracer,
+                trace_rank=self.rank,
             )
 
-        if self.profiler is not None:
+        if self.profiler is not None or self.tracer is not None:
             # Distinct call-site regions: the paper's Arm MAP run
             # attributed 31-33% of total time to each of the three
             # BiCGSTAB call sites; the shared inner "BiCGSTAB" region
             # still merges them in the TAU-style flat profile.
-            with self.profiler.region(f"solve_site_{site}", rank=self.rank):
-                with self.profiler.region("BiCGSTAB", rank=self.rank):
+            with _instrument_scope(
+                f"solve_site_{site}", self.rank, self.profiler, self.tracer,
+                cat="solver",
+            ):
+                with _instrument_scope(
+                    "BiCGSTAB", self.rank, self.profiler, self.tracer,
+                    cat="solver",
+                ):
                     return run()
         return run()
 
@@ -439,13 +503,12 @@ class RadiationIntegrator:
         e_corr = self._guard_solution(res2, site=2)
 
         # --- Matter update + Solve 3 (emission at T^{n+1}) ------------
-        if self.profiler is not None:
-            with self.profiler.region("matter_update", rank=self.rank):
-                new_temp = (
-                    self._matter_update(e_corr, dt) if self.couple_matter else self.temp
-                )
-        else:
-            new_temp = self._matter_update(e_corr, dt) if self.couple_matter else self.temp
+        with _instrument_scope(
+            "matter_update", self.rank, self.profiler, self.tracer
+        ):
+            new_temp = (
+                self._matter_update(e_corr, dt) if self.couple_matter else self.temp
+            )
 
         work.interior = e_corr
         self._fill_ghosts(work)

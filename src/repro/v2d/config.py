@@ -74,6 +74,7 @@ class V2DConfig:
 
     # --- instrumentation -----------------------------------------------------
     profile: bool = True
+    trace: bool = False              # Chrome-trace timeline spans (repro trace)
 
     # --- resilience (fault injection + layered recovery) ---------------------
     resilience: ResilienceConfig | None = None

@@ -16,6 +16,7 @@ from __future__ import annotations
 from typing import Any
 
 from repro.monitor.counters import Counters
+from repro.monitor.trace import merge_summaries
 from repro.problems import get_problem
 from repro.v2d.config import V2DConfig
 from repro.v2d.report import RunReport
@@ -105,6 +106,13 @@ def summarize_reports(
     mv = root.matvec_fraction()
     if mv is not None:
         result[TIMING_KEY]["matvec_fraction"] = mv
+    # Trace summaries are timing-derived (span counts are deterministic
+    # but microseconds are not), so they ride the volatile subtree.
+    tracers = [rep.tracer for rep in reports if rep.tracer is not None]
+    if tracers:
+        result[TIMING_KEY]["trace"] = merge_summaries(
+            [t.summary() for t in tracers]
+        )
     return result
 
 

@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from repro.monitor.counters import Counters
 from repro.monitor.profiler import Profiler
 from repro.monitor.timers import PerfStatResult
+from repro.monitor.trace import Tracer
 from repro.resilience.report import ResilienceReport
 from repro.transport.integrator import StepReport
 
@@ -29,6 +30,7 @@ class RunReport:
     perf: PerfStatResult | None = None
     counters: Counters = field(default_factory=Counters)
     profiler: Profiler | None = None
+    tracer: Tracer | None = None
     final_time: float = 0.0
     final_energy: float = 0.0
     solution_error: float | None = None

@@ -11,6 +11,8 @@ launches one Simulation per rank over the SPMD substrate -- the
 
 from __future__ import annotations
 
+from contextlib import ExitStack, nullcontext
+
 import numpy as np
 
 from repro.backend.dispatch import get_backend
@@ -22,6 +24,7 @@ from repro.kernels.suite import KernelSuite
 from repro.monitor.counters import Counters
 from repro.monitor.profiler import Profiler
 from repro.monitor.timers import perf_stat
+from repro.monitor.trace import Tracer, get_metrics
 from repro.parallel.cart import CartComm
 from repro.parallel.comm import Communicator
 from repro.parallel.runtime import run_spmd
@@ -40,6 +43,18 @@ from repro.v2d.config import V2DConfig
 from repro.v2d.report import RunReport
 
 Array = np.ndarray
+
+
+def _scope(profiler, tracer, name, rank, cat="sim"):
+    """Context manager entering the profiler region and/or tracer span."""
+    if profiler is None and tracer is None:
+        return nullcontext()
+    stack = ExitStack()
+    if profiler is not None:
+        stack.enter_context(profiler.region(name, rank=rank))
+    if tracer is not None:
+        stack.enter_context(tracer.span(name, rank=rank, cat=cat))
+    return stack
 
 
 class Simulation:
@@ -121,6 +136,7 @@ class Simulation:
 
         self.suite = KernelSuite(backend, counters=self.counters)
         self.profiler = Profiler() if config.profile else None
+        self.tracer = Tracer() if config.trace else None
 
         # Radiation integrator (the paper's workload).
         limiter = config.limiter if config.limiter is not None else problem.limiter()
@@ -144,6 +160,7 @@ class Simulation:
             cv=config.cv,
             emission=config.emission,
             profiler=self.profiler,
+            tracer=self.tracer,
             escalate=rc.escalation if rc is not None else False,
         )
 
@@ -227,10 +244,7 @@ class Simulation:
     def _step_once(self, dt: float) -> StepReport:
         """One coupled timestep (hydro substeps + three radiation solves)."""
         if self.hydro is not None:
-            if self.profiler is not None:
-                with self.profiler.region("hydro", rank=self.rank):
-                    self._hydro_advance(dt)
-            else:
+            with _scope(self.profiler, self.tracer, "hydro", self.rank, cat="hydro"):
                 self._hydro_advance(dt)
             t_before = self.integrator.temp.copy()
             report = self.integrator.step(dt)
@@ -238,6 +252,35 @@ class Simulation:
                 self._feed_back_heating(t_before)
         else:
             report = self.integrator.step(dt)
+        return report
+
+    def _traced_step(self, dt: float) -> StepReport:
+        """One step, under the tracer's ``step`` span when tracing."""
+        if self.tracer is None:
+            return self._step_once(dt)
+        with self.tracer.span(
+            "step", rank=self.rank, cat="sim",
+            args={"step": self.integrator.step_count + 1, "dt": dt},
+        ):
+            report = self._step_once(dt)
+        # Per-step counter tracks: the process-wide metrics registry
+        # plus the PAPI-style software counters this rank accumulated.
+        metrics = get_metrics()
+        metrics.inc("repro.steps")
+        metrics.inc("repro.solver_iterations", report.iterations)
+        self.tracer.counter_snapshot(metrics, rank=self.rank)
+        self.tracer.counter(
+            "papi",
+            {
+                "matvecs": float(self.counters.matvecs),
+                "solver_iterations": float(self.counters.solver_iterations),
+                "halo_exchanges": float(
+                    self.comm.counters.halo_exchanges
+                    if self.comm is not None else 0
+                ),
+            },
+            rank=self.rank,
+        )
         return report
 
     # -- step-level recovery: in-memory snapshot + dt backoff ----------
@@ -278,7 +321,7 @@ class Simulation:
         rc = self.config.resilience
         dt = self.config.dt
         if rc is None:
-            report = self._step_once(dt)
+            report = self._traced_step(dt)
             self.step_reports.append(report)
             return report
 
@@ -287,10 +330,19 @@ class Simulation:
         while True:
             snap = self._snapshot_state()
             try:
-                report = self._step_once(dt)
+                report = self._traced_step(dt)
             except NonFiniteStateError as exc:
                 self._restore_state(snap)
                 failures += 1
+                if self.tracer is not None:
+                    self.tracer.instant(
+                        "step_retry", rank=self.rank, cat="resilience",
+                        args={
+                            "step": self.integrator.step_count + 1,
+                            "failures": failures,
+                            "dt": dt,
+                        },
+                    )
                 if failures >= policy.max_attempts:
                     raise StepRetryExhaustedError(
                         f"step {self.integrator.step_count + 1} failed "
@@ -324,17 +376,18 @@ class Simulation:
         path = f"{cfg.checkpoint_path}.step{step:05d}.npz"
         ok = True
         try:
-            save_checkpoint(
-                path,
-                self.integrator.E.interior,
-                self.integrator.rho,
-                self.integrator.temp,
-                time=self.time,
-                step=step,
-                cart=self.cart,
-                meta={"problem": self.problem.name},
-                injector=self._injector,
-            )
+            with _scope(None, self.tracer, "checkpoint", self.rank, cat="io"):
+                save_checkpoint(
+                    path,
+                    self.integrator.E.interior,
+                    self.integrator.rho,
+                    self.integrator.temp,
+                    time=self.time,
+                    step=step,
+                    cart=self.cart,
+                    meta={"problem": self.problem.name},
+                    injector=self._injector,
+                )
         except CheckpointWriteError:
             if rc is None:
                 raise
@@ -349,6 +402,11 @@ class Simulation:
         """Run-level recovery: reload the last good checkpoint."""
         assert self._last_checkpoint is not None
         path, step = self._last_checkpoint
+        if self.tracer is not None:
+            self.tracer.instant(
+                "rollback", rank=self.rank, cat="resilience",
+                args={"to_step": step},
+            )
         self.restart_from(path)
         self.step_reports = [r for r in self.step_reports if r.step <= step]
 
@@ -393,6 +451,7 @@ class Simulation:
             steps=list(self.step_reports),
             perf=ps.result,
             profiler=self.profiler,
+            tracer=self.tracer,
             final_time=self.time,
             final_energy=self.integrator.total_energy(),
         )

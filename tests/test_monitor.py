@@ -1,5 +1,6 @@
 """Unit tests for the perf/PAPI/TAU monitoring substrate."""
 
+import threading
 import time
 
 import pytest
@@ -201,3 +202,135 @@ class TestProfiler:
             pass
         p.reset()
         assert p.flat() == {}
+
+
+class TestProfilerInvariants:
+    """``0 <= exclusive <= inclusive <= total`` must survive recursion,
+    multi-thread per-rank trees, and reset/reuse."""
+
+    @staticmethod
+    def _assert_invariant(p: Profiler, rank: int = 0) -> None:
+        total = p.total_time(rank)
+        for name, (incl, excl, _calls) in p.flat(rank).items():
+            assert 0.0 <= excl <= incl + 1e-12, name
+            assert incl <= total + 1e-9, name
+
+    def test_recursive_region_counts_inclusive_once(self):
+        p = Profiler()
+
+        def rec(depth: int) -> None:
+            with p.region("rec"):
+                time.sleep(0.002)
+                if depth:
+                    rec(depth - 1)
+
+        with p.region("outer"):
+            rec(3)
+        incl, excl, calls = p.flat()["rec"]
+        assert calls == 4                 # a recursive call is still a call
+        assert incl >= 0.008              # the outermost window, once
+        assert incl <= p.total_time()     # never depth-times-counted
+        assert excl <= incl
+        self._assert_invariant(p)
+
+    def test_mutual_recursion_keeps_invariant(self):
+        p = Profiler()
+
+        def a(depth: int) -> None:
+            with p.region("a"):
+                time.sleep(0.001)
+                if depth:
+                    b(depth - 1)
+
+        def b(depth: int) -> None:
+            with p.region("b"):
+                time.sleep(0.001)
+                if depth:
+                    a(depth)
+
+        a(2)
+        flat = p.flat()
+        assert flat["a"][2] == 2 and flat["b"][2] == 2
+        self._assert_invariant(p)
+
+    def test_nested_region_attributed_to_requested_rank(self):
+        p = Profiler()
+        with p.region("outer", rank=0):
+            with p.region("inner", rank=1) as node:
+                assert node.parent is not None
+                assert node.parent.name.endswith("(rank 1)")
+        assert "inner" in p.flat(rank=1)
+        assert "inner" not in p.flat(rank=0)
+        assert p.flat(rank=0)["outer"][2] == 1
+
+    def test_nesting_tracked_per_rank(self):
+        p = Profiler()
+        with p.region("outer", rank=0):
+            with p.region("r1_outer", rank=1) as n_out:
+                with p.region("r1_inner", rank=1) as n_in:
+                    assert n_in.parent is n_out
+        self._assert_invariant(p, rank=0)
+        self._assert_invariant(p, rank=1)
+
+    def test_multi_thread_per_rank_trees(self):
+        p = Profiler()
+
+        def worker(rank: int) -> None:
+            with p.region("work", rank=rank):
+                time.sleep(0.003)
+                with p.region("inner", rank=rank):
+                    time.sleep(0.001)
+
+        threads = [
+            threading.Thread(target=worker, args=(r,)) for r in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert p.ranks() == [0, 1, 2, 3]
+        for r in range(4):
+            flat = p.flat(rank=r)
+            assert flat["work"][2] == 1 and flat["inner"][2] == 1
+            self._assert_invariant(p, rank=r)
+
+    def test_active_regions_prunes_dead_thread_entries(self):
+        p = Profiler()
+        node = None
+
+        def worker() -> None:
+            nonlocal node
+            with p.region("w") as n:
+                node = n
+
+        t = threading.Thread(target=worker)
+        t.start()
+        t.join()
+        # Simulate the entry a thread killed mid-region would leak.
+        p._active[t.ident] = node
+        assert p.active_regions() == []
+
+    def test_reset_discards_in_flight_region(self):
+        p = Profiler()
+        with p.region("old"):
+            p.reset()
+        assert p.flat() == {}
+        assert p.active_regions() == []
+        with p.region("new"):
+            pass
+        assert list(p.flat()) == ["new"]
+        assert p.flat()["new"][2] == 1
+        self._assert_invariant(p)
+
+    def test_reset_between_nested_exits_then_reuse(self):
+        p = Profiler()
+        with p.region("outer"):
+            with p.region("inner"):
+                p.reset()
+        assert p.flat() == {}
+        with p.region("outer"):
+            with p.region("inner"):
+                pass
+        flat = p.flat()
+        assert flat["outer"][2] == 1 and flat["inner"][2] == 1
+        self._assert_invariant(p)
