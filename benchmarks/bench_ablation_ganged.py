@@ -38,11 +38,21 @@ class TestGangedAblation:
         res = benchmark(solve, True)
         assert res.converged
 
-    def test_reduction_counts(self, write_report):
+    def test_reduction_counts(self, bench_record, write_report):
         classic = solve(False)
         ganged = solve(True)
         per_c = classic.reductions / classic.iterations
         per_g = ganged.reductions / ganged.iterations
+        bench_record.record(
+            "reductions",
+            {
+                "classic_iterations": (float(classic.iterations), "count"),
+                "ganged_iterations": (float(ganged.iterations), "count"),
+                "classic_reductions": (float(classic.reductions), "count"),
+                "ganged_reductions": (float(ganged.reductions), "count"),
+            },
+            backend="vector",
+        )
         report = "\n".join(
             [
                 "ABLATION — ganged vs textbook BiCGSTAB reductions",

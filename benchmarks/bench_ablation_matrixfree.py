@@ -33,7 +33,7 @@ class TestMatrixFreeAblation:
         # the cost paid per solve if the matrix were stored
         benchmark(assemble_csr, COEFFS)
 
-    def test_equivalence_and_report(self, write_report):
+    def test_equivalence_and_report(self, bench_record, write_report):
         import time
 
         y_mf = OP.apply(X).transpose(0, 2, 1).reshape(-1)
@@ -51,6 +51,16 @@ class TestMatrixFreeAblation:
         t_mf = t(lambda: OP.apply(X))
         t_csr = t(lambda: CSR.dot(XFLAT))
         t_asm = t(lambda: assemble_csr(COEFFS), reps=5)
+        bench_record.record(
+            "matvec_variants",
+            {
+                "matrix_free_apply_seconds": (t_mf, "time"),
+                "csr_apply_seconds": (t_csr, "time"),
+                "csr_assembly_seconds": (t_asm, "time"),
+                "assembly_per_apply": (t_asm / max(t_csr, 1e-12), "ratio"),
+            },
+            config={"nunknowns": OP.size},
+        )
         report = "\n".join(
             [
                 "ABLATION — matrix-free vs assembled Matvec "

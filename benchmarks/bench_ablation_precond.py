@@ -55,8 +55,13 @@ class TestPrecondAblation:
         M = benchmark(SPAIPreconditioner.from_stencil, SYSTEM.coeffs)
         assert M.mcoeffs.shape == MESH.shape
 
-    def test_iteration_ordering(self, write_report):
+    def test_iteration_ordering(self, bench_record, write_report):
         iters = {k: solve(k).iterations for k in ("none", "jacobi", "spai")}
+        bench_record.record(
+            "iterations",
+            {f"iters_{k}": (float(v), "count") for k, v in iters.items()},
+            config={"nunknowns": SYSTEM.nunknowns, "tol": 1e-10},
+        )
         report = "\n".join(
             [
                 "ABLATION — preconditioner quality (BiCGSTAB iterations)",

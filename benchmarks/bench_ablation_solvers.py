@@ -58,7 +58,7 @@ class TestSolverComparison:
         res = benchmark(run_solver, "bicgstab", precond)
         assert res.converged
 
-    def test_comparison_report(self, write_report):
+    def test_comparison_report(self, bench_record, write_report):
         import time
 
         rows = []
@@ -78,6 +78,15 @@ class TestSolverComparison:
         for m, p, it, mv, dt, ok in rows:
             lines.append(f"{m:<10} {p:<8} {it:>6} {mv:>8} {dt:>9.4f} {str(ok):>4}")
         write_report("ablation_solvers", "\n".join(lines))
+        bench_record.record(
+            "solver_grid",
+            {
+                f"iters_{m}_{p}": (float(it), "count")
+                for m, p, it, mv, dt, ok in rows
+            },
+            config={"nunknowns": COEFFS.nunknowns, "tol": TOL},
+            backend="vector",
+        )
         assert all(r[5] for r in rows)
 
         by = {(m, p): (it, dt) for m, p, it, mv, dt, ok in rows}
@@ -87,7 +96,9 @@ class TestSolverComparison:
         # short-restart GMRES needs the most iterations
         assert by[("gmres5", "none")][0] >= by[("gmres30", "none")][0]
 
-    def test_simd_angle_spai_apply_vectorizes_ilu_does_not(self, write_report):
+    def test_simd_angle_spai_apply_vectorizes_ilu_does_not(
+        self, bench_record, write_report
+    ):
         """Wall-time per preconditioner apply: SPAI (stencil matvec)
         drops hugely from scalar to vector backend; ILU(0) barely moves
         (sequential triangular solves)."""
@@ -110,6 +121,20 @@ class TestSolverComparison:
 
         spai_gain = timings[("spai", "scalar")] / timings[("spai", "vector")]
         ilu_gain = timings[("ilu0", "scalar")] / timings[("ilu0", "vector")]
+        bench_record.record(
+            "precond_simd",
+            {
+                "spai_gain": (spai_gain, "ratio"),
+                "ilu_gain": (ilu_gain, "ratio"),
+                "spai_apply_vector_seconds": (
+                    timings[("spai", "vector")], "time",
+                ),
+                "ilu_apply_vector_seconds": (
+                    timings[("ilu0", "vector")], "time",
+                ),
+            },
+            backend="vector",
+        )
         lines = [
             "SIMD angle — preconditioner apply time, scalar vs vector backend",
             f"  SPAI : {1e3 * timings[('spai', 'scalar')]:8.3f} ms -> "

@@ -39,8 +39,9 @@ class TestTopologyAblation:
         results = benchmark(sweep)
         assert all(results.values())
 
-    def test_halo_monotone_in_perimeter(self, write_report):
+    def test_halo_monotone_in_perimeter(self, bench_record, write_report):
         lines = ["ABLATION — topology sweep at fixed Np (Cray opt model)"]
+        metrics = {}
         for np_ in (20, 40, 50):
             rows = []
             for t in factorizations(np_):
@@ -54,6 +55,8 @@ class TestTopologyAblation:
                     f"    {n1:3d}x{n2:<3d} halo={halo:4d} zones={zones:5d}  "
                     f"T={total:6.2f} s"
                 )
+                metrics[f"halo_{np_}_{n1}x{n2}"] = (float(halo), "count")
+                metrics[f"model_total_{np_}_{n1}x{n2}"] = (total, "value")
             # Among equally load-balanced factorizations, model time is
             # non-decreasing in halo perimeter (imbalanced ones pay a
             # separate max-tile penalty, e.g. 5x8 on the 100-zone axis).
@@ -61,6 +64,11 @@ class TestTopologyAblation:
             totals = [r[3] for r in balanced]
             assert totals == sorted(totals), f"Np={np_}"
         write_report("ablation_topology", "\n".join(lines))
+        bench_record.record(
+            "topology_sweep",
+            metrics,
+            config={"nx1": PAPER_NX1, "nx2": PAPER_NX2},
+        )
 
     def test_best_topology_is_flattish(self):
         for np_ in (20, 40, 50):

@@ -29,18 +29,23 @@ class TestVLAAblation:
         results = benchmark(sweep)
         assert set(results) == {"MATVEC", "DPROD", "DAXPY", "DSCAL", "DDAXPY"}
 
-    def test_ratio_improves_with_width(self, write_report):
+    def test_ratio_improves_with_width(self, bench_record, write_report):
         km = KernelTimeModel()
         lines = ["ABLATION — VLA width sweep (modeled SVE/no-SVE ratio)"]
         header = "  kernel  " + "".join(f"{b:>8}" for b in WIDTHS)
         lines.append(header)
+        metrics = {}
         for k in km.scalar_cpe:
             sweep = km.vla_sweep(k, WIDTHS)
             lines.append("  " + f"{k:<8}" + "".join(f"{sweep[b]:>8.3f}" for b in WIDTHS))
             vals = [sweep[b] for b in WIDTHS]
             assert all(a >= b for a, b in zip(vals, vals[1:]))
             # the A64FX point reproduces Table II
+            metrics[f"ratio_{k}_512"] = (sweep[512], "value")
         write_report("ablation_vla", "\n".join(lines))
+        bench_record.record(
+            "vla_sweep", metrics, config={"widths": list(WIDTHS)},
+        )
 
     def test_a64fx_point_matches_table2(self):
         km = KernelTimeModel()

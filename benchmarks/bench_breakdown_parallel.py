@@ -33,13 +33,27 @@ def run_decomposed():
 
 
 class TestParallelBreakdown:
-    def test_regenerate_breakdown(self, benchmark, write_report):
+    def test_regenerate_breakdown(self, benchmark, bench_record, write_report):
         reports = benchmark.pedantic(run_decomposed, rounds=1, iterations=1)
         assert len(reports) == 10
 
         merged = Counters()
         for r in reports:
             merged.merge(r.counters)
+        bench_record.record(
+            "decomposed_5x2",
+            {
+                "max_rank_wall": (
+                    max(r.wall_seconds for r in reports), "time",
+                ),
+                "messages": (float(merged.messages_sent), "count"),
+                "bytes_sent": (float(merged.bytes_sent), "count"),
+                "reductions": (float(merged.reductions), "count"),
+                "halo_exchanges": (float(merged.halo_exchanges), "count"),
+            },
+            counters=merged,
+            backend="vector",
+        )
         lines = [
             breakdown_report(CostModel()),
             "",

@@ -39,11 +39,24 @@ def run_profiled() -> Simulation:
 
 
 class TestSerialBreakdown:
-    def test_regenerate_breakdown(self, benchmark, write_report):
+    def test_regenerate_breakdown(self, benchmark, bench_record, write_report):
         sim = benchmark.pedantic(run_profiled, rounds=1, iterations=1)
         prof = sim.profiler
         flat = prof.flat()
         total = prof.total_time()
+        bench_record.record(
+            "serial_profile",
+            {
+                "total_seconds": (total, "time"),
+                "bicgstab_fraction": (
+                    prof.inclusive_fraction("BiCGSTAB"), "ratio",
+                ),
+                "bicgstab_calls": (float(flat["BiCGSTAB"][2]), "count"),
+                "matvec_calls": (float(flat["MATVEC"][2]), "count"),
+            },
+            counters=sim.counters,
+            backend="vector",
+        )
 
         lines = [breakdown_report(CostModel()), "", "Real scaled run (this substrate):"]
         for name in ("BiCGSTAB", "MATVEC", "PRECOND", "build_system"):

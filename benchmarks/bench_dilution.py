@@ -43,12 +43,23 @@ def kernel_ratios() -> dict[str, float]:
 
 
 class TestDilution:
-    def test_regenerate_dilution(self, benchmark, write_report):
+    def test_regenerate_dilution(self, benchmark, bench_record, write_report):
         ratios = benchmark.pedantic(kernel_ratios, rounds=1, iterations=1)
         t_vec = min(app_seconds("vector") for _ in range(2))
         t_scl = min(app_seconds("scalar") for _ in range(2))
         app_ratio = t_vec / t_scl
         kernel_min_ratio = min(ratios.values())
+        bench_record.record(
+            "dilution",
+            {
+                "app_wall_vector": (t_vec, "time"),
+                "app_wall_scalar": (t_scl, "time"),
+                "app_ratio": (app_ratio, "ratio"),
+                "kernel_min_ratio": (kernel_min_ratio, "ratio"),
+            },
+            config=APP_CFG,
+            backend="vector",
+        )
 
         lines = [
             dilution_report(),

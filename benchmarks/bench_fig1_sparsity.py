@@ -38,7 +38,7 @@ class TestFig1:
             "five bands: diagonal, two adjacent, two outlying at distance x1"
         )
 
-    def test_block_matches_paper_view(self, benchmark, write_report):
+    def test_block_matches_paper_view(self, benchmark, bench_record, write_report):
         pat = benchmark(sparsity_block, PAPER_NX1, PAPER_NX2, PAPER_NCOMP, 400)
         # Five bands visible in the 400x400 corner.
         assert pat[0, 0] and pat[50, 51] and pat[50, 49]
@@ -47,6 +47,19 @@ class TestFig1:
         assert not pat[0, 100]
         nnz_per_row = pat.sum(axis=1)
         assert nnz_per_row.max() <= 5
+        bench_record.record(
+            "paper_block",
+            {
+                "nnz": (float(pat.sum()), "count"),
+                "max_nnz_per_row": (float(nnz_per_row.max()), "count"),
+                "bands": (
+                    float(len(band_offsets(PAPER_NCOMP, PAPER_NX1, PAPER_NX2))),
+                    "count",
+                ),
+            },
+            config={"nx1": PAPER_NX1, "nx2": PAPER_NX2, "ncomp": PAPER_NCOMP,
+                    "block": 400},
+        )
         report = "\n".join(
             [
                 "FIG. 1 — sparsity pattern, upper-left 400x400 of 40,000x40,000",

@@ -16,12 +16,14 @@ problem both ways on the vector (SVE-proxy) backend and records:
 * bitwise agreement of the final radiation field (the fused vector
   path is exactly the unfused computation, re-batched).
 
-Besides the rendered text report it emits ``BENCH_fused.json``, the
-machine-readable artifact CI archives for trend tracking.
+Besides the rendered text report it records ledger entries through the
+:mod:`repro.perf` harness; the suite snapshot ``BENCH_fused.json`` is
+the machine-readable artifact CI archives for trend tracking, and
+``repro perf check`` gates the recorded launch/reduction counts and
+the paired speedup against ``benchmarks/baselines/fused.json``.
 """
 
 import gc
-import json
 import time
 
 import numpy as np
@@ -82,7 +84,7 @@ class TestFusedBenchmark:
     # simulations alive for the session report, and that retained
     # memory measurably skews the paired timing if it is already
     # resident (pytest runs tests in definition order).
-    def test_fused_vs_unfused(self, report_dir, write_report):
+    def test_fused_vs_unfused(self, bench_record, write_report):
         run_once(True), run_once(False)          # warm-up
         fused, unfused = run_once(True), run_once(False)
         walls = {"fused": [fused["wall"]], "unfused": [unfused["wall"]]}
@@ -110,27 +112,60 @@ class TestFusedBenchmark:
         assert fused["kernel_calls"] < unfused["kernel_calls"]
         assert fused["reduction_rounds"] < unfused["reduction_rounds"]
 
-        payload = {
-            "benchmark": "fused_vs_unfused",
-            "config": {**CFG, "backend": "vector", "pairs": PAIRS},
-            "walls": {k: sorted(v) for k, v in walls.items()},
-            "cpu_seconds": {k: sorted(v) for k, v in cpus.items()},
-            "wall_seconds": {"fused": t_fused, "unfused": t_unfused},
-            "pair_ratios": [round(r, 4) for r in pair_ratios],
-            "speedup": 1.0 / ratio,
-            "counters": {
-                k: {
-                    "kernel_calls": d["kernel_calls"],
-                    "fused_ops": d["fused_ops"],
-                    "reduction_rounds": d["reduction_rounds"],
-                    "solver_iterations": d["iterations"],
-                }
-                for k, d in (("fused", fused), ("unfused", unfused))
+        # Ledger entries: one per variant (times + structural counts)
+        # plus the paired comparison.  The suite snapshot
+        # BENCH_fused.json is the CI trend artifact.
+        from repro.perf import Metric, mad, median
+
+        config = {**CFG, "backend": "vector", "pairs": PAIRS}
+        for variant, last, w, c in (
+            ("fused", fused, walls["fused"], cpus["fused"]),
+            ("unfused", unfused, walls["unfused"], cpus["unfused"]),
+        ):
+            bench_record.record(
+                f"{variant}_app",
+                {
+                    "wall_seconds": Metric(
+                        value=median(w), kind="time", unit="s",
+                        repeats=len(w), mad=mad(w), samples=sorted(w),
+                    ),
+                    "cpu_seconds": Metric(
+                        value=median(c), kind="time", unit="s",
+                        repeats=len(c), mad=mad(c), samples=sorted(c),
+                    ),
+                    "kernel_launches": (float(last["kernel_calls"]), "count"),
+                    "fused_ops": (float(last["fused_ops"]), "count"),
+                    "reduction_rounds": (
+                        float(last["reduction_rounds"]), "count",
+                    ),
+                    "solver_iterations": (float(last["iterations"]), "count"),
+                },
+                config=config,
+                backend="vector",
+            )
+        bench_record.record(
+            "fused_vs_unfused",
+            {
+                "cpu_ratio": Metric(
+                    value=ratio, kind="ratio", repeats=len(pair_ratios),
+                    mad=mad(pair_ratios), samples=pair_ratios,
+                ),
+                "speedup": (1.0 / ratio, "value"),
+                "bitwise_equal": (1.0, "count"),
+                "launches_saved": (
+                    float(unfused["kernel_calls"] - fused["kernel_calls"]),
+                    "count",
+                ),
+                "reductions_saved": (
+                    float(unfused["reduction_rounds"]
+                          - fused["reduction_rounds"]),
+                    "count",
+                ),
             },
-            "bitwise_equal": True,
-        }
-        json_path = report_dir / "BENCH_fused.json"
-        json_path.write_text(json.dumps(payload, indent=2) + "\n")
+            config=config,
+            backend="vector",
+        )
+        json_path = bench_record.ledger.suite_path(bench_record.suite)
 
         write_report(
             "fused",

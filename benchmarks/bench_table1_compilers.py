@@ -24,7 +24,7 @@ MODEL = CostModel()
 
 
 class TestTable1:
-    def test_regenerate_table1(self, benchmark, write_report):
+    def test_regenerate_table1(self, benchmark, bench_record, write_report):
         rows = benchmark(table1_model, MODEL)
         assert len(rows) == 12
         errs = [
@@ -35,6 +35,15 @@ class TestTable1:
         ]
         assert max(errs) < 0.15
         assert float(np.mean(errs)) < 0.04
+        bench_record.record(
+            "table1_model_fit",
+            {
+                "rows": (float(len(rows)), "count"),
+                "cells": (float(len(errs)), "count"),
+                "max_rel_err": (max(errs), "value"),
+                "mean_rel_err": (float(np.mean(errs)), "value"),
+            },
+        )
         write_report("table1_compilers", table1_report(MODEL))
 
     def test_invariant_a_compiler_ordering(self):

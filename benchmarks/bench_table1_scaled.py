@@ -41,12 +41,22 @@ class TestScaledRuns:
         reports = benchmark(run_once, "scalar")
         assert reports[0].all_converged
 
-    def test_sve_analogue_speedup(self, write_report):
+    def test_sve_analogue_speedup(self, bench_record, write_report):
         # Vectorized execution must beat element-loop execution by a
         # wide margin (the Python analogue of the SVE columns).
         tv = min(run_once("vector")[0].wall_seconds for _ in range(2))
         ts = min(run_once("scalar")[0].wall_seconds for _ in range(2))
         ratio = tv / ts
+        bench_record.record(
+            "backend_comparison",
+            {
+                "wall_vector": (tv, "time"),
+                "wall_scalar": (ts, "time"),
+                "vector_scalar_ratio": (ratio, "ratio"),
+            },
+            config=SCALE_KW,
+            backend="vector",
+        )
         report = "\n".join(
             [
                 "TABLE I (scaled, real execution) — backend comparison",
@@ -71,7 +81,7 @@ class TestScaledRuns:
         )
         assert par[0].final_energy == pytest.approx(serial.final_energy, rel=1e-9)
 
-    def test_halo_traffic_scales_with_perimeter(self, write_report):
+    def test_halo_traffic_scales_with_perimeter(self, bench_record, write_report):
         rows = []
         for nprx1, nprx2 in [(5, 1), (5, 2)]:
             cfg = V2DConfig(backend="vector", nprx1=nprx1, nprx2=nprx2, **SCALE_KW)
@@ -79,6 +89,15 @@ class TestScaledRuns:
             merged_msgs = sum(r.counters.messages_sent for r in reports)
             merged_bytes = sum(r.counters.bytes_sent for r in reports)
             rows.append((nprx1, nprx2, merged_msgs, merged_bytes))
+            bench_record.record(
+                f"halo_traffic_{nprx1}x{nprx2}",
+                {
+                    "messages": (float(merged_msgs), "count"),
+                    "bytes_sent": (float(merged_bytes), "count"),
+                },
+                config={**SCALE_KW, "nprx1": nprx1, "nprx2": nprx2},
+                backend="vector",
+            )
         report_lines = ["Topology sweep (real runs): messages / bytes per run"]
         for n1, n2, msgs, nbytes in rows:
             report_lines.append(f"  {n1}x{n2}: {msgs:6d} msgs  {nbytes:10,d} bytes")

@@ -61,13 +61,26 @@ class TestKernelMicrobenchmarks:
 
 
 class TestTable2:
-    def test_regenerate_table2(self, benchmark, write_report):
+    def test_regenerate_table2(self, benchmark, bench_record, write_report):
         no_sve, sve, ratios = benchmark.pedantic(
             DRIVER.compare, rounds=1, iterations=1
         )
         measured = format_table2(no_sve, sve)
         modeled = table2_report()
         write_report("table2_kernels", measured + "\n\n" + modeled)
+        for r in ROUTINES:
+            bench_record.record(
+                r,
+                {
+                    "cpu_seconds_scalar": (no_sve.cpu_seconds[r], "time"),
+                    "cpu_seconds_vector": (sve.cpu_seconds[r], "time"),
+                    "sve_ratio": (ratios[r], "ratio"),
+                    "flops": (float(sve.counters[r]["flops"]), "count"),
+                },
+                config={"n": DRIVER.n, "reps": DRIVER.reps},
+                counters=sve.counters[r],
+                backend="vector",
+            )
         # Python proxy invariant: vectorized wins every routine, by a lot.
         for r in ROUTINES:
             assert ratios[r] < 0.35, f"{r}: ratio {ratios[r]:.3f}"

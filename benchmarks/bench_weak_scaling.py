@@ -22,7 +22,7 @@ MODEL = CostModel()
 
 
 class TestWeakScaling:
-    def test_regenerate_weak_scaling(self, benchmark, write_report):
+    def test_regenerate_weak_scaling(self, benchmark, bench_record, write_report):
         def sweep():
             return {
                 key: MODEL.weak_scaling_study(key, ranks=RANKS)
@@ -43,6 +43,16 @@ class TestWeakScaling:
             eff = results[key][0].total / results[key][-1].total
             lines.append(f"  {key}: weak efficiency at {RANKS[-1]} ranks = {eff:.2f}")
         write_report("weak_scaling", "\n".join(lines))
+        bench_record.record(
+            "weak_efficiency_model",
+            {
+                f"eff_{key}": (
+                    results[key][0].total / results[key][-1].total, "value",
+                )
+                for key in results
+            },
+            config={"ranks": list(RANKS)},
+        )
 
         # invariants: compute flat, communication-only growth,
         # Fujitsu the best weak-scaler.

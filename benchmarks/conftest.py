@@ -10,7 +10,11 @@ absolute-seconds side).
 Reports are printed with ``-s`` (or captured in the pytest summary);
 each module also writes its rendered report under
 ``benchmarks/_reports/`` so a run leaves the regenerated tables on
-disk.
+disk.  Alongside the text artifacts, every module records its headline
+numbers through the :mod:`repro.perf` harness into the same directory:
+``BENCH_history.jsonl`` (append-only ledger) plus one
+``BENCH_<suite>.json`` snapshot per module -- the inputs of
+``repro perf check``.
 """
 
 from __future__ import annotations
@@ -18,6 +22,10 @@ from __future__ import annotations
 from pathlib import Path
 
 import pytest
+
+from repro.io.atomic import atomic_write_bytes
+from repro.perf.harness import Harness
+from repro.perf.ledger import Ledger
 
 REPORT_DIR = Path(__file__).parent / "_reports"
 
@@ -34,8 +42,27 @@ def write_report(report_dir):
 
     def _write(name: str, text: str) -> Path:
         path = report_dir / f"{name}.txt"
-        path.write_text(text + "\n")
+        atomic_write_bytes(path, (text + "\n").encode())
         print(f"\n{text}\n[report written to {path}]")
         return path
 
     return _write
+
+
+@pytest.fixture(scope="session")
+def perf_ledger(report_dir) -> Ledger:
+    """The session's performance ledger, rooted at the report dir."""
+    return Ledger(report_dir)
+
+
+@pytest.fixture()
+def bench_record(request, perf_ledger) -> Harness:
+    """A :class:`repro.perf.Harness` bound to the session ledger.
+
+    The suite name is the benchmark module's name minus the ``bench_``
+    prefix, so ``bench_fused.py`` entries land in ``BENCH_fused.json``
+    and gate against ``benchmarks/baselines/fused.json``.
+    """
+    module = request.module.__name__.rpartition(".")[2]
+    suite = module.removeprefix("bench_")
+    return Harness(suite, ledger=perf_ledger)

@@ -14,6 +14,7 @@ Commands regenerate the paper's artifacts or run the simulator:
 * ``chaos``       -- seeded fault-injection sweep against a clean baseline
 * ``driver``      -- the Sec. II-F kernel driver on this substrate
 * ``campaign``    -- sharded scaling-study runner with a result cache
+* ``perf``        -- performance ledger: run / report / check / baseline
 """
 
 from __future__ import annotations
@@ -310,14 +311,27 @@ def _report_cmd(name: str):
     return run
 
 
-def main(argv: list[str] | None = None) -> int:
-    from repro import __version__
+class _VersionAction(argparse.Action):
+    """``--version`` with the git fingerprint resolved only on demand
+    (running git on every CLI invocation would be wasted work)."""
 
+    def __init__(self, option_strings, dest, **kwargs):
+        super().__init__(option_strings, dest, nargs=0, **kwargs)
+
+    def __call__(self, parser, namespace, values, option_string=None):
+        from repro.perf.schema import version_string
+
+        print(f"{parser.prog} {version_string()}")
+        parser.exit()
+
+
+def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro", description="V2D / SVE study reproduction"
     )
     parser.add_argument(
-        "--version", action="version", version=f"%(prog)s {__version__}"
+        "--version", action=_VersionAction,
+        help="show version, git revision and dirty flag",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -393,8 +407,10 @@ def main(argv: list[str] | None = None) -> int:
     p.set_defaults(fn=_cmd_driver)
 
     from repro.campaign.cli import add_campaign_parser
+    from repro.perf.cli import add_perf_parser
 
     add_campaign_parser(sub)
+    add_perf_parser(sub)
 
     args = parser.parse_args(argv)
     return args.fn(args)

@@ -124,6 +124,79 @@ def write_bench(payload: dict[str, Any], path: str | Path) -> Path:
     return atomic_write_bytes(path, body.encode())
 
 
+def ledger_results(payload: dict[str, Any]) -> list[Any]:
+    """Fold one campaign payload into performance-ledger entries.
+
+    One :class:`~repro.perf.schema.BenchResult` per completed job
+    (wall seconds as a ``time`` metric, iterations/convergence as
+    deterministic ``count`` metrics) plus one campaign-total entry,
+    all under suite ``campaign`` -- so scaling studies land in the
+    same ``BENCH_history.jsonl`` stream the bench suites write and
+    the same regression gate watches them.
+    """
+    from repro.perf.schema import BenchResult, Metric, environment_fingerprint
+
+    env = environment_fingerprint()  # one git/interpreter probe per payload
+    campaign = str(payload.get("campaign", "campaign"))
+    out: list[Any] = []
+    for entry in payload.get("jobs", ()):
+        result = entry.get("result")
+        if not result:
+            continue
+        metrics: dict[str, Metric] = {
+            "converged": Metric(
+                1.0 if result.get("converged") else 0.0, kind="count"
+            ),
+        }
+        wall = result.get(TIMING_KEY, {}).get("wall_seconds")
+        if wall is not None:
+            metrics["wall_seconds"] = Metric(float(wall), kind="time", unit="s")
+        if result.get("iterations") is not None:
+            metrics["iterations"] = Metric(
+                float(result["iterations"]), kind="count"
+            )
+        if result.get("solution_error") is not None:
+            metrics["solution_error"] = Metric(
+                float(result["solution_error"]), kind="value"
+            )
+        out.append(
+            BenchResult(
+                suite="campaign",
+                name=f"{campaign}/{entry['name']}",
+                metrics=metrics,
+                config={
+                    "problem": entry.get("problem"),
+                    "seed": entry.get("seed"),
+                    "nranks": result.get("nranks"),
+                    "campaign_key": payload.get("campaign_key"),
+                },
+                counters=result.get("counters") or None,
+                env=env,
+            )
+        )
+    totals: dict[str, Metric] = {
+        "njobs": Metric(float(payload.get("njobs", 0)), kind="count"),
+        "ok": Metric(float(payload.get("ok", 0)), kind="count"),
+        "quarantined": Metric(
+            float(payload.get("quarantined", 0)), kind="count"
+        ),
+    }
+    wall = payload.get("timing", {}).get("wall_seconds")
+    if wall is not None:
+        totals["wall_seconds"] = Metric(float(wall), kind="time", unit="s")
+    out.append(
+        BenchResult(
+            suite="campaign",
+            name=f"{campaign}/_total",
+            metrics=totals,
+            config={"campaign_key": payload.get("campaign_key")},
+            counters=payload.get("counters") or None,
+            env=env,
+        )
+    )
+    return out
+
+
 # ----------------------------------------------------------------------
 # Derived tables
 # ----------------------------------------------------------------------

@@ -57,6 +57,13 @@ def cmd_run(args: argparse.Namespace) -> int:
     print(result.summary())
     print(f"cache hits: {result.n_cache_hits}/{result.n_jobs}")
     print(f"wrote {out}")
+    if not args.no_ledger:
+        from repro.campaign.aggregate import ledger_results
+        from repro.perf.ledger import Ledger
+
+        ledger = Ledger(args.ledger)
+        n = ledger.append_all(ledger_results(payload))
+        print(f"appended {n} entries to {ledger.history_path}")
     if tracer is not None:
         trace_payload = tracer.to_payload(
             metadata={"campaign": spec.name, "njobs": result.n_jobs}
@@ -178,6 +185,11 @@ def add_campaign_parser(sub: argparse._SubParsersAction) -> None:
     vp.add_argument("--trace", metavar="PATH", default=None,
                     help="write the scheduler's job-lifecycle timeline "
                          "(Chrome trace-event JSON) to PATH")
+    vp.add_argument("--ledger", default="benchmarks/_reports",
+                    help="performance-ledger directory campaign results "
+                         "are appended to (default: benchmarks/_reports)")
+    vp.add_argument("--no-ledger", action="store_true",
+                    help="skip the performance-ledger append")
     common(vp)
     vp.set_defaults(fn=cmd_run)
 

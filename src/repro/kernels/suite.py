@@ -141,6 +141,15 @@ class KernelSuite:
 
     # ------------------------------------------------------------------
     # Fused hot-path pairings (update + reduction in one launch)
+    #
+    # Accounting convention: a fused op counts exactly the flops/bytes/
+    # SIMD ops of its unfused decomposition (update kernel + DPROD),
+    # with only the launch count reflecting the fusion.  PAPI-style
+    # event counts are a *work* model -- like flop counts that must not
+    # depend on how the code was compiled, they must not depend on how
+    # launches were batched, or fused-vs-unfused efficiency ratios
+    # (GF/s, arithmetic intensity, %-of-roofline) stop being
+    # comparable.
     # ------------------------------------------------------------------
     def daxpy_norm(
         self,
@@ -154,7 +163,8 @@ class KernelSuite:
         """Fused ``out = a*x + y`` plus ``<out, w>`` (``w=None`` ->
         ``<out, out>``) in a single kernel launch."""
         n = x.size
-        self._account(n, 4, 16 + (8 if w is not None else 0), 8)
+        self._account(n, 2, 16, 8)                 # the DAXPY update
+        self._account(n, 2, 16, 0, launches=0)     # the riding DPROD
         if self.counters is not None:
             self.counters.dot_products += 1
             self.counters.fused_ops += 1
@@ -172,7 +182,8 @@ class KernelSuite:
         """Fused ``out = c - d*y`` plus ``<out, w>`` (``w=None`` ->
         ``<out, out>``) in a single kernel launch."""
         n = c.size
-        self._account(n, 4, 16 + (8 if w is not None else 0), 8)
+        self._account(n, 2, 16, 8)                 # the DSCAL update
+        self._account(n, 2, 16, 0, launches=0)     # the riding DPROD
         if self.counters is not None:
             self.counters.dot_products += 1
             self.counters.fused_ops += 1

@@ -135,6 +135,27 @@ class Counters:
         moved = self.bytes_moved
         return self.flops / moved if moved else 0.0
 
+    @property
+    def vector_fraction(self) -> float:
+        """Fraction of retired operations that were packed SIMD.
+
+        The counter-level vector-dilution measure: 1.0 means every
+        accounted operation went through the wide unit, 0.0 means pure
+        scalar issue.  Returns 0.0 when nothing has been recorded.
+        """
+        total = self.vector_ops + self.scalar_ops
+        return self.vector_ops / total if total else 0.0
+
+    def achieved_gflops(self, seconds: float) -> float:
+        """Measured GF/s over a timed window (the roofline y-axis).
+
+        Returns 0.0 for a non-positive window so callers can render
+        unmeasured rows without guarding.
+        """
+        if seconds <= 0.0:
+            return 0.0
+        return self.flops / seconds / 1e9
+
     def snapshot(self) -> dict[str, int]:
         """Return a plain-dict copy of all counters."""
         return {f.name: getattr(self, f.name) for f in fields(self)}

@@ -361,6 +361,19 @@ def merge_summaries(summaries: Sequence[Mapping[str, Any]]) -> dict[str, Any]:
     }
 
 
+def span_seconds(summary: Mapping[str, Any]) -> dict[str, tuple[float, int]]:
+    """``{span name: (total seconds, count)}`` from a summary dict.
+
+    The join key the efficiency reporter uses to pair tracer-measured
+    span time with counter-measured work (summaries record span totals
+    in microseconds; attribution wants seconds).
+    """
+    out: dict[str, tuple[float, int]] = {}
+    for name, agg in summary.get("spans", {}).items():
+        out[name] = (float(agg.get("us", 0.0)) / 1e6, int(agg.get("count", 0)))
+    return out
+
+
 # ----------------------------------------------------------------------
 # Validation
 # ----------------------------------------------------------------------

@@ -1,0 +1,41 @@
+"""Performance ledger: unified harness, attribution, regression gating.
+
+Three layers (see DESIGN.md):
+
+* :mod:`repro.perf.schema` / :mod:`repro.perf.ledger` -- the canonical
+  :class:`BenchResult` entry and the append-only
+  ``BENCH_history.jsonl`` + per-suite snapshot store;
+* :mod:`repro.perf.harness` -- the one benchmark runner (warmup,
+  median-of-k, environment fingerprint) everything measures through;
+* :mod:`repro.perf.efficiency` / :mod:`repro.perf.regress` -- roofline
+  attribution of measured counters and the statistical regression gate
+  behind ``repro perf check``.
+"""
+
+from repro.perf.harness import Harness, mad, median
+from repro.perf.ledger import Ledger, LedgerError, load_suite_snapshot
+from repro.perf.schema import (
+    SCHEMA,
+    BenchResult,
+    Metric,
+    environment_fingerprint,
+    git_revision,
+    validate_entry,
+    version_string,
+)
+
+__all__ = [
+    "SCHEMA",
+    "BenchResult",
+    "Harness",
+    "Ledger",
+    "LedgerError",
+    "Metric",
+    "environment_fingerprint",
+    "git_revision",
+    "load_suite_snapshot",
+    "mad",
+    "median",
+    "validate_entry",
+    "version_string",
+]

@@ -1,0 +1,252 @@
+"""Roofline-efficiency attribution: measured counters vs model peaks.
+
+The Python analogue of the paper's PAPI attribution: join what the run
+*measured* -- PAPI-style :class:`~repro.monitor.counters.Counters`
+(flops, bytes loaded/stored, SIMD vs scalar op mix) and timed windows
+(driver CPU seconds or tracer span times) -- against what the A64FX
+machine model says is *attainable* at that arithmetic intensity, and
+report per kernel (per rank, for application runs):
+
+* achieved GF/s (flops / measured seconds),
+* arithmetic intensity (flops / bytes moved),
+* % of the roofline-attainable rate at that intensity and working-set
+  residence (the efficiency number the paper reasons with), and
+* vector dilution (fraction of retired ops that were packed SIMD).
+
+Two joins are provided: :func:`driver_efficiency` for the Sec. II-F
+kernel driver (exact per-routine counter windows) and
+:func:`app_efficiency` for whole-application runs (per-rank tracer
+spans joined with the stencil accounting conventions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping, Sequence
+
+from repro.kernels.driver import ROUTINES, DriverResult
+from repro.monitor.trace import span_seconds
+from repro.perfmodel.machine import A64FX
+from repro.perfmodel.roofline import RooflineModel
+from repro.perfmodel.workload import BYTES_PER_ZONE, FLOPS_PER_ZONE
+
+
+@dataclass(frozen=True)
+class KernelEfficiency:
+    """One attributed (kernel, backend[, rank]) row."""
+
+    kernel: str
+    backend: str
+    seconds: float
+    flops: float
+    bytes_moved: float
+    vector_fraction: float        # SIMD share of retired ops (dilution)
+    residence: str                # working-set level on the model machine
+    attainable_flops: float       # roofline bound at this AI + residence
+    rank: int | None = None
+    calls: int = 0
+
+    @property
+    def intensity(self) -> float:
+        """Arithmetic intensity, flop/byte."""
+        return self.flops / self.bytes_moved if self.bytes_moved else 0.0
+
+    @property
+    def achieved_gflops(self) -> float:
+        return self.flops / self.seconds / 1e9 if self.seconds > 0 else 0.0
+
+    @property
+    def roofline_fraction(self) -> float:
+        """Achieved / attainable on the model machine's roofline."""
+        if self.attainable_flops <= 0:
+            return 0.0
+        return self.flops / self.seconds / self.attainable_flops if self.seconds > 0 else 0.0
+
+    def metrics(self) -> dict[str, tuple[float, str]]:
+        """The row as ledger metrics (``{name: (value, kind)}``)."""
+        return {
+            f"{self.kernel}_gflops": (self.achieved_gflops, "ratio"),
+            f"{self.kernel}_intensity": (self.intensity, "count"),
+            f"{self.kernel}_roofline_fraction": (self.roofline_fraction, "ratio"),
+            f"{self.kernel}_vector_fraction": (self.vector_fraction, "count"),
+        }
+
+
+# ----------------------------------------------------------------------
+# Driver join: exact per-routine counter windows
+# ----------------------------------------------------------------------
+def driver_efficiency(
+    result: DriverResult,
+    machine: A64FX | None = None,
+    routines: Sequence[str] = ROUTINES,
+) -> list[KernelEfficiency]:
+    """Attribute one :class:`~repro.kernels.driver.DriverResult`.
+
+    The driver times each routine under an exclusive counter window, so
+    flops/bytes per routine are exact.  The working-set residence is
+    judged from the per-call traffic (the driver's 1000-equation
+    system is L1-resident, which is why its kernels see the
+    compute-roof SVE gain rather than the HBM-bound one).
+    """
+    machine = machine or A64FX()
+    roofline = RooflineModel(machine)
+    vectorized = result.backend == "vector"
+    rows: list[KernelEfficiency] = []
+    for routine in routines:
+        ev = result.counters[routine]
+        flops = float(ev.get("flops", 0))
+        moved = float(ev.get("bytes_loaded", 0) + ev.get("bytes_stored", 0))
+        seconds = float(result.cpu_seconds[routine])
+        vec = float(ev.get("vector_ops", 0))
+        scl = float(ev.get("scalar_ops", 0))
+        per_call = moved / result.reps if result.reps else moved
+        residence = machine.working_set_level(int(per_call))
+        intensity = flops / moved if moved else 0.0
+        rows.append(
+            KernelEfficiency(
+                kernel=routine,
+                backend=result.backend,
+                seconds=seconds,
+                flops=flops,
+                bytes_moved=moved,
+                vector_fraction=vec / (vec + scl) if vec + scl else 0.0,
+                residence=residence,
+                attainable_flops=roofline.attainable(
+                    intensity, residence, vectorized=vectorized
+                ),
+                calls=result.reps,
+            )
+        )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Application join: per-rank tracer spans x stencil conventions
+# ----------------------------------------------------------------------
+#: Kernel span -> (flops, bytes) per unknown, the KernelSuite / workload
+#: accounting conventions (PRECOND's SPAI apply is another 5-pt stencil).
+APP_KERNEL_SPANS: dict[str, tuple[int, int]] = {
+    "MATVEC": (FLOPS_PER_ZONE["matvec"], BYTES_PER_ZONE["matvec"]),
+    "PRECOND": (FLOPS_PER_ZONE["precond"], BYTES_PER_ZONE["precond"]),
+}
+
+
+def app_efficiency(
+    reports: Sequence[Any],
+    nunknowns_by_rank: Mapping[int, int],
+    backend: str = "vector",
+    machine: A64FX | None = None,
+) -> list[KernelEfficiency]:
+    """Attribute a traced application run, per kernel per rank.
+
+    For each rank report carrying a tracer, the MATVEC / PRECOND span
+    times are joined with the stencil accounting conventions (flops and
+    bytes per unknown x span count x local unknowns) and the rank's
+    overall counter totals become a ``solver`` row (everything the
+    PAPI counters saw over the whole BiCGSTAB span).  The residence is
+    judged from the rank-local field footprint -- decomposing shrinks
+    the per-rank working set down the hierarchy exactly as in the
+    paper's strong-scaling story.
+    """
+    machine = machine or A64FX()
+    roofline = RooflineModel(machine)
+    rows: list[KernelEfficiency] = []
+    for rep in reports:
+        tracer = getattr(rep, "tracer", None)
+        if tracer is None:
+            continue
+        rank = getattr(rep, "rank", 0)
+        nunk = int(nunknowns_by_rank[rank])
+        vectorized = backend == "vector"
+        spans = span_seconds(tracer.summary())
+        # one double-precision field per stencil operand stream
+        residence = machine.working_set_level(nunk * 8)
+        for span, (flops_per, bytes_per) in APP_KERNEL_SPANS.items():
+            if span not in spans:
+                continue
+            seconds, calls = spans[span]
+            flops = float(flops_per * nunk * calls)
+            moved = float(bytes_per * nunk * calls)
+            intensity = flops / moved if moved else 0.0
+            rows.append(
+                KernelEfficiency(
+                    kernel=span,
+                    backend=backend,
+                    seconds=seconds,
+                    flops=flops,
+                    bytes_moved=moved,
+                    vector_fraction=1.0 if vectorized else 0.0,
+                    residence=residence,
+                    attainable_flops=roofline.attainable(
+                        intensity, residence, vectorized=vectorized
+                    ),
+                    rank=rank,
+                    calls=calls,
+                )
+            )
+        counters = getattr(rep, "counters", None)
+        solver = spans.get("BiCGSTAB")
+        if counters is not None and solver is not None:
+            seconds, calls = solver
+            intensity = counters.arithmetic_intensity
+            rows.append(
+                KernelEfficiency(
+                    kernel="solver",
+                    backend=backend,
+                    seconds=seconds,
+                    flops=float(counters.flops),
+                    bytes_moved=float(counters.bytes_moved),
+                    vector_fraction=counters.vector_fraction,
+                    residence=residence,
+                    attainable_flops=roofline.attainable(
+                        intensity, residence, vectorized=vectorized
+                    ),
+                    rank=rank,
+                    calls=calls,
+                )
+            )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Rendering
+# ----------------------------------------------------------------------
+def efficiency_table(
+    rows: Sequence[KernelEfficiency],
+    title: str = "ROOFLINE EFFICIENCY",
+    machine: A64FX | None = None,
+) -> str:
+    """Render attributed rows as the ``repro perf report`` table."""
+    machine = machine or A64FX()
+    per_rank = any(r.rank is not None for r in rows)
+    lines = [title, f"  model: {machine.describe()}"]
+    header = f"  {'kernel':<10} {'backend':<8}"
+    if per_rank:
+        header += f" {'rank':>4}"
+    header += (
+        f" {'time[s]':>9} {'GF/s':>9} {'AI':>7} "
+        f"{'res':>4} {'roof GF/s':>10} {'%roof':>7} {'vec%':>6}"
+    )
+    lines.append(header)
+    lines.append("  " + "-" * (len(header) - 2))
+    for r in rows:
+        line = f"  {r.kernel:<10} {r.backend:<8}"
+        if per_rank:
+            line += f" {r.rank if r.rank is not None else '-':>4}"
+        line += (
+            f" {r.seconds:>9.4f} {r.achieved_gflops:>9.4f} {r.intensity:>7.3f} "
+            f"{r.residence:>4} {r.attainable_flops / 1e9:>10.1f} "
+            f"{100.0 * r.roofline_fraction:>6.2f}% {100.0 * r.vector_fraction:>5.0f}%"
+        )
+        lines.append(line)
+    lines.append(
+        "  (%roof: achieved/attainable on the modeled A64FX roofline at the"
+    )
+    lines.append(
+        "   measured intensity; this Python substrate sits far below the"
+    )
+    lines.append(
+        "   silicon roof -- the *ratios* between kernels and backends carry"
+    )
+    lines.append("   the paper's story)")
+    return "\n".join(lines)

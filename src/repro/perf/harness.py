@@ -1,0 +1,179 @@
+"""Unified benchmark runner: warmup, median-of-k repeats, ledger emit.
+
+Every ``benchmarks/bench_*.py`` module and the ``repro perf run``
+smoke suite measure through one :class:`Harness`, so every recorded
+number shares the same discipline:
+
+* a warmup pass outside the timed window (interpreter and cache
+  warm-in, matching how the paper's driver discarded first touches);
+* ``k`` timed repeats with the garbage collector disabled, summarized
+  by **median** (robust location) and **MAD** (robust spread -- the
+  regression gate's noise floor);
+* both wall-clock and CPU seconds (process time shrugs off scheduler
+  preemption on shared CI machines);
+* one environment fingerprint per entry, so the ledger line is
+  traceable to a commit, interpreter and backend.
+
+Results become :class:`~repro.perf.schema.BenchResult` entries and --
+when the harness is bound to a :class:`~repro.perf.ledger.Ledger` --
+are appended to ``BENCH_history.jsonl`` and the suite snapshot
+immediately.
+"""
+
+from __future__ import annotations
+
+import gc
+import time
+from typing import Any, Callable, Mapping
+
+from repro.monitor.counters import Counters
+from repro.perf.ledger import Ledger
+from repro.perf.schema import (
+    BenchResult,
+    Metric,
+    coerce_metric,
+    environment_fingerprint,
+)
+
+
+def median(values: list[float]) -> float:
+    """Median without pulling in statistics' interpolation subtleties."""
+    if not values:
+        raise ValueError("median of no values")
+    s = sorted(values)
+    mid = len(s) // 2
+    if len(s) % 2:
+        return s[mid]
+    return 0.5 * (s[mid - 1] + s[mid])
+
+
+def mad(values: list[float]) -> float:
+    """Median absolute deviation around the median."""
+    if len(values) < 2:
+        return 0.0
+    m = median(values)
+    return median([abs(v - m) for v in values])
+
+
+class Harness:
+    """Runs and records benchmarks for one suite.
+
+    Parameters
+    ----------
+    suite:
+        Ledger stream name; entries land in ``BENCH_<suite>.json``.
+    ledger:
+        Destination :class:`~repro.perf.ledger.Ledger`; ``None`` keeps
+        results in memory only (callers append later or just inspect).
+    backend:
+        Backend tag folded into every entry's env fingerprint.
+    """
+
+    def __init__(
+        self,
+        suite: str,
+        ledger: Ledger | None = None,
+        backend: str | None = None,
+    ) -> None:
+        self.suite = suite
+        self.ledger = ledger
+        self.backend = backend
+        self.results: list[BenchResult] = []
+
+    # ------------------------------------------------------------------
+    def record(
+        self,
+        name: str,
+        metrics: Mapping[str, Any],
+        *,
+        config: Mapping[str, Any] | None = None,
+        counters: Counters | Mapping[str, int] | None = None,
+        backend: str | None = None,
+    ) -> BenchResult:
+        """Record already-measured metrics as one ledger entry.
+
+        ``metrics`` values may be :class:`Metric` instances, plain
+        numbers (kind ``value``), or ``(value, kind)`` tuples.
+        """
+        coerced: dict[str, Metric] = {}
+        for mname, value in metrics.items():
+            if isinstance(value, tuple) and len(value) == 2:
+                coerced[mname] = coerce_metric(value[0], kind=value[1])
+            else:
+                coerced[mname] = coerce_metric(value)
+        snap: dict[str, int] | None
+        if isinstance(counters, Counters):
+            snap = counters.snapshot()
+        elif counters is not None:
+            snap = dict(counters)
+        else:
+            snap = None
+        result = BenchResult(
+            suite=self.suite,
+            name=name,
+            metrics=coerced,
+            config=dict(config or {}),
+            counters=snap,
+            env=environment_fingerprint(backend=backend or self.backend),
+        )
+        self.results.append(result)
+        if self.ledger is not None:
+            self.ledger.append(result)
+        return result
+
+    # ------------------------------------------------------------------
+    def time(
+        self,
+        fn: Callable[[], Any],
+        *,
+        name: str,
+        repeats: int = 5,
+        warmup: int = 1,
+        config: Mapping[str, Any] | None = None,
+        counters: Counters | Mapping[str, int] | None = None,
+        backend: str | None = None,
+        metrics: Mapping[str, Any] | None = None,
+        keep_samples: bool = True,
+    ) -> BenchResult:
+        """Warm up, time ``fn`` ``repeats`` times, record the medians.
+
+        The entry carries ``wall_seconds`` and ``cpu_seconds`` (kind
+        ``time``, median over repeats, MAD attached) plus any extra
+        ``metrics`` the caller supplies (e.g. counter-derived counts
+        from the timed body's last run).
+        """
+        if repeats < 1:
+            raise ValueError("repeats must be >= 1")
+        for _ in range(max(0, warmup)):
+            fn()
+        walls: list[float] = []
+        cpus: list[float] = []
+        gc.collect()
+        gc_was_enabled = gc.isenabled()
+        gc.disable()
+        try:
+            for _ in range(repeats):
+                t0 = time.perf_counter()
+                c0 = time.process_time()
+                fn()
+                cpus.append(time.process_time() - c0)
+                walls.append(time.perf_counter() - t0)
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+        timed: dict[str, Any] = {
+            "wall_seconds": Metric(
+                value=median(walls), kind="time", unit="s", repeats=repeats,
+                mad=mad(walls), samples=sorted(walls) if keep_samples else None,
+            ),
+            "cpu_seconds": Metric(
+                value=median(cpus), kind="time", unit="s", repeats=repeats,
+                mad=mad(cpus), samples=sorted(cpus) if keep_samples else None,
+            ),
+        }
+        if metrics:
+            timed.update(metrics)
+        cfg = {"repeats": repeats, "warmup": warmup, **(config or {})}
+        return self.record(
+            name, timed, config=cfg, counters=counters, backend=backend
+        )

@@ -1,0 +1,190 @@
+"""Append-only performance ledger: ``BENCH_history.jsonl`` + snapshots.
+
+Two artifacts per ledger root:
+
+* ``BENCH_history.jsonl`` -- one schema-validated JSON entry per line,
+  append-only (each append is flushed and fsynced, so a crash can at
+  worst truncate the final line -- readers tolerate and count such
+  lines).  This is the longitudinal record the regression gate's
+  median/MAD windows are computed over.
+* ``BENCH_<suite>.json`` -- the *current* snapshot of one suite: the
+  latest entry per benchmark name, rewritten atomically (via
+  :mod:`repro.io.atomic`) after every append.  This is the file CI
+  archives and the ``repro perf check`` baseline comparator reads as
+  "the latest run".
+
+Writes go through :func:`repro.perf.schema.validate_entry`; an invalid
+entry raises :class:`LedgerError` before touching disk, so the ledger
+can only ever contain schema-conformant lines (modulo torn tails).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Iterable
+
+from repro.io.atomic import atomic_write_bytes
+from repro.perf.schema import BenchResult, validate_entry
+
+#: File name of the append-only history inside a ledger root.
+HISTORY_NAME = "BENCH_history.jsonl"
+
+#: Schema tag of the per-suite snapshot files.
+SUITE_SCHEMA = "repro.bench-suite/1"
+
+
+class LedgerError(Exception):
+    """An entry failed validation or the ledger is unusable."""
+
+
+class Ledger:
+    """One directory of performance history.
+
+    Parameters
+    ----------
+    root:
+        Directory holding ``BENCH_history.jsonl`` and the per-suite
+        snapshots.  Created on first write.
+    """
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self._skipped_lines = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def history_path(self) -> Path:
+        return self.root / HISTORY_NAME
+
+    def suite_path(self, suite: str) -> Path:
+        return self.root / f"BENCH_{suite}.json"
+
+    @property
+    def skipped_lines(self) -> int:
+        """Corrupt/torn history lines skipped by the last read."""
+        return self._skipped_lines
+
+    # ------------------------------------------------------------------
+    def append(self, result: BenchResult | dict[str, Any]) -> dict[str, Any]:
+        """Validate, append to history, refresh the suite snapshot.
+
+        Returns the entry as written.  Raises :class:`LedgerError` when
+        the entry does not conform to the schema.
+        """
+        entry = result.to_dict() if isinstance(result, BenchResult) else dict(result)
+        problems = validate_entry(entry)
+        if problems:
+            raise LedgerError(
+                f"refusing to append invalid entry "
+                f"{entry.get('suite')}/{entry.get('name')}: "
+                + "; ".join(problems)
+            )
+        self.root.mkdir(parents=True, exist_ok=True)
+        line = json.dumps(entry, sort_keys=True) + "\n"
+        with open(self.history_path, "a", encoding="utf-8") as fh:
+            fh.write(line)
+            fh.flush()
+            os.fsync(fh.fileno())
+        self._write_suite_snapshot(str(entry["suite"]))
+        return entry
+
+    def append_all(self, results: Iterable[BenchResult | dict[str, Any]]) -> int:
+        n = 0
+        for result in results:
+            self.append(result)
+            n += 1
+        return n
+
+    # ------------------------------------------------------------------
+    def entries(
+        self, suite: str | None = None, name: str | None = None
+    ) -> list[dict[str, Any]]:
+        """All history entries, oldest first, optionally filtered.
+
+        Corrupt lines (torn tail after a crash, manual edits) are
+        skipped and counted in :attr:`skipped_lines`.
+        """
+        self._skipped_lines = 0
+        out: list[dict[str, Any]] = []
+        try:
+            with open(self.history_path, encoding="utf-8") as fh:
+                for raw in fh:
+                    raw = raw.strip()
+                    if not raw:
+                        continue
+                    try:
+                        entry = json.loads(raw)
+                    except json.JSONDecodeError:
+                        self._skipped_lines += 1
+                        continue
+                    if validate_entry(entry):
+                        self._skipped_lines += 1
+                        continue
+                    if suite is not None and entry.get("suite") != suite:
+                        continue
+                    if name is not None and entry.get("name") != name:
+                        continue
+                    out.append(entry)
+        except FileNotFoundError:
+            pass
+        return out
+
+    def suites(self) -> list[str]:
+        return sorted({e["suite"] for e in self.entries()})
+
+    def latest(self, suite: str) -> dict[str, dict[str, Any]]:
+        """Latest entry per benchmark name within ``suite``."""
+        out: dict[str, dict[str, Any]] = {}
+        for entry in self.entries(suite=suite):
+            out[entry["name"]] = entry
+        return out
+
+    def metric_series(
+        self,
+        suite: str,
+        name: str,
+        metric: str,
+        window: int | None = None,
+    ) -> list[float]:
+        """The historical values of one metric, oldest first.
+
+        ``window`` keeps only the most recent N values -- the
+        median/MAD window the regression gate uses as its noise model.
+        """
+        values = [
+            float(e["metrics"][metric]["value"])
+            for e in self.entries(suite=suite, name=name)
+            if metric in e.get("metrics", {})
+        ]
+        if window is not None and window > 0:
+            values = values[-window:]
+        return values
+
+    # ------------------------------------------------------------------
+    def _write_suite_snapshot(self, suite: str) -> Path:
+        latest = self.latest(suite)
+        payload = {
+            "schema": SUITE_SCHEMA,
+            "suite": suite,
+            "entries": len(self.entries(suite=suite)),
+            "benchmarks": latest,
+        }
+        body = json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        return atomic_write_bytes(self.suite_path(suite), body.encode())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Ledger(root={str(self.root)!r})"
+
+
+def load_suite_snapshot(path: str | Path) -> dict[str, Any]:
+    """Read a ``BENCH_<suite>.json`` snapshot, validating its entries."""
+    data = json.loads(Path(path).read_text())
+    if not isinstance(data, dict) or data.get("schema") != SUITE_SCHEMA:
+        raise LedgerError(f"{path}: not a {SUITE_SCHEMA} snapshot")
+    for name, entry in data.get("benchmarks", {}).items():
+        problems = validate_entry(entry)
+        if problems:
+            raise LedgerError(f"{path}: benchmark {name!r}: {problems[0]}")
+    return data

@@ -1,0 +1,349 @@
+"""Statistical regression gating over the performance ledger.
+
+``repro perf check`` compares the *latest* ledger entry of every
+benchmark against a committed baseline using robust statistics:
+
+* **time/ratio metrics** regress only when the latest median exceeds
+  the baseline by more than a relative threshold *and* clears a noise
+  floor built from MADs -- the larger of the baseline's recorded MAD
+  and the MAD of a sliding window over the ledger history (machines
+  drift; the window keeps the noise model current), scaled by
+  ``mad_factor``, with an absolute floor under it so microsecond-scale
+  benchmarks can't flap on scheduler jitter;
+* **count metrics** are deterministic (flop counts, iterations,
+  launches): any drift beyond a tiny relative tolerance is a real
+  behaviour change and fails the gate regardless of timing noise;
+* **value metrics** are informational and never gate.
+
+Baselines are plain JSON under ``benchmarks/baselines/`` written by
+``repro perf baseline`` -- updating them is a deliberate, reviewable
+act, never a side effect of running the gate.  Per-metric thresholds
+can be pinned inside the baseline file itself and win over the policy
+defaults.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.io.atomic import atomic_write_bytes
+from repro.perf.harness import mad as _mad
+from repro.perf.harness import median as _median
+from repro.perf.ledger import Ledger
+
+#: Schema tag of baseline files.
+BASELINE_SCHEMA = "repro.bench-baseline/1"
+
+#: History window (entries) over which the ledger-side MAD is taken.
+DEFAULT_WINDOW = 8
+
+
+@dataclass(frozen=True)
+class MetricPolicy:
+    """How one metric kind is judged."""
+
+    #: Relative increase over baseline tolerated before regression.
+    rel_threshold: float
+    #: Noise floor = ``mad_factor`` x max(baseline MAD, window MAD).
+    mad_factor: float = 3.0
+    #: Absolute floor under the noise model (units of the metric).
+    abs_floor: float = 0.0
+    #: Whether decreases also fail (deterministic counts: yes).
+    two_sided: bool = False
+    #: Whether this kind gates at all.
+    gates: bool = True
+
+
+#: Default judgement per metric kind.
+DEFAULT_POLICIES: dict[str, MetricPolicy] = {
+    "time": MetricPolicy(rel_threshold=0.25, mad_factor=3.0, abs_floor=1e-4),
+    "ratio": MetricPolicy(rel_threshold=0.25, mad_factor=3.0, abs_floor=1e-3),
+    "count": MetricPolicy(
+        rel_threshold=0.0, mad_factor=0.0, abs_floor=1e-9, two_sided=True
+    ),
+    "value": MetricPolicy(rel_threshold=0.0, gates=False),
+}
+
+#: Finding statuses that fail the gate.
+FAILING = ("regression", "changed", "missing-metric", "missing-benchmark")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """Outcome of judging one (benchmark, metric) pair."""
+
+    suite: str
+    name: str
+    metric: str
+    kind: str
+    status: str                   # ok | improved | new | regression | changed | missing-*
+    baseline: float | None = None
+    latest: float | None = None
+    threshold: float = 0.0        # the allowance actually applied
+    noise: float = 0.0            # the noise floor actually applied
+
+    @property
+    def failed(self) -> bool:
+        return self.status in FAILING
+
+    def describe(self) -> str:
+        loc = f"{self.suite}/{self.name}:{self.metric}"
+        if self.baseline is None or self.latest is None:
+            return f"{loc}: {self.status}"
+        delta = self.latest - self.baseline
+        rel = delta / self.baseline if self.baseline else float("inf")
+        return (
+            f"{loc}: {self.status} "
+            f"({self.baseline:.6g} -> {self.latest:.6g}, "
+            f"{rel:+.1%}; allowance {self.threshold:.3g} + noise {self.noise:.3g})"
+        )
+
+
+@dataclass
+class GateReport:
+    """Everything one ``repro perf check`` invocation concluded."""
+
+    findings: list[Finding] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not any(f.failed for f in self.findings)
+
+    @property
+    def regressions(self) -> list[Finding]:
+        return [f for f in self.findings if f.failed]
+
+    def render(self) -> str:
+        counts: dict[str, int] = {}
+        for f in self.findings:
+            counts[f.status] = counts.get(f.status, 0) + 1
+        lines = ["PERF GATE " + ("OK" if self.ok else "FAILED")]
+        lines.append(
+            "  " + ", ".join(f"{k}: {v}" for k, v in sorted(counts.items()))
+            if counts
+            else "  (nothing compared)"
+        )
+        for f in self.findings:
+            if f.failed:
+                lines.append("  !! " + f.describe())
+        for f in self.findings:
+            if f.status == "improved":
+                lines.append("  ++ " + f.describe())
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Judging
+# ----------------------------------------------------------------------
+def judge_metric(
+    *,
+    suite: str,
+    name: str,
+    metric: str,
+    kind: str,
+    latest: float,
+    baseline: float,
+    baseline_mad: float,
+    window_values: list[float],
+    policy: MetricPolicy,
+) -> Finding:
+    """Apply one policy to one metric pair; the gate's core rule."""
+    if not policy.gates:
+        return Finding(suite, name, metric, kind, "ok", baseline, latest)
+    window_mad = _mad(window_values) if len(window_values) >= 3 else 0.0
+    noise = max(
+        policy.mad_factor * max(baseline_mad, window_mad), policy.abs_floor
+    )
+    allowance = policy.rel_threshold * abs(baseline)
+    delta = latest - baseline
+    if delta > allowance + noise:
+        status = "regression" if not policy.two_sided else "changed"
+    elif policy.two_sided and -delta > allowance + noise:
+        status = "changed"
+    elif not policy.two_sided and -delta > allowance + noise:
+        status = "improved"
+    else:
+        status = "ok"
+    return Finding(
+        suite, name, metric, kind, status, baseline, latest,
+        threshold=allowance, noise=noise,
+    )
+
+
+def check_suite(
+    ledger: Ledger,
+    suite: str,
+    baseline: Mapping[str, Any],
+    *,
+    policies: Mapping[str, MetricPolicy] | None = None,
+    window: int = DEFAULT_WINDOW,
+    counts_only: bool = False,
+) -> list[Finding]:
+    """Judge one suite's latest ledger entries against its baseline."""
+    policies = dict(DEFAULT_POLICIES, **(policies or {}))
+    latest = ledger.latest(suite)
+    findings: list[Finding] = []
+    base_benches: Mapping[str, Any] = baseline.get("benchmarks", {})
+    for bench_name, base in base_benches.items():
+        entry = latest.get(bench_name)
+        if entry is None:
+            findings.append(
+                Finding(suite, bench_name, "-", "-", "missing-benchmark")
+            )
+            continue
+        metrics = entry.get("metrics", {})
+        for mname, bm in base.get("metrics", {}).items():
+            kind = str(bm.get("kind", "value"))
+            if counts_only and kind != "count":
+                continue
+            policy = policies.get(kind, DEFAULT_POLICIES["value"])
+            if bm.get("threshold") is not None:
+                policy = replace(policy, rel_threshold=float(bm["threshold"]))
+            m = metrics.get(mname)
+            if m is None:
+                if policy.gates:
+                    findings.append(
+                        Finding(suite, bench_name, mname, kind, "missing-metric")
+                    )
+                continue
+            findings.append(
+                judge_metric(
+                    suite=suite,
+                    name=bench_name,
+                    metric=mname,
+                    kind=kind,
+                    latest=float(m["value"]),
+                    baseline=float(bm["value"]),
+                    baseline_mad=float(bm.get("mad") or 0.0),
+                    window_values=ledger.metric_series(
+                        suite, bench_name, mname, window=window
+                    ),
+                    policy=policy,
+                )
+            )
+        for mname, m in metrics.items():
+            if mname not in base.get("metrics", {}):
+                findings.append(
+                    Finding(
+                        suite, bench_name, mname, str(m.get("kind", "value")),
+                        "new", None, float(m["value"]),
+                    )
+                )
+    for bench_name in latest:
+        if bench_name not in base_benches:
+            findings.append(Finding(suite, bench_name, "-", "-", "new"))
+    return findings
+
+
+def check(
+    ledger: Ledger,
+    baseline_dir: str | Path,
+    suites: list[str] | None = None,
+    *,
+    policies: Mapping[str, MetricPolicy] | None = None,
+    window: int = DEFAULT_WINDOW,
+    counts_only: bool = False,
+) -> GateReport:
+    """Gate the ledger's latest entries against committed baselines.
+
+    ``suites=None`` checks every suite that has a baseline file.  A
+    requested suite without a baseline file is itself a failure (the
+    gate must not silently pass on absent history).
+    """
+    baseline_dir = Path(baseline_dir)
+    report = GateReport()
+    if suites is None:
+        suites = sorted(
+            p.stem for p in baseline_dir.glob("*.json")
+        ) if baseline_dir.is_dir() else []
+    if not suites:
+        report.findings.append(
+            Finding("-", "-", "-", "-", "missing-benchmark")
+        )
+        return report
+    for suite in suites:
+        path = baseline_dir / f"{suite}.json"
+        try:
+            baseline = load_baseline(path)
+        except (OSError, json.JSONDecodeError, ValueError):
+            report.findings.append(
+                Finding(suite, "-", "-", "-", "missing-benchmark")
+            )
+            continue
+        report.findings.extend(
+            check_suite(
+                ledger, suite, baseline,
+                policies=policies, window=window, counts_only=counts_only,
+            )
+        )
+    return report
+
+
+# ----------------------------------------------------------------------
+# Baseline files
+# ----------------------------------------------------------------------
+def load_baseline(path: str | Path) -> dict[str, Any]:
+    data = json.loads(Path(path).read_text())
+    if not isinstance(data, dict) or data.get("schema") != BASELINE_SCHEMA:
+        raise ValueError(f"{path}: not a {BASELINE_SCHEMA} baseline")
+    return data
+
+
+def baseline_from_latest(
+    ledger: Ledger, suite: str, thresholds: Mapping[str, float] | None = None
+) -> dict[str, Any]:
+    """Build a baseline payload from the suite's latest ledger entries.
+
+    The per-entry medians become baseline values; recorded MADs ride
+    along as the noise anchors.  ``thresholds`` pins per-metric
+    relative thresholds (``{"wall_seconds": 0.4}``) into the file.
+    """
+    benches: dict[str, Any] = {}
+    for name, entry in sorted(ledger.latest(suite).items()):
+        metrics: dict[str, Any] = {}
+        for mname, m in entry.get("metrics", {}).items():
+            rec: dict[str, Any] = {"value": m["value"], "kind": m.get("kind", "value")}
+            if m.get("mad") is not None:
+                rec["mad"] = m["mad"]
+            if thresholds and mname in thresholds:
+                rec["threshold"] = thresholds[mname]
+            metrics[mname] = rec
+        benches[name] = {
+            "metrics": metrics,
+            "env": {
+                k: entry.get("env", {}).get(k)
+                for k in ("git_sha", "git_dirty", "python", "numpy", "backend")
+                if k in entry.get("env", {})
+            },
+        }
+    return {"schema": BASELINE_SCHEMA, "suite": suite, "benchmarks": benches}
+
+
+def write_baseline(
+    ledger: Ledger,
+    baseline_dir: str | Path,
+    suites: list[str] | None = None,
+    thresholds: Mapping[str, float] | None = None,
+) -> list[Path]:
+    """Write (atomically) one baseline file per suite; returns paths."""
+    baseline_dir = Path(baseline_dir)
+    written: list[Path] = []
+    for suite in suites if suites is not None else ledger.suites():
+        payload = baseline_from_latest(ledger, suite, thresholds=thresholds)
+        if not payload["benchmarks"]:
+            continue
+        body = json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        written.append(
+            atomic_write_bytes(baseline_dir / f"{suite}.json", body.encode())
+        )
+    return written
+
+
+def window_stats(values: list[float]) -> tuple[float, float]:
+    """(median, MAD) of a history window -- exposed for reports/tests."""
+    if not values:
+        return 0.0, 0.0
+    return _median(values), _mad(values)

@@ -80,6 +80,15 @@ class A64FX:
             return "L2"
         return "HBM"
 
+    def describe(self) -> str:
+        """One-line roofline-inputs summary for report headers."""
+        return (
+            f"A64FX core @ {self.clock_hz / 1e9:.1f} GHz: "
+            f"SVE peak {self.peak_flops(1, True) / 1e9:.1f} GF/s, "
+            f"scalar peak {self.peak_flops(1, False) / 1e9:.1f} GF/s, "
+            f"1-core HBM {self.memory_bandwidth(1) / 1e9:.0f} GB/s"
+        )
+
 
 @dataclass(frozen=True)
 class OokamiCluster:

@@ -69,14 +69,29 @@ class RooflineModel:
         except KeyError:
             raise KeyError(f"unknown residence {residence!r}") from None
 
-    def point(
-        self, kernel: str, residence: str, vectorized: bool = True
+    def attainable(
+        self, intensity: float, residence: str, vectorized: bool = True
+    ) -> float:
+        """Attainable flop/s at a *measured* arithmetic intensity.
+
+        The generic roofline evaluation ``min(peak, AI x bandwidth)``
+        for one core -- used by the efficiency reporter to place
+        counter-measured kernels (whose AI need not match any named
+        :data:`KERNEL_INTENSITY` entry) on the model machine's roof.
+        """
+        if intensity < 0:
+            raise ValueError(f"arithmetic intensity must be >= 0, got {intensity}")
+        peak = self.machine.peak_flops(1, vectorized)
+        return min(peak, intensity * self.bandwidth(residence))
+
+    def point_at(
+        self,
+        kernel: str,
+        intensity: float,
+        residence: str,
+        vectorized: bool = True,
     ) -> RooflinePoint:
-        try:
-            flops, nbytes = KERNEL_INTENSITY[kernel]
-        except KeyError:
-            raise KeyError(f"unknown kernel {kernel!r}") from None
-        intensity = flops / nbytes
+        """A :class:`RooflinePoint` at an arbitrary (kernel, AI) pair."""
         peak = self.machine.peak_flops(1, vectorized)
         bw = self.bandwidth(residence)
         return RooflinePoint(
@@ -86,6 +101,17 @@ class RooflineModel:
             peak_flops=peak,
             bandwidth=bw,
             attainable=min(peak, intensity * bw),
+        )
+
+    def point(
+        self, kernel: str, residence: str, vectorized: bool = True
+    ) -> RooflinePoint:
+        try:
+            flops, nbytes = KERNEL_INTENSITY[kernel]
+        except KeyError:
+            raise KeyError(f"unknown kernel {kernel!r}") from None
+        return self.point_at(
+            kernel, flops / nbytes, residence, vectorized=vectorized
         )
 
     def sve_gain(self, kernel: str, residence: str) -> float:

@@ -206,3 +206,79 @@ class TestKernelDriver:
         d2 = KernelDriver(n=32, reps=1, band_offset=4, seed=1)
         r1, r2 = d1.run("vector"), d2.run("vector")
         assert r1.counters == r2.counters
+
+
+class TestFusedCounterParity:
+    """A fused op must count exactly the flops/bytes/SIMD ops of its
+    unfused decomposition — only the launch count may reflect the
+    fusion.  Otherwise fused-vs-unfused efficiency ratios (GF/s, AI,
+    %-of-roofline) stop being comparable."""
+
+    WORK_FIELDS = (
+        "flops", "bytes_loaded", "bytes_stored",
+        "vector_ops", "scalar_ops", "dot_products",
+    )
+
+    def _pair(self, backend):
+        return (
+            KernelSuite(backend, counters=Counters()),
+            KernelSuite(backend, counters=Counters()),
+        )
+
+    def assert_work_parity(self, fused, unfused, launches_saved):
+        for f in self.WORK_FIELDS:
+            assert getattr(fused, f) == getattr(unfused, f), f
+        assert unfused.kernel_calls - fused.kernel_calls == launches_saved
+
+    @pytest.mark.parametrize("backend", ["scalar", "vector"])
+    def test_daxpy_norm_counts_daxpy_plus_dprod(self, backend):
+        r = rng()
+        x, y = r.standard_normal(100), r.standard_normal(100)
+        sf, su = self._pair(backend)
+        out, val = sf.daxpy_norm(2.0, x, y)
+        ref = su.daxpy(2.0, x, y)
+        assert val == su.dprod(ref, ref)
+        np.testing.assert_array_equal(out, ref)
+        self.assert_work_parity(sf.counters, su.counters, launches_saved=1)
+        assert sf.counters.fused_ops == 1 and su.counters.fused_ops == 0
+
+    @pytest.mark.parametrize("backend", ["scalar", "vector"])
+    def test_dscal_norm_counts_dscal_plus_dprod(self, backend):
+        r = rng()
+        c, y, w = (r.standard_normal(100) for _ in range(3))
+        sf, su = self._pair(backend)
+        out, val = sf.dscal_norm(c, 0.5, y, w=w)
+        ref = su.dscal(c, 0.5, y)
+        assert val == su.dprod(ref, w)
+        np.testing.assert_array_equal(out, ref)
+        self.assert_work_parity(sf.counters, su.counters, launches_saved=1)
+
+    @pytest.mark.parametrize("backend", ["scalar", "vector"])
+    @pytest.mark.parametrize("ns", [1, 2])
+    def test_apply_dots_counts_apply_plus_gang(self, backend, ns):
+        r = rng()
+        n1, n2 = 6, 5
+        def coeffs():
+            return StencilCoefficients(
+                diag=r.standard_normal((ns, n1, n2)) + 5.0,
+                west=r.standard_normal((ns, n1, n2)),
+                east=r.standard_normal((ns, n1, n2)),
+                south=r.standard_normal((ns, n1, n2)),
+                north=r.standard_normal((ns, n1, n2)),
+            )
+        c = coeffs()
+        xpad = r.standard_normal((ns, n1 + 2, n2 + 2))
+        w = r.standard_normal((ns, n1, n2))
+
+        sf, su = self._pair(backend)
+        fused = MultiSpeciesStencil(c, suite=sf)
+        unfused = MultiSpeciesStencil(c.copy(), suite=su)
+
+        out_f, vals_f = fused.apply_dots(xpad, [None, w])
+        out_u = unfused.apply(xpad)
+        vals_u = su.dprod_gang([(out_u, out_u), (out_u, w)])
+
+        np.testing.assert_array_equal(out_f, out_u)
+        np.testing.assert_array_equal(vals_f, vals_u)
+        self.assert_work_parity(sf.counters, su.counters, launches_saved=1)
+        assert sf.counters.matvecs == su.counters.matvecs == 1

@@ -299,3 +299,79 @@ class TestReports:
         assert set(COMPILERS) == set(COMPILER_KEYS)
         assert COMPILERS[CRAY_NOOPT].sve is False
         assert COMPILERS[CRAY_OPT].sve is True
+
+
+class TestRoofline:
+    from repro.perfmodel.roofline import KERNEL_INTENSITY, RooflineModel
+
+    model = RooflineModel()
+
+    def test_l1_gains_bracket_paper_table2_band(self):
+        """Table II measured 3-6x SVE speedups on the L1-resident
+        driver.  The roofline predicts gains in that neighbourhood for
+        every kernel, with MATVEC (highest AI) gaining most."""
+        gains = {
+            k: self.model.sve_gain(k, "L1") for k in self.KERNEL_INTENSITY
+        }
+        assert all(2.5 <= g <= 6.5 for g in gains.values()), gains
+        assert max(gains, key=gains.get) == "MATVEC"
+        assert gains["MATVEC"] == pytest.approx(
+            1.0 / PAPER_TABLE2_RATIOS["MATVEC"], rel=0.25
+        )
+
+    def test_hbm_gains_collapse_to_dilution(self):
+        """From HBM every kernel is memory-bound: SVE width buys ~1x,
+        the roofline-level statement of the paper's ~1.45x whole-app
+        dilution."""
+        for k in self.KERNEL_INTENSITY:
+            assert self.model.sve_gain(k, "HBM") < 1.2
+
+    def test_attainable_is_min_of_roofs(self):
+        peak = self.model.machine.peak_flops(1, True)
+        assert self.model.attainable(1e6, "L1") == peak
+        low = self.model.attainable(0.01, "L1")
+        assert low == pytest.approx(0.01 * self.model.bandwidth("L1"))
+        with pytest.raises(ValueError):
+            self.model.attainable(-1.0, "L1")
+        with pytest.raises(KeyError):
+            self.model.bandwidth("L3")
+
+    def test_kernel_intensity_matches_counter_accounting(self):
+        """KERNEL_INTENSITY's (flops, bytes) per element must agree
+        with what the KernelSuite counters actually measure, or the
+        efficiency reporter's model-side and measured-side AI drift
+        apart."""
+        from repro.kernels import KernelSuite, MultiSpeciesStencil, StencilCoefficients
+        from repro.monitor import Counters
+
+        n = 120
+        x = np.ones(n)
+
+        def measured(op, nelem):
+            c = Counters()
+            s = KernelSuite("vector", counters=c)
+            op(s)
+            return c.flops / nelem, (c.bytes_loaded + c.bytes_stored) / nelem
+
+        cases = {
+            "DPROD": lambda s: s.dprod(x, x),
+            "DAXPY": lambda s: s.daxpy(1.0, x, x),
+            "DSCAL": lambda s: s.dscal(x, 1.0, x),
+            "DDAXPY": lambda s: s.ddaxpy(1.0, x, 1.0, x, x),
+        }
+        for kernel, op in cases.items():
+            flops, nbytes = self.KERNEL_INTENSITY[kernel]
+            assert measured(op, n) == (flops, nbytes), kernel
+
+        ns, n1, n2 = 1, 8, 6
+        coeffs = StencilCoefficients(
+            diag=np.full((ns, n1, n2), 5.0),
+            west=np.ones((ns, n1, n2)), east=np.ones((ns, n1, n2)),
+            south=np.ones((ns, n1, n2)), north=np.ones((ns, n1, n2)),
+        )
+        xpad = np.ones((ns, n1 + 2, n2 + 2))
+
+        def matvec(s):
+            MultiSpeciesStencil(coeffs, suite=s).apply(xpad)
+
+        assert measured(matvec, ns * n1 * n2) == self.KERNEL_INTENSITY["MATVEC"]
