@@ -70,6 +70,19 @@ def _make_resilience(args: argparse.Namespace):
     )
 
 
+def _add_transport_flag(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--transport", choices=("threads", "mp"), default=None,
+                   help="comm transport: in-process threads (default) or "
+                        "one forked process per rank over shared memory; "
+                        "unset falls back to $REPRO_TRANSPORT")
+
+
+def _resolve_transport(args: argparse.Namespace) -> str:
+    from repro.parallel.links import get_transport
+
+    return get_transport(getattr(args, "transport", None)).name
+
+
 def _add_resilience_flags(p: argparse.ArgumentParser) -> None:
     p.add_argument("--inject", metavar="SITE=RATE[,...]", default=None,
                    help='fault rates, e.g. "numeric=0.001,comm=0.01,io=0.2"')
@@ -101,6 +114,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         checkpoint_interval=args.checkpoint_interval,
         resilience=_make_resilience(args),
         trace=bool(getattr(args, "trace", None)),
+        transport=_resolve_transport(args),
     )
     problem = GaussianPulseProblem()
     if cfg.nranks == 1:
@@ -158,6 +172,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         backend=args.backend, precond=args.precond,
         solver_tol=args.tol,
         trace=True,
+        transport=_resolve_transport(args),
     )
     problem = GaussianPulseProblem()
     if cfg.nranks == 1:
@@ -202,6 +217,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         nx1=args.nx1, nx2=args.nx2, nsteps=args.nsteps, dt=args.dt,
         nprx1=args.nprx1, nprx2=args.nprx2, precond=args.precond,
         solver_tol=args.tol, profile=False,
+        transport=_resolve_transport(args),
     )
 
     def execute(cfg: V2DConfig):
@@ -251,8 +267,16 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
 
 def _cmd_driver(args: argparse.Namespace) -> int:
     from repro.kernels import KernelDriver
-    from repro.kernels.driver import format_table2
+    from repro.kernels.driver import format_table2, run_driver_spmd
 
+    if args.ranks > 1:
+        result = run_driver_spmd(
+            args.ranks, n=args.n, reps=args.reps, backend=args.backend,
+            transport=getattr(args, "transport", None),
+            band_offset=min(200, args.n - 1),
+        )
+        print(result.table())
+        return 0
     driver = KernelDriver(n=args.n, reps=args.reps,
                           band_offset=min(200, args.n - 1))
     no_sve, sve, _ratios = driver.compare()
@@ -364,6 +388,7 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--trace", metavar="PATH", default=None,
                    help="arm the tracer and write the merged per-rank "
                         "timeline (Chrome trace-event JSON) to PATH")
+    _add_transport_flag(p)
     _add_resilience_flags(p)
     p.set_defaults(fn=_cmd_run)
 
@@ -382,6 +407,7 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--tol", type=float, default=1e-10)
     p.add_argument("--output", default="trace.json",
                    help="trace artifact path (default: trace.json)")
+    _add_transport_flag(p)
     p.set_defaults(fn=_cmd_trace)
 
     p = sub.add_parser(
@@ -398,12 +424,19 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--tol", type=float, default=1e-10)
     p.add_argument("--error-margin", type=float, default=1e-3,
                    help="absolute slack allowed over the baseline error")
+    _add_transport_flag(p)
     _add_resilience_flags(p)
     p.set_defaults(fn=_cmd_chaos)
 
     p = sub.add_parser("driver", help="the Sec. II-F kernel driver")
     p.add_argument("--n", type=int, default=1000)
     p.add_argument("--reps", type=int, default=50)
+    p.add_argument("--ranks", type=int, default=1,
+                   help="run the driver on an SPMD job of this many ranks")
+    p.add_argument("--backend", choices=("vector", "scalar"),
+                   default="scalar",
+                   help="backend for the SPMD driver (--ranks > 1)")
+    _add_transport_flag(p)
     p.set_defaults(fn=_cmd_driver)
 
     from repro.campaign.cli import add_campaign_parser

@@ -120,6 +120,21 @@ class Field:
         else:
             raise ValueError(f"unknown side {side!r}")
 
+    def outflow_side(self, side: str) -> None:
+        """Zero-gradient fill: replicate the nearest interior strip
+        into this side's ghosts (free-outflow boundary)."""
+        g = self.nghost
+        if side == "west":
+            self.data[:, :g, g:-g] = self.data[:, g : g + 1, g:-g]
+        elif side == "east":
+            self.data[:, -g:, g:-g] = self.data[:, -g - 1 : -g, g:-g]
+        elif side == "south":
+            self.data[:, g:-g, :g] = self.data[:, g:-g, g : g + 1]
+        elif side == "north":
+            self.data[:, g:-g, -g:] = self.data[:, g:-g, -g - 1 : -g]
+        else:
+            raise ValueError(f"unknown side {side!r}")
+
     def zero_side(self, side: str) -> None:
         """Zero this side's ghost zones (Dirichlet-0)."""
         g = self.nghost

@@ -19,7 +19,12 @@ single-processor driver program of Sec. II-F.
 from repro.kernels.fused import SolverWorkspace
 from repro.kernels.stencil import MultiSpeciesStencil, StencilCoefficients
 from repro.kernels.suite import KernelSuite
-from repro.kernels.driver import DriverResult, KernelDriver
+from repro.kernels.driver import (
+    DriverResult,
+    KernelDriver,
+    SpmdDriverResult,
+    run_driver_spmd,
+)
 
 __all__ = [
     "KernelSuite",
@@ -27,5 +32,7 @@ __all__ = [
     "MultiSpeciesStencil",
     "KernelDriver",
     "DriverResult",
+    "SpmdDriverResult",
+    "run_driver_spmd",
     "SolverWorkspace",
 ]

@@ -165,6 +165,89 @@ class KernelDriver:
         return no_sve, sve, sve.ratio_to(no_sve)
 
 
+@dataclass
+class SpmdDriverResult:
+    """A decomposed driver run: per-rank timings plus reduced totals.
+
+    ``cpu_seconds`` holds the per-routine maximum over ranks and
+    ``total_flops`` the sum -- both carried by a single batched
+    all-reduce round, so the result doubles as an end-to-end exercise
+    of cross-process collectives.
+    """
+
+    ranks: int
+    backend: str
+    transport: str
+    wall_seconds: float
+    cpu_seconds: dict[str, float]
+    total_flops: int
+    per_rank: list[DriverResult]
+
+    def table(self) -> str:
+        lines = [
+            f"SPMD kernel driver ({self.backend} backend, {self.ranks} "
+            f"rank(s), transport={self.transport})",
+            f"  job wall time: {self.wall_seconds:.4f} s, "
+            f"total flops: {self.total_flops:,d}",
+            f"{'Routine':<8} {'max cpu(s)':>12}",
+        ]
+        for r in ROUTINES:
+            lines.append(f"{r:<8} {self.cpu_seconds[r]:>12.4f}")
+        return "\n".join(lines)
+
+
+def run_driver_spmd(
+    ranks: int,
+    n: int = 1000,
+    reps: int = 1000,
+    backend: str = "scalar",
+    transport: str | None = None,
+    band_offset: int = 25,
+    seed: int = 20220901,
+    timeout: float | None = 120.0,
+) -> SpmdDriverResult:
+    """Run the Sec. II-F driver on every rank of an SPMD job.
+
+    Each rank exercises the five routines on its own ``n``-equation
+    system (seed varied per rank), then all ranks join one batched
+    all-reduce combining per-routine maxima and the flop total.  Under
+    the ``scalar`` backend the work is pure-Python and CPU-bound, which
+    makes this the measured workload of the ``BENCH_scaling_mp`` suite:
+    threads serialize on the GIL, processes use the machine's cores.
+    """
+    from repro.parallel.comm import ReduceOp
+    from repro.parallel.links import get_transport
+    from repro.parallel.runtime import run_spmd
+
+    transport_name = get_transport(transport).name
+
+    def rank_body(comm):
+        driver = KernelDriver(
+            n=n, reps=reps, band_offset=band_offset, seed=seed + comm.rank
+        )
+        result = driver.run(backend)
+        payloads = [result.cpu_seconds[r] for r in ROUTINES] + [
+            sum(ev["flops"] for ev in result.counters.values())
+        ]
+        ops = [ReduceOp.MAX] * len(ROUTINES) + [ReduceOp.SUM]
+        return result, comm.allreduce_batch(payloads, ops=ops)
+
+    timer = WallTimer()
+    timer.start()
+    out = run_spmd(ranks, rank_body, timeout=timeout, transport=transport_name)
+    wall = timer.stop()
+    reduced = out[0][1]
+    return SpmdDriverResult(
+        ranks=ranks,
+        backend=backend,
+        transport=transport_name,
+        wall_seconds=wall,
+        cpu_seconds={r: float(reduced[i]) for i, r in enumerate(ROUTINES)},
+        total_flops=int(reduced[len(ROUTINES)]),
+        per_rank=[r for r, _ in out],
+    )
+
+
 def format_table2(
     no_sve: DriverResult, sve: DriverResult, paper: dict[str, float] | None = None
 ) -> str:

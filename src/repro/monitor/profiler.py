@@ -73,6 +73,24 @@ class Profiler:
         #: discards its timing instead of resurrecting a stale node.
         self._epoch = 0
 
+    # Profilers travel inside RunReports across the multiprocessing
+    # transport's result pipe.  Thread-bound machinery (TLS, lock, the
+    # open-region map keyed by thread id) is meaningless in another
+    # process; the receiver gets a quiescent profiler carrying only the
+    # finished region trees.
+    def __getstate__(self) -> dict:
+        with self._lock:
+            state = self.__dict__.copy()
+        for key in ("_tls", "_lock"):
+            state.pop(key, None)
+        state["_active"] = {}
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._tls = threading.local()
+        self._lock = threading.Lock()
+
     def _root(self, rank: int) -> ProfileNode:
         with self._lock:
             root = self._roots.get(rank)

@@ -117,6 +117,22 @@ class Tracer:
         self._ranks: set[int] = set()
         self._async_seq = 0
 
+    # A tracer must cross process boundaries (per-rank span streams of
+    # the multiprocessing transport return inside RunReports); the lock
+    # is per-process machinery, the event list is the state.  The fork
+    # shares ``_EPOCH_NS`` and CLOCK_MONOTONIC is system-wide on Linux,
+    # so timestamps from different rank processes stay on one timeline.
+    def __getstate__(self) -> dict[str, Any]:
+        with self._lock:
+            state = self.__dict__.copy()
+            state["_events"] = list(self._events)
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: dict[str, Any]) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+
     # ------------------------------------------------------------------
     @staticmethod
     def now_us() -> float:

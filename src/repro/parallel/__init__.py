@@ -1,35 +1,49 @@
-"""In-process message-passing substrate (the MPI stand-in).
+"""Message-passing substrate (the MPI stand-in) with pluggable transports.
 
 V2D employs MPI for domain-decomposed parallelism; Table I varies the
 process count and topology.  Real MPI is not available here, so this
-package provides an SPMD model with the same semantics on threads of
-one process:
+package provides an SPMD model with the same semantics, carried by a
+pluggable *comm transport* (:mod:`repro.parallel.links`):
 
-* :mod:`repro.parallel.world` -- the shared mailbox fabric.
+* :mod:`repro.parallel.world` -- the in-memory mailbox fabric and the
+  fabric protocol both transports implement.
 * :mod:`repro.parallel.comm` -- :class:`Communicator` with MPI-shaped
   point-to-point (``send/recv/isend/irecv``) and collective
-  (``barrier/bcast/reduce/allreduce/gather/allgather/scatter``)
-  operations, plus message/byte accounting for the performance model.
+  (``barrier/bcast/reduce/allreduce/allreduce_batch/gather/allgather/
+  scatter``) operations, plus message/byte accounting for the
+  performance model.
+* :mod:`repro.parallel.links` -- the transports: ``"threads"`` (ranks
+  as threads of one process; the default, semantically exact but
+  GIL-serialized) and ``"mp"`` (ranks as forked processes over
+  shared-memory ring buffers, using the machine's physical cores).
 * :mod:`repro.parallel.cart` -- Cartesian 2-D process topology
   (the NPRX1 x NPRX2 arrangement).
 * :mod:`repro.parallel.halo` -- ghost-zone exchange for decomposed
-  fields.
+  fields (Dirichlet-0, reflecting, outflow and periodic boundaries).
 * :mod:`repro.parallel.runtime` -- :func:`run_spmd`, which launches one
-  thread per rank the way ``mpiexec -n`` launches processes.
+  rank per thread or process the way ``mpiexec -n`` launches ranks.
 
-Semantics reproduced faithfully: deterministic rank-ordered reductions
-(bit-reproducible sums), value isolation (messages deep-copy array
-payloads), blocking/non-blocking completion, and deadlock detection by
-timeout.  What is *not* reproduced is distributed-memory timing; the
-performance model in :mod:`repro.perfmodel` supplies communication
-costs instead.
+Semantics reproduced faithfully on every transport: deterministic
+rank-ordered reductions (bit-reproducible sums), value isolation
+(messages deep-copy array payloads), blocking/non-blocking completion,
+deadlock detection by timeout, and abort propagation
+(:class:`WorldAbortedError`).  The threaded transport does not
+reproduce distributed-memory timing -- the performance model in
+:mod:`repro.perfmodel` supplies communication costs -- while the mp
+transport makes measured scaling an honest axis next to the model.
 """
 
 from repro.parallel.cart import CartComm
 from repro.parallel.comm import Communicator, ReduceOp, Request
 from repro.parallel.halo import BoundaryCondition, HaloExchanger, PendingExchange
+from repro.parallel.links import (
+    Transport,
+    TransportUnavailableError,
+    available_transports,
+    get_transport,
+)
 from repro.parallel.runtime import WorldAborted, run_spmd
-from repro.parallel.world import World
+from repro.parallel.world import World, WorldAbortedError
 
 __all__ = [
     "World",
@@ -40,6 +54,11 @@ __all__ = [
     "HaloExchanger",
     "PendingExchange",
     "BoundaryCondition",
+    "Transport",
+    "TransportUnavailableError",
+    "available_transports",
+    "get_transport",
     "run_spmd",
     "WorldAborted",
+    "WorldAbortedError",
 ]

@@ -75,6 +75,27 @@ class CartComm:
         """Face-neighbour ranks (``None`` on the physical boundary)."""
         return self.decomp.neighbors(self.rank)
 
+    def wrap_neighbor(self, side: str) -> int:
+        """Periodic wrap partner across ``side`` (coords modulo dims).
+
+        Equals an existing face neighbour in the interior, and wraps
+        around the torus on the physical boundary -- including back to
+        this very rank when the axis has a single tile.
+        """
+        p1, p2 = self.coords
+        n1, n2 = self.dims
+        if side == "west":
+            p1 = (p1 - 1) % n1
+        elif side == "east":
+            p1 = (p1 + 1) % n1
+        elif side == "south":
+            p2 = (p2 - 1) % n2
+        elif side == "north":
+            p2 = (p2 + 1) % n2
+        else:
+            raise ValueError(f"unknown side {side!r}")
+        return self.decomp.rank_of(p1, p2)
+
     def shift(self, direction: int, disp: int) -> tuple[int | None, int | None]:
         """MPI_Cart_shift: ``(source, dest)`` ranks for a displacement.
 

@@ -23,7 +23,11 @@ from repro.parallel.cart import CartComm
 
 #: direction-of-travel tags: messages are tagged by the side of the
 #: *receiver* they fill, so a west-send matches the neighbour's east fill.
+#: Periodic wrap traffic uses its own tag base so a torus message can
+#: never be confused with an interior-face message, even between the
+#: same rank pair.
 _TAG_BASE = 1 << 20
+_PERIODIC_TAG = _TAG_BASE + 8
 _FILL_SIDE = {"west": "east", "east": "west", "south": "north", "north": "south"}
 _SIDE_TAG = {"west": 0, "east": 1, "south": 2, "north": 3}
 
@@ -31,13 +35,19 @@ _SIDE_TAG = {"west": 0, "east": 1, "south": 2, "north": 3}
 class BoundaryCondition(Enum):
     """Physical-boundary ghost fill strategies.
 
-    Both are linear in the field, so applying them inside the solver's
-    Matvec keeps the operator linear (the boundary-condition algebra is
-    folded into the ghost fill rather than into modified stencil rows).
+    All four are linear in the field, so applying them inside the
+    solver's Matvec keeps the operator linear (the boundary-condition
+    algebra is folded into the ghost fill rather than into modified
+    stencil rows).  PERIODIC is the only one that moves data between
+    ranks: the domain closes into a torus along that axis, so boundary
+    ghosts are filled from the opposite edge's interior (a message to
+    the wrap partner, or a local copy when the axis has one tile).
     """
 
     DIRICHLET0 = "dirichlet0"  # vacuum: ghost = 0
     REFLECT = "reflect"        # symmetry: ghost mirrors interior
+    OUTFLOW = "outflow"        # zero-gradient: ghost copies edge zones
+    PERIODIC = "periodic"      # torus: ghost wraps to the far edge
 
 
 @dataclass
@@ -63,6 +73,17 @@ class HaloExchanger:
     cart: CartComm
     bc: BoundaryCondition | dict[str, BoundaryCondition] = BoundaryCondition.DIRICHLET0
     tracer: Tracer | None = None
+
+    def __post_init__(self) -> None:
+        # A torus must close: periodic on one side of an axis requires
+        # periodic on the other, or the wrap messages have no partner.
+        for lo, hi in (("west", "east"), ("south", "north")):
+            pair = (self._bc_for(lo), self._bc_for(hi))
+            if (BoundaryCondition.PERIODIC in pair) and pair[0] is not pair[1]:
+                raise ValueError(
+                    f"periodic axis must be periodic on both sides; got "
+                    f"{lo}={pair[0].value}, {hi}={pair[1].value}"
+                )
 
     def _bc_for(self, side: str) -> BoundaryCondition:
         if isinstance(self.bc, BoundaryCondition):
@@ -100,23 +121,43 @@ class HaloExchanger:
         comm = self.cart.comm
         neighbors = self.cart.neighbors
 
+        # Post every send first (buffered, so this cannot deadlock):
+        # interior faces to their neighbours, periodic physical faces
+        # to their wrap partner across the torus.
         for side, nbr in neighbors.items():
-            if nbr is None:
-                continue
-            tag = _TAG_BASE + _SIDE_TAG[_FILL_SIDE[side]]
-            comm.send(field.send_strip(side, width).copy(), nbr, tag)
+            if nbr is not None:
+                tag = _TAG_BASE + _SIDE_TAG[_FILL_SIDE[side]]
+                comm.send(field.send_strip(side, width).copy(), nbr, tag)
+            elif self._bc_for(side) is BoundaryCondition.PERIODIC:
+                wrap = self.cart.wrap_neighbor(side)
+                if wrap != self.cart.rank:
+                    tag = _PERIODIC_TAG + _SIDE_TAG[_FILL_SIDE[side]]
+                    comm.send(field.send_strip(side, width).copy(), wrap, tag)
 
         pending = []
         for side, nbr in neighbors.items():
-            if nbr is None:
-                bc = self._bc_for(side)
-                if bc is BoundaryCondition.DIRICHLET0:
-                    field.zero_side(side)
-                else:
-                    field.reflect_side(side)
-            else:
+            if nbr is not None:
                 tag = _TAG_BASE + _SIDE_TAG[side]
                 pending.append((side, comm.irecv(nbr, tag)))
+                continue
+            bc = self._bc_for(side)
+            if bc is BoundaryCondition.DIRICHLET0:
+                field.zero_side(side)
+            elif bc is BoundaryCondition.REFLECT:
+                field.reflect_side(side)
+            elif bc is BoundaryCondition.OUTFLOW:
+                field.outflow_side(side)
+            else:  # PERIODIC
+                wrap = self.cart.wrap_neighbor(side)
+                if wrap == self.cart.rank:
+                    # Single tile along this axis: the wrap partner is
+                    # this rank; copy the far edge's interior locally.
+                    field.ghost_strip(side, width)[...] = field.send_strip(
+                        _FILL_SIDE[side], width
+                    )
+                else:
+                    tag = _PERIODIC_TAG + _SIDE_TAG[side]
+                    pending.append((side, comm.irecv(wrap, tag)))
         return PendingExchange(self, field, width, pending, async_id=async_id)
 
 

@@ -1,0 +1,84 @@
+"""Pluggable comm transports for the SPMD runtime.
+
+``links`` is the layer ``mpiexec`` occupies in a real MPI stack: it
+decides *how* ranks exist (threads of one process, or forked processes
+over shared memory) while the :class:`~repro.parallel.comm.Communicator`
+API above it stays fixed.  See :mod:`repro.parallel.links.base` for the
+interface contract and :mod:`repro.parallel.links.mp` for the
+shared-memory mechanics.
+
+Selection: :func:`get_transport` resolves, in order, an explicit name,
+the ``REPRO_TRANSPORT`` environment variable, then the default
+(``"threads"``).  The env override exists so an entire test suite can
+be rerun under another transport without edits -- CI's ``mp-smoke`` job
+does exactly that.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.parallel.links.base import Transport, TransportUnavailableError
+from repro.parallel.links.mp import MPFabric, MPTransport, RemoteRankError
+from repro.parallel.links.shmem import SharedArray, ShmBarrier, ShmRing
+from repro.parallel.links.threaded import ThreadedTransport
+
+#: Environment variable overriding the default transport name.
+TRANSPORT_ENV = "REPRO_TRANSPORT"
+
+DEFAULT_TRANSPORT = "threads"
+
+_REGISTRY: dict[str, type[Transport]] = {}
+
+
+def register_transport(cls: type[Transport]) -> type[Transport]:
+    """Register a transport class under its ``name`` (idempotent)."""
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+register_transport(ThreadedTransport)
+register_transport(MPTransport)
+
+
+def available_transports() -> list[str]:
+    """Names of transports that can run on this platform, sorted."""
+    return sorted(
+        name for name, cls in _REGISTRY.items() if cls().available()
+    )
+
+
+def get_transport(name: str | None = None) -> Transport:
+    """Resolve a transport: explicit name > ``REPRO_TRANSPORT`` > default."""
+    if name is None:
+        name = os.environ.get(TRANSPORT_ENV) or DEFAULT_TRANSPORT
+    try:
+        cls = _REGISTRY[name]
+    except KeyError:
+        raise TransportUnavailableError(
+            f"unknown transport {name!r}; known: {sorted(_REGISTRY)}"
+        ) from None
+    transport = cls()
+    if not transport.available():
+        raise TransportUnavailableError(
+            f"transport {name!r} is not available on this platform"
+        )
+    return transport
+
+
+__all__ = [
+    "DEFAULT_TRANSPORT",
+    "MPFabric",
+    "MPTransport",
+    "RemoteRankError",
+    "SharedArray",
+    "ShmBarrier",
+    "ShmRing",
+    "ThreadedTransport",
+    "Transport",
+    "TransportUnavailableError",
+    "TRANSPORT_ENV",
+    "available_transports",
+    "get_transport",
+    "register_transport",
+]

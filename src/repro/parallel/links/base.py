@@ -1,0 +1,100 @@
+"""The comm-transport interface: how SPMD ranks are actually carried.
+
+A *transport* is the thing ``mpiexec -n`` abstracts over: it launches
+``size`` copies of a rank program, hands each one a
+:class:`~repro.parallel.comm.Communicator` bound to a shared *fabric*,
+joins them, and returns their results in rank order.  The communicator
+API (point-to-point, collectives, batched reductions) is transport-
+independent; only the fabric underneath changes:
+
+* :class:`~repro.parallel.links.threaded.ThreadedTransport` runs ranks
+  on threads of one process over the in-memory
+  :class:`~repro.parallel.world.World` mailboxes -- semantically
+  faithful, GIL-serialized (the seed behaviour, and the default).
+* :class:`~repro.parallel.links.mp.MPTransport` forks one OS process
+  per rank and carries messages over ``SharedMemory``-backed ring
+  buffers -- the same message patterns on the machine's physical
+  cores.
+
+Both fabrics implement the protocol documented on
+:class:`~repro.parallel.world.World` (``deliver`` / ``collect`` /
+``probe`` / ``pending_messages`` / ``barrier_impl`` / ``abort``), so a
+single :class:`~repro.parallel.comm.Communicator` implementation --
+and everything stacked on it: halo exchange, resilience wrappers,
+batched collectives -- rides either one unchanged.  The cross-transport
+parity suite (``tests/test_links.py``, plus the parametrized bitwise
+tests) pins that equivalence: same seeded problem, bit-identical
+fields, counters and iteration counts on both transports.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Callable, Sequence
+
+from repro.monitor.counters import Counters
+
+
+class TransportUnavailableError(RuntimeError):
+    """The requested transport cannot run on this platform."""
+
+
+class Transport(ABC):
+    """Launches an SPMD job: one rank program per rank, results in order.
+
+    Implementations must preserve the substrate's semantic guarantees
+    regardless of how ranks are scheduled:
+
+    * **value isolation** -- a payload mutated after ``send`` must not
+      change what the receiver observes;
+    * **per-channel FIFO** -- messages with the same ``(source, tag)``
+      arrive in send order;
+    * **deterministic reductions** -- rank-ordered combination at the
+      root, so sums are bit-reproducible run to run and across
+      transports;
+    * **abort propagation** -- one failing rank wakes every blocked
+      peer with :class:`~repro.parallel.world.WorldAbortedError`, and
+      the launcher re-raises the originating failure (rank and cause
+      attached) in the caller.
+    """
+
+    #: Registry key and user-facing name (``--transport=<name>``).
+    name: str = "?"
+
+    @abstractmethod
+    def run(
+        self,
+        size: int,
+        fn: Callable[..., Any],
+        args: tuple[Any, ...] = (),
+        kwargs: dict[str, Any] | None = None,
+        *,
+        timeout: float | None = 60.0,
+        counters: Sequence[Counters] | None = None,
+    ) -> list[Any]:
+        """Run ``fn(comm, *args, **kwargs)`` on ``size`` ranks.
+
+        Parameters mirror :func:`~repro.parallel.runtime.run_spmd`:
+        ``timeout`` is the per-operation deadlock watchdog and
+        ``counters`` an optional list of one :class:`Counters` per rank
+        that must reflect each rank's traffic when the call returns
+        (in-place for in-process transports, copied back across the
+        process boundary otherwise).
+        """
+
+    def available(self) -> bool:
+        """Can this transport run here?  (Platform gate for tests/CLI.)"""
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+def validate_launch(
+    size: int, counters: Sequence[Counters] | None
+) -> None:
+    """Shared argument validation for transport launches."""
+    if size < 1:
+        raise ValueError("size must be >= 1")
+    if counters is not None and len(counters) != size:
+        raise ValueError("need exactly one Counters per rank")

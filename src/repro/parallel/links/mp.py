@@ -1,0 +1,402 @@
+"""Multiprocessing SPMD transport: one OS process per rank.
+
+This is the transport that lets NPRX1 x NPRX2 topologies use the
+machine's physical cores: ranks are forked processes, so pure-Python
+(scalar-backend) work runs concurrently instead of serializing on the
+GIL, and measured Table-I scaling becomes an honest axis next to the
+perfmodel's predicted curves.
+
+Mechanics
+---------
+
+* **fork start method** (Linux): rank programs need no pickling --
+  children inherit the closure, module state, shared-memory segments
+  and the tracer epoch directly.  CLOCK_MONOTONIC is system-wide on
+  Linux, so per-process span streams still merge on one timeline.
+* **shared-memory rings**: every ordered rank pair gets one
+  :class:`~repro.parallel.links.shmem.ShmRing`; messages are pickled
+  ``(tag, payload)`` frames.  Per-channel FIFO is structural (one ring,
+  one writer).  Self-sends bypass the ring -- a rank blocking on its
+  own full ring could never drain it.
+* **results over pipes**: each child sends ``(status, value,
+  counters-snapshot)`` once; the parent copies the snapshot back into
+  the caller's :class:`Counters` so accounting matches the threaded
+  transport's in-place semantics.
+* **abort**: a shared flag every wait loop polls.  A failing rank sets
+  it, peers wake with
+  :class:`~repro.parallel.world.WorldAbortedError`, the parent
+  re-raises the originating failure.  Children that die *silently*
+  (segfault, ``os._exit``) are caught by sentinel watch and reported
+  as :class:`RemoteRankError`.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import pickle
+import time
+import traceback
+from collections import deque
+from multiprocessing import connection as mp_connection
+from typing import Any, Callable, Sequence
+
+from repro.monitor.counters import Counters
+from repro.parallel.comm import Communicator
+from repro.parallel.links.base import (
+    Transport,
+    TransportUnavailableError,
+    validate_launch,
+)
+from repro.parallel.links.shmem import ShmBarrier, SharedArray, ShmRing, _wait
+from repro.parallel.links.threaded import select_primary_failure
+from repro.parallel.world import World, WorldAbortedError, _copy_payload
+
+#: Per-pair ring capacity; frames larger than this are chunked.
+DEFAULT_RING_BYTES = 1 << 18
+
+#: Grace period for surviving ranks to notice an abort and report in.
+_ABORT_GRACE_S = 30.0
+
+
+class RemoteRankError(RuntimeError):
+    """A child rank failed in a way that could not cross the pipe.
+
+    Carries the remote representation (repr + traceback text) when the
+    original exception -- or the rank's result -- was unpicklable, or
+    when the child died without reporting (killed, segfaulted).
+    """
+
+
+def _pickles(obj: Any) -> bool:
+    try:
+        pickle.dumps(obj)
+        return True
+    except Exception:
+        return False
+
+
+class MPFabric:
+    """The fabric protocol over shared-memory rings.
+
+    Implements the same duck-typed surface as
+    :class:`~repro.parallel.world.World` (``deliver`` / ``collect`` /
+    ``probe`` / ``pending_messages`` / ``barrier_impl`` / ``abort`` /
+    ``aborted`` / ``size`` / ``timeout``), so
+    :class:`~repro.parallel.comm.Communicator` -- and halo exchange,
+    resilience wrappers and batched collectives above it -- run
+    unchanged.
+
+    Built in the launcher, inherited by forked children.  Each child
+    calls :meth:`bind` with its rank; received frames land in a local
+    pending map keyed ``(source, tag)``, exactly mirroring the threaded
+    mailbox structure.
+    """
+
+    def __init__(
+        self,
+        size: int,
+        timeout: float | None,
+        ctx,
+        ring_bytes: int = DEFAULT_RING_BYTES,
+    ) -> None:
+        self.size = size
+        self.timeout = timeout
+        self._abort_flag = SharedArray((1,), "uint64")
+        self.barrier_impl = ShmBarrier(size, ctx, self._abort_flag)
+        self._rings: dict[tuple[int, int], ShmRing] = {
+            (src, dst): ShmRing(ring_bytes, ctx)
+            for src in range(size)
+            for dst in range(size)
+            if src != dst
+        }
+        self._rank: int | None = None
+        self._pending: dict[tuple[int, int], deque] = {}
+
+    # -- lifecycle ------------------------------------------------------
+    def bind(self, rank: int) -> None:
+        """Adopt ``rank``'s endpoint (called once per child, post-fork)."""
+        self._rank = rank
+        self._pending = {}
+
+    def close(self) -> None:
+        for ring in self._rings.values():
+            ring.close()
+        self.barrier_impl.close()
+        self._abort_flag.close()
+
+    def unlink(self) -> None:
+        """Remove all backing segments (launcher-side, once)."""
+        for ring in self._rings.values():
+            ring.unlink()
+        self.barrier_impl.unlink()
+        self._abort_flag.unlink()
+
+    # -- abort ----------------------------------------------------------
+    @property
+    def aborted(self) -> bool:
+        return bool(self._abort_flag.array[0])
+
+    def abort(self) -> None:
+        self._abort_flag.array[0] = 1
+
+    # -- fabric protocol ------------------------------------------------
+    def _deadline(self) -> float | None:
+        return None if self.timeout is None else time.monotonic() + self.timeout
+
+    def deliver(self, source: int, dest: int, tag: int, payload: Any) -> None:
+        if not 0 <= dest < self.size:
+            raise ValueError(f"destination rank {dest} out of range")
+        if self.aborted:
+            raise WorldAbortedError("world aborted")
+        if dest == source:
+            # Self-sends bypass the ring: a rank blocked writing its own
+            # full ring could never drain it.  Value-copy to keep the
+            # transfer's isolation semantics.
+            self._pending.setdefault((source, tag), deque()).append(
+                _copy_payload(payload)
+            )
+            return
+        frame = pickle.dumps((tag, payload), protocol=pickle.HIGHEST_PROTOCOL)
+        self._rings[(source, dest)].write(
+            frame,
+            self._deadline(),
+            lambda: self.aborted,
+            progress=lambda: self._drain(source),
+        )
+
+    def _drain(self, dest: int) -> None:
+        """Move every complete inbound frame into the pending map."""
+        for src in range(self.size):
+            if src == dest:
+                continue
+            ring = self._rings[(src, dest)]
+            while True:
+                frame = ring.try_read()
+                if frame is None:
+                    break
+                tag, payload = pickle.loads(frame)
+                self._pending.setdefault((src, tag), deque()).append(payload)
+
+    def collect(self, dest: int, source: int, tag: int) -> Any:
+        key = (source, tag)
+
+        def ready() -> bool:
+            if self._pending.get(key):
+                return True
+            self._drain(dest)
+            return bool(self._pending.get(key))
+
+        _wait(
+            ready,
+            self._deadline(),
+            lambda: self.aborted,
+            f"rank {dest} receive (source={source}, tag={tag})",
+        )
+        return self._pending[key].popleft()
+
+    def probe(self, dest: int, source: int, tag: int) -> bool:
+        self._drain(dest)
+        return bool(self._pending.get((source, tag)))
+
+    def pending_messages(self, dest: int) -> int:
+        self._drain(dest)
+        return sum(len(q) for q in self._pending.values())
+
+
+def _child_entry(
+    fabric: MPFabric,
+    rank: int,
+    fn: Callable[..., Any],
+    args: tuple[Any, ...],
+    kwargs: dict[str, Any],
+    counter: Counters | None,
+    conn,
+) -> None:
+    """Per-rank process body: run ``fn``, report result + counters."""
+    fabric.bind(rank)
+    comm = Communicator(fabric, rank, counters=counter)
+    status, value = "ok", None
+    try:
+        value = fn(comm, *args, **kwargs)
+        if not _pickles(value):
+            # A result that cannot cross the pipe is a rank failure,
+            # not a silently-substituted success.
+            status = "err"
+            value = RemoteRankError(
+                f"rank {rank} returned an unpicklable result: {value!r}"
+            )
+            fabric.abort()
+    except BaseException as exc:  # noqa: BLE001 - must propagate anything
+        fabric.abort()
+        status = "err"
+        value = exc
+        if not _pickles(exc):
+            value = RemoteRankError(
+                f"rank {rank} failed (unpicklable exception):\n"
+                + "".join(traceback.format_exception(exc))
+            )
+    try:
+        conn.send((status, value, comm.counters.snapshot()))
+    finally:
+        conn.close()
+
+
+class MPTransport(Transport):
+    """Fork one process per rank over an :class:`MPFabric`."""
+
+    name = "mp"
+
+    def __init__(self, ring_bytes: int = DEFAULT_RING_BYTES) -> None:
+        self._ring_bytes = ring_bytes
+
+    def available(self) -> bool:
+        return "fork" in multiprocessing.get_all_start_methods()
+
+    def run(
+        self,
+        size: int,
+        fn: Callable[..., Any],
+        args: tuple[Any, ...] = (),
+        kwargs: dict[str, Any] | None = None,
+        *,
+        timeout: float | None = 60.0,
+        counters: Sequence[Counters] | None = None,
+    ) -> list[Any]:
+        validate_launch(size, counters)
+        kwargs = kwargs or {}
+        if not self.available():  # pragma: no cover - Linux containers fork
+            raise TransportUnavailableError(
+                "mp transport needs the fork start method"
+            )
+
+        # Serial jobs run inline (same fast path as the threaded
+        # transport): no processes, nothing to gain from them.
+        if size == 1:
+            comm = Communicator(
+                World(1, timeout=timeout),
+                0,
+                counters=counters[0] if counters else None,
+            )
+            return [fn(comm, *args, **kwargs)]
+
+        ctx = multiprocessing.get_context("fork")
+        fabric = MPFabric(size, timeout, ctx, ring_bytes=self._ring_bytes)
+        try:
+            return self._launch(ctx, fabric, size, fn, args, kwargs, counters)
+        finally:
+            fabric.close()
+            fabric.unlink()
+
+    # ------------------------------------------------------------------
+    def _launch(
+        self,
+        ctx,
+        fabric: MPFabric,
+        size: int,
+        fn: Callable[..., Any],
+        args: tuple[Any, ...],
+        kwargs: dict[str, Any],
+        counters: Sequence[Counters] | None,
+    ) -> list[Any]:
+        conns: list[Any] = []
+        procs: list[Any] = []
+        for r in range(size):
+            parent_conn, child_conn = ctx.Pipe(duplex=False)
+            proc = ctx.Process(
+                target=_child_entry,
+                args=(
+                    fabric,
+                    r,
+                    fn,
+                    args,
+                    kwargs,
+                    counters[r] if counters else None,
+                    child_conn,
+                ),
+                name=f"spmd-mp-rank-{r}",
+                daemon=True,
+            )
+            conns.append(parent_conn)
+            procs.append(proc)
+        for proc in procs:
+            proc.start()
+
+        results: list[Any] = [None] * size
+        failures: list[tuple[int, BaseException]] = []
+        snapshots: list[dict | None] = [None] * size
+        remaining = set(range(size))
+        by_conn = {conns[r]: r for r in range(size)}
+        by_sentinel = {procs[r].sentinel: r for r in range(size)}
+        abort_deadline: float | None = None
+
+        while remaining:
+            waitable = [conns[r] for r in remaining] + [
+                procs[r].sentinel for r in remaining
+            ]
+            grace = None
+            if abort_deadline is not None:
+                grace = max(0.0, abort_deadline - time.monotonic())
+            ready = mp_connection.wait(waitable, timeout=grace)
+            if not ready:
+                # Abort grace expired: remaining ranks are wedged.
+                for r in sorted(remaining):
+                    procs[r].terminate()
+                    failures.append(
+                        (r, RemoteRankError(f"rank {r} hung after abort"))
+                    )
+                remaining.clear()
+                break
+            for handle in ready:
+                r = by_conn.get(handle, by_sentinel.get(handle))
+                if r not in remaining:
+                    continue
+                if handle is conns[r] or conns[r].poll():
+                    try:
+                        status, value, snap = conns[r].recv()
+                    except EOFError:
+                        status, value, snap = (
+                            "err",
+                            RemoteRankError(f"rank {r} closed without result"),
+                            None,
+                        )
+                elif procs[r].sentinel == handle:
+                    status, value, snap = (
+                        "err",
+                        RemoteRankError(
+                            f"rank {r} died without reporting "
+                            f"(exitcode {procs[r].exitcode})"
+                        ),
+                        None,
+                    )
+                else:  # pragma: no cover - unreachable
+                    continue
+                snapshots[r] = snap
+                if status == "ok":
+                    results[r] = value
+                else:
+                    failures.append((r, value))
+                    fabric.abort()
+                    if abort_deadline is None:
+                        abort_deadline = time.monotonic() + (
+                            fabric.timeout or _ABORT_GRACE_S
+                        )
+                remaining.discard(r)
+
+        for proc in procs:
+            proc.join(timeout=5.0)
+            if proc.is_alive():  # pragma: no cover - defensive
+                proc.terminate()
+                proc.join(timeout=5.0)
+        for conn in conns:
+            conn.close()
+
+        if counters is not None:
+            for r, snap in enumerate(snapshots):
+                if snap is not None:
+                    counters[r].reset()
+                    counters[r].merge_snapshot(snap)
+
+        if failures:
+            rank, cause = select_primary_failure(failures)
+            raise WorldAbortedError(rank=rank, cause=cause) from cause
+        return results

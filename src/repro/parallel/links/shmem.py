@@ -1,0 +1,256 @@
+"""Shared-memory primitives under the multiprocessing transport.
+
+Three building blocks, all carried by
+``multiprocessing.shared_memory.SharedMemory`` segments that forked
+rank processes inherit from the launcher (no attach-by-name dance):
+
+* :class:`SharedArray` -- a NumPy array over a shared segment, used for
+  ring storage and barrier state (and available to kernels that want
+  zero-copy field sharing).
+* :class:`ShmRing` -- a single-producer/single-consumer byte ring with
+  8-byte length framing.  One ring per ordered ``(src, dst)`` pair
+  carries every message of the pair -- halo faces, collective legs --
+  so per-channel FIFO order is structural.
+* :class:`ShmBarrier` -- a sense-reversing barrier over shared
+  counters, abort-aware like the threaded
+  :class:`~repro.parallel.world._Barrier`.
+
+Synchronization model: readers and writers on a ring never block each
+other through the lock for the *data* -- payload bytes are copied
+outside it -- but cursor publication takes a tiny
+``multiprocessing.Lock`` so cross-process visibility does not depend on
+racing unsynchronized loads of a shared uint64.  Waits are
+spin-then-sleep polls with a deadline (deadlock watchdog) and an abort
+check, so one dead rank wakes the others instead of hanging them.
+"""
+
+from __future__ import annotations
+
+import time
+from multiprocessing import shared_memory
+from typing import Callable
+
+import numpy as np
+
+from repro.parallel.world import WorldAbortedError
+
+#: Poll backoff: spin this many times, then sleep this long per retry.
+_SPIN_ROUNDS = 200
+_SLEEP_S = 0.0002
+
+#: Byte frames are prefixed by their length in 8 little-endian bytes.
+FRAME_HEADER = 8
+
+
+class SharedArray:
+    """A NumPy array backed by a ``SharedMemory`` segment.
+
+    Created once in the launcher; forked children inherit the mapping.
+    Only the creating process should :meth:`unlink`; every process
+    should :meth:`close` when done (closing is idempotent here).
+    """
+
+    def __init__(self, shape: tuple[int, ...], dtype: np.dtype | str) -> None:
+        dtype = np.dtype(dtype)
+        nbytes = max(1, int(np.prod(shape)) * dtype.itemsize)
+        self._shm = shared_memory.SharedMemory(create=True, size=nbytes)
+        self.array = np.ndarray(shape, dtype=dtype, buffer=self._shm.buf)
+        self.array[...] = 0
+        self._closed = False
+
+    @property
+    def name(self) -> str:
+        return self._shm.name
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self.array = None  # drop the buffer view before closing the map
+        self._shm.close()
+
+    def unlink(self) -> None:
+        """Remove the backing segment (creator-side, after close)."""
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already gone
+            pass
+
+
+def _wait(
+    ready: Callable[[], bool],
+    deadline: float | None,
+    aborted: Callable[[], bool],
+    what: str,
+) -> None:
+    """Spin-then-sleep until ``ready()``; honor abort and deadline."""
+    spins = 0
+    while not ready():
+        if aborted():
+            raise WorldAbortedError("world aborted")
+        if deadline is not None and time.monotonic() > deadline:
+            raise TimeoutError(f"{what} timed out (likely deadlock)")
+        spins += 1
+        if spins > _SPIN_ROUNDS:
+            time.sleep(_SLEEP_S)
+
+
+class ShmRing:
+    """SPSC byte ring over shared memory with length-framed messages.
+
+    Layout: ``capacity`` data bytes plus two uint64 cursors (head =
+    bytes consumed, tail = bytes produced; both monotonic, wrapped
+    modulo capacity on access).  Frames larger than the ring are
+    written in chunks, so capacity bounds memory, not message size.
+    """
+
+    def __init__(self, capacity: int, ctx) -> None:
+        if capacity < FRAME_HEADER:
+            raise ValueError("ring capacity must hold at least a header")
+        self.capacity = capacity
+        self._data = SharedArray((capacity,), np.uint8)
+        self._cursors = SharedArray((2,), np.uint64)  # [head, tail]
+        self._lock = ctx.Lock()
+        # Reader-side reassembly buffer for partially drained frames.
+        self._partial = bytearray()
+        self._want: int | None = None
+
+    # -- cursor access under the lock (cross-process visibility) -------
+    def _snapshot(self) -> tuple[int, int]:
+        with self._lock:
+            return int(self._cursors.array[0]), int(self._cursors.array[1])
+
+    def _publish_tail(self, tail: int) -> None:
+        with self._lock:
+            self._cursors.array[1] = tail
+
+    def _publish_head(self, head: int) -> None:
+        with self._lock:
+            self._cursors.array[0] = head
+
+    # -- producer -------------------------------------------------------
+    def write(
+        self,
+        frame: bytes,
+        deadline: float | None,
+        aborted: Callable[[], bool],
+        progress: Callable[[], None] | None = None,
+    ) -> None:
+        """Append one length-framed message, chunking as space frees.
+
+        ``progress``, when given, is invoked while blocked on a full
+        ring.  The fabric passes its own inbound drain here: a writer
+        stuck behind a slow reader keeps consuming *its* inbound
+        traffic, so cyclic all-send-then-receive patterns (every rank's
+        ring full at once) cannot deadlock -- the buffered-send
+        contract survives messages larger than the ring.
+        """
+        blob = len(frame).to_bytes(FRAME_HEADER, "little") + frame
+        offset = 0
+        while offset < len(blob):
+            head, tail = self._snapshot()
+            free = self.capacity - (tail - head)
+            if free == 0:
+
+                def drained() -> bool:
+                    if progress is not None:
+                        progress()
+                    head, tail = self._snapshot()
+                    return tail - head < self.capacity
+
+                _wait(drained, deadline, aborted, "ring write")
+                continue
+            n = min(free, len(blob) - offset)
+            pos = tail % self.capacity
+            first = min(n, self.capacity - pos)
+            buf = self._data.array
+            buf[pos : pos + first] = np.frombuffer(
+                blob[offset : offset + first], dtype=np.uint8
+            )
+            if n > first:
+                buf[: n - first] = np.frombuffer(
+                    blob[offset + first : offset + n], dtype=np.uint8
+                )
+            self._publish_tail(tail + n)
+            offset += n
+
+    # -- consumer -------------------------------------------------------
+    def try_read(self) -> bytes | None:
+        """Drain available bytes; return one complete frame or ``None``.
+
+        Stateful across calls: partial frames accumulate reader-side
+        until their header-announced length arrives.
+        """
+        head, tail = self._snapshot()
+        avail = tail - head
+        if avail:
+            pos = head % self.capacity
+            first = min(avail, self.capacity - pos)
+            buf = self._data.array
+            chunk = buf[pos : pos + first].tobytes()
+            if avail > first:
+                chunk += buf[: avail - first].tobytes()
+            self._partial.extend(chunk)
+            self._publish_head(head + avail)
+        if self._want is None and len(self._partial) >= FRAME_HEADER:
+            self._want = int.from_bytes(self._partial[:FRAME_HEADER], "little")
+            del self._partial[:FRAME_HEADER]
+        if self._want is not None and len(self._partial) >= self._want:
+            frame = bytes(self._partial[: self._want])
+            del self._partial[: self._want]
+            self._want = None
+            return frame
+        return None
+
+    # -- lifecycle ------------------------------------------------------
+    def close(self) -> None:
+        self._data.close()
+        self._cursors.close()
+
+    def unlink(self) -> None:
+        self._data.unlink()
+        self._cursors.unlink()
+
+
+class ShmBarrier:
+    """Sense-reversing barrier over shared counters, abort-aware.
+
+    State: ``[count, sense]`` uint64 cells guarded by one lock, plus a
+    shared abort flag (owned by the fabric) consulted while waiting.
+    """
+
+    def __init__(self, parties: int, ctx, abort_flag: SharedArray) -> None:
+        self._parties = parties
+        self._state = SharedArray((2,), np.uint64)  # [count, sense]
+        self._lock = ctx.Lock()
+        self._abort = abort_flag
+
+    def _aborted(self) -> bool:
+        return bool(self._abort.array[0])
+
+    def wait(self, timeout: float | None) -> None:
+        if self._aborted():
+            raise WorldAbortedError("world aborted during barrier")
+        with self._lock:
+            local_sense = 1 - int(self._state.array[1])
+            self._state.array[0] += 1
+            if int(self._state.array[0]) == self._parties:
+                self._state.array[0] = 0
+                self._state.array[1] = local_sense
+                return
+        deadline = None if timeout is None else time.monotonic() + timeout
+
+        def flipped() -> bool:
+            with self._lock:
+                return int(self._state.array[1]) == local_sense
+
+        try:
+            _wait(flipped, deadline, self._aborted, "barrier")
+        except WorldAbortedError:
+            raise WorldAbortedError("world aborted during barrier") from None
+
+    def close(self) -> None:
+        self._state.close()
+
+    def unlink(self) -> None:
+        self._state.unlink()

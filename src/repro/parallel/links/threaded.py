@@ -1,0 +1,107 @@
+"""In-process threaded transport: the seed substrate, now as a plugin.
+
+One thread per rank over the in-memory
+:class:`~repro.parallel.world.World` fabric.  Semantically faithful --
+message patterns, reduction counts and bitwise results match a real
+decomposed run -- but GIL-serialized for pure-Python work, so it
+measures *semantics*, not concurrency.  The multiprocessing transport
+(:mod:`repro.parallel.links.mp`) exists for the latter.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Sequence
+
+from repro.monitor.counters import Counters
+from repro.parallel.comm import Communicator
+from repro.parallel.links.base import Transport, validate_launch
+from repro.parallel.world import World, WorldAbortedError
+
+
+def select_primary_failure(
+    failures: list[tuple[int, BaseException]],
+) -> tuple[int, BaseException]:
+    """Pick the originating failure from per-rank failures.
+
+    Prefers the lowest-ranked *non-abort* exception: ranks that died
+    with :class:`WorldAbortedError` are secondary casualties of someone
+    else's abort, not the cause.
+    """
+    failures = sorted(failures, key=lambda f: f[0])
+    return next(
+        ((r, c) for r, c in failures if not isinstance(c, WorldAbortedError)),
+        failures[0],
+    )
+
+
+class ThreadedTransport(Transport):
+    """Run ranks on daemon threads of the calling process."""
+
+    name = "threads"
+
+    def run(
+        self,
+        size: int,
+        fn: Callable[..., Any],
+        args: tuple[Any, ...] = (),
+        kwargs: dict[str, Any] | None = None,
+        *,
+        timeout: float | None = 60.0,
+        counters: Sequence[Counters] | None = None,
+    ) -> list[Any]:
+        validate_launch(size, counters)
+        kwargs = kwargs or {}
+        world = World(size, timeout=timeout)
+
+        # Fast path: a serial "job" runs inline, keeping single-rank
+        # runs easy to debug and profile.
+        if size == 1:
+            comm = Communicator(
+                world, 0, counters=counters[0] if counters else None
+            )
+            try:
+                return [fn(comm, *args, **kwargs)]
+            except WorldAbortedError:  # pragma: no cover - defensive
+                raise
+        return self._run_threads(world, size, fn, args, kwargs, counters)
+
+    def _run_threads(
+        self,
+        world: World,
+        size: int,
+        fn: Callable[..., Any],
+        args: tuple[Any, ...],
+        kwargs: dict[str, Any],
+        counters: Sequence[Counters] | None,
+    ) -> list[Any]:
+        results: list[Any] = [None] * size
+        failures: list[tuple[int, BaseException]] = []
+        failure_lock = threading.Lock()
+
+        def body(rank: int) -> None:
+            comm = Communicator(
+                world, rank, counters=counters[rank] if counters else None
+            )
+            try:
+                results[rank] = fn(comm, *args, **kwargs)
+            except BaseException as exc:  # noqa: BLE001 - must propagate anything
+                with failure_lock:
+                    failures.append((rank, exc))
+                world.abort()
+
+        threads = [
+            threading.Thread(
+                target=body, args=(r,), name=f"spmd-rank-{r}", daemon=True
+            )
+            for r in range(size)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        if failures:
+            rank, cause = select_primary_failure(failures)
+            raise WorldAbortedError(rank=rank, cause=cause) from cause
+        return results

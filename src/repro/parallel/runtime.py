@@ -1,36 +1,37 @@
 """SPMD launcher: the ``mpiexec -n`` stand-in.
 
-:func:`run_spmd` builds a :class:`~repro.parallel.world.World`, starts
-one thread per rank running the user's function with that rank's
-communicator, joins them, and returns the per-rank results in rank
-order.  If any rank raises, the world is aborted (waking all blocked
-peers) and the first failure is re-raised in the caller, wrapped in
-:class:`WorldAborted` with the failing rank attached.
+:func:`run_spmd` resolves a comm transport from
+:mod:`repro.parallel.links` and hands it the job: one rank program per
+rank, each receiving its :class:`~repro.parallel.comm.Communicator`,
+results returned in rank order.  If any rank raises, the world is
+aborted (waking all blocked peers) and the originating failure is
+re-raised in the caller as :class:`WorldAbortedError` with the failing
+rank and cause attached.
 
-Threads, not processes: NumPy releases the GIL for large array
-operations so vector-backend ranks do overlap, but the point of this
-substrate is *semantic* fidelity (message patterns, reduction counts,
-bit-reproducible decomposed results), not distributed-memory speedup;
-the performance model supplies timing.
+Two transports ship:
+
+* ``"threads"`` (default) -- ranks are threads of this process over
+  the in-memory :class:`~repro.parallel.world.World` fabric.  Exact
+  seed behaviour: semantically faithful, GIL-serialized.
+* ``"mp"`` -- ranks are forked processes over shared-memory rings
+  (:mod:`repro.parallel.links.mp`), using the machine's physical
+  cores; measured scaling becomes meaningful.
+
+``WorldAborted`` remains as a back-compat alias for
+:class:`~repro.parallel.world.WorldAbortedError`.
 """
 
 from __future__ import annotations
 
-import threading
 from typing import Any, Callable
 
 from repro.monitor.counters import Counters
-from repro.parallel.comm import Communicator
-from repro.parallel.world import World, WorldAbortedError
+from repro.parallel.links import Transport, get_transport
+from repro.parallel.world import WorldAbortedError
 
-
-class WorldAborted(RuntimeError):
-    """A rank failed; carries the originating rank and exception."""
-
-    def __init__(self, rank: int, cause: BaseException) -> None:
-        super().__init__(f"rank {rank} failed: {cause!r}")
-        self.rank = rank
-        self.cause = cause
+#: Back-compat alias: the historical launcher-side abort error is now
+#: the substrate-wide :class:`WorldAbortedError`.
+WorldAborted = WorldAbortedError
 
 
 def run_spmd(
@@ -39,6 +40,7 @@ def run_spmd(
     *args: Any,
     timeout: float | None = 60.0,
     counters: list[Counters] | None = None,
+    transport: str | Transport | None = None,
     **kwargs: Any,
 ) -> list[Any]:
     """Run ``fn(comm, *args, **kwargs)`` on ``size`` ranks; gather returns.
@@ -46,7 +48,7 @@ def run_spmd(
     Parameters
     ----------
     size:
-        Number of ranks (threads).
+        Number of ranks.
     fn:
         The per-rank program; receives its :class:`Communicator` first.
     timeout:
@@ -54,57 +56,18 @@ def run_spmd(
     counters:
         Optional list of ``size`` :class:`Counters` to attach to the
         rank communicators (for traffic accounting across the run).
+    transport:
+        Transport name (``"threads"``/``"mp"``), a
+        :class:`~repro.parallel.links.base.Transport` instance, or
+        ``None`` to use ``REPRO_TRANSPORT`` / the threaded default.
 
     Returns
     -------
     list
         ``fn``'s return value per rank, in rank order.
     """
-    if size < 1:
-        raise ValueError("size must be >= 1")
-    if counters is not None and len(counters) != size:
-        raise ValueError("need exactly one Counters per rank")
-
-    world = World(size, timeout=timeout)
-
-    # Fast path: a serial "job" runs inline, keeping single-rank runs
-    # easy to debug and profile.
-    if size == 1:
-        comm = Communicator(world, 0, counters=counters[0] if counters else None)
-        try:
-            return [fn(comm, *args, **kwargs)]
-        except WorldAbortedError as exc:  # pragma: no cover - defensive
-            raise WorldAborted(0, exc) from exc
-
-    results: list[Any] = [None] * size
-    failures: list[tuple[int, BaseException]] = []
-    failure_lock = threading.Lock()
-
-    def body(rank: int) -> None:
-        comm = Communicator(world, rank, counters=counters[rank] if counters else None)
-        try:
-            results[rank] = fn(comm, *args, **kwargs)
-        except BaseException as exc:  # noqa: BLE001 - must propagate anything
-            with failure_lock:
-                failures.append((rank, exc))
-            world.abort()
-
-    threads = [
-        threading.Thread(target=body, args=(r,), name=f"spmd-rank-{r}", daemon=True)
-        for r in range(size)
-    ]
-    for t in threads:
-        t.start()
-    for t in threads:
-        t.join()
-
-    if failures:
-        failures.sort(key=lambda f: f[0])
-        rank, cause = failures[0]
-        # Suppress secondary WorldAbortedError noise from other ranks.
-        primary = next(
-            ((r, c) for r, c in failures if not isinstance(c, WorldAbortedError)),
-            (rank, cause),
-        )
-        raise WorldAborted(primary[0], primary[1]) from primary[1]
-    return results
+    if not isinstance(transport, Transport):
+        transport = get_transport(transport)
+    return transport.run(
+        size, fn, args, kwargs, timeout=timeout, counters=counters
+    )

@@ -1,4 +1,4 @@
-"""The shared message fabric behind every :class:`Communicator`.
+"""The threaded message fabric behind every :class:`Communicator`.
 
 A :class:`World` owns, per rank, a mailbox of pending messages keyed by
 ``(source, tag)``, a condition variable to block receivers, and a
@@ -8,9 +8,22 @@ cannot corrupt the receiver -- the same value semantics a real MPI
 transfer provides.
 
 If any rank thread dies with an exception the world is *aborted*: all
-blocked receivers wake and raise
-:class:`~repro.parallel.runtime.WorldAborted`, mirroring how an MPI job
-is torn down when one rank aborts.
+blocked receivers wake and raise :class:`WorldAbortedError`, mirroring
+how an MPI job is torn down when one rank aborts.
+
+:class:`World` is the reference implementation of the *fabric protocol*
+consumed by :class:`~repro.parallel.comm.Communicator`:
+
+* ``size`` / ``timeout`` / ``aborted`` attributes,
+* ``deliver(source, dest, tag, payload)`` -- buffered, value-copying,
+* ``collect(dest, source, tag)`` -- blocking matched receive,
+* ``probe(dest, source, tag)`` / ``pending_messages(dest)``,
+* ``barrier_impl.wait(timeout)`` and ``abort()``.
+
+The multiprocessing transport
+(:mod:`repro.parallel.links.mp`) provides the same protocol over
+shared-memory rings, so one :class:`Communicator` implementation rides
+both.
 """
 
 from __future__ import annotations
@@ -24,7 +37,37 @@ import numpy as np
 
 
 class WorldAbortedError(RuntimeError):
-    """Raised in surviving ranks when another rank aborted the job."""
+    """The single typed abort error of the SPMD substrate.
+
+    Raised in two situations, distinguished by the attached context:
+
+    * in surviving ranks, when another rank aborted the job (``rank``
+      and ``cause`` are ``None`` -- the survivor only knows the world
+      died under it);
+    * in the :func:`~repro.parallel.runtime.run_spmd` caller, wrapping
+      the *originating* failure with ``rank`` (the first failing rank)
+      and ``cause`` (the exception it raised) attached.
+
+    ``repro.parallel.runtime.WorldAborted`` is a back-compat alias for
+    this class.
+    """
+
+    def __init__(
+        self,
+        message: str | None = None,
+        *,
+        rank: int | None = None,
+        cause: BaseException | None = None,
+    ) -> None:
+        if message is None:
+            message = (
+                f"rank {rank} failed: {cause!r}"
+                if rank is not None or cause is not None
+                else "world aborted"
+            )
+        super().__init__(message)
+        self.rank = rank
+        self.cause = cause
 
 
 @dataclass

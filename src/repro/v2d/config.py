@@ -35,6 +35,12 @@ class V2DConfig:
     # --- process topology (NPRX1 x NPRX2) -------------------------------
     nprx1: int = 1
     nprx2: int = 1
+    #: Comm transport carrying the ranks: "threads" (in-process, the
+    #: seed behaviour) or "mp" (forked processes over shared memory).
+    #: The empty string defers to the launch-time default ($REPRO_TRANSPORT
+    #: when set, threads otherwise), so environment overrides reach runs
+    #: whose config never names a transport explicitly.
+    transport: str = ""
 
     # --- radiation components -------------------------------------------
     species: tuple[str, ...] = ("nu_e", "nu_e_bar")
@@ -94,6 +100,14 @@ class V2DConfig:
             raise ValueError("checkpoint_interval must be non-negative")
         if self.checkpoint_interval > 0 and self.checkpoint_path is None:
             raise ValueError("checkpointing enabled but no checkpoint_path given")
+        # Imported here so the config module stays free of a hard
+        # dependency on the parallel package at import time.
+        from repro.parallel.links import _REGISTRY
+
+        if self.transport and self.transport not in _REGISTRY:
+            raise ValueError(
+                f"unknown transport {self.transport!r}; known: {sorted(_REGISTRY)}"
+            )
         # Topology must tile the grid with non-empty tiles.
         self.decomposition()
 

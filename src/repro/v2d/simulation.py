@@ -503,4 +503,7 @@ def run_parallel(
 
     if config.nranks == 1:
         return [Simulation(config, problem).run()]
-    return run_spmd(config.nranks, rank_body, timeout=timeout)
+    return run_spmd(
+        config.nranks, rank_body, timeout=timeout,
+        transport=config.transport or None,
+    )

@@ -55,6 +55,11 @@ from repro.v2d import Simulation, V2DConfig
 
 SCALAR, VECTOR = ScalarBackend(), VectorBackend()
 
+#: Every decomposed test runs under both comm transports: the threaded
+#: in-process fabric and the multi-process shared-memory fabric must be
+#: indistinguishable down to the bit pattern of fields and reductions.
+TRANSPORTS = ("threads", "mp")
+
 finite = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False)
 
 
@@ -264,8 +269,9 @@ class TestReductionCounts:
         )
         np.testing.assert_allclose(ganged.x, classic.x, rtol=1e-8, atol=1e-9)
 
+    @pytest.mark.parametrize("transport", TRANSPORTS)
     @pytest.mark.parametrize("nprx1,nprx2", [(2, 1), (2, 2)])
-    def test_decomposed_ganged_fewer_allreduce_rounds(self, nprx1, nprx2):
+    def test_decomposed_ganged_fewer_allreduce_rounds(self, nprx1, nprx2, transport):
         # The acceptance criterion: in a real SPMD run the ganged,
         # batched solver issues strictly fewer allreduce rounds per
         # iteration than the textbook loop, for the same solution.
@@ -297,7 +303,7 @@ class TestReductionCounts:
                 )
             return out
 
-        results = run_spmd(nprx1 * nprx2, prog, timeout=60.0)
+        results = run_spmd(nprx1 * nprx2, prog, timeout=60.0, transport=transport)
         for r in results:
             t, _, iters_g, rounds_g = r["ganged"]
             _, _, iters_c, rounds_c = r["classic"]
@@ -348,8 +354,9 @@ def _subset(coeffs, t):
 
 
 class TestDecomposedBitReproducibility:
+    @pytest.mark.parametrize("transport", TRANSPORTS)
     @pytest.mark.parametrize("nprx1,nprx2", TOPOLOGIES)
-    def test_fused_matvec_path_bit_reproduces_serial(self, nprx1, nprx2):
+    def test_fused_matvec_path_bit_reproduces_serial(self, nprx1, nprx2, transport):
         ns, nx1, nx2 = 2, 12, 8
         coeffs = diffusion_coeffs(ns=ns, n1=nx1, n2=nx2, coupled=False, seed=21)
         x = np.random.default_rng(3).standard_normal((ns, nx1, nx2))
@@ -369,7 +376,7 @@ class TestDecomposedBitReproducibility:
             )
             return t, out, np.asarray(comm.allreduce(local))
 
-        results = run_spmd(nprx1 * nprx2, prog, timeout=60.0)
+        results = run_spmd(nprx1 * nprx2, prog, timeout=60.0, transport=transport)
         assembled = np.empty_like(out_serial)
         for t, out, _ in results:
             assembled[:, t.slice1, t.slice2] = out
@@ -381,13 +388,14 @@ class TestDecomposedBitReproducibility:
         # ... and the values match serial to reassociation error.
         np.testing.assert_allclose(results[0][2], dots_serial, rtol=1e-13)
 
+    @pytest.mark.parametrize("transport", TRANSPORTS)
     @pytest.mark.parametrize("nprx1,nprx2", TOPOLOGIES)
-    def test_full_timestep_matches_serial(self, nprx1, nprx2):
+    def test_full_timestep_matches_serial(self, nprx1, nprx2, transport):
         def run(nprx1, nprx2, fused):
             cfg = V2DConfig(
                 nx1=16, nx2=12, nsteps=1, dt=2e-4, precond="jacobi",
                 solver_tol=1e-10, nprx1=nprx1, nprx2=nprx2, fused=fused,
-                profile=False,
+                profile=False, transport=transport,
             )
             if cfg.nranks == 1:
                 sim = Simulation(cfg, GaussianPulseProblem())
@@ -401,7 +409,9 @@ class TestDecomposedBitReproducibility:
                 return cart.tile, sim.integrator.E.interior.copy()
 
             E = None
-            for t, tile_E in run_spmd(cfg.nranks, prog, timeout=120.0):
+            for t, tile_E in run_spmd(
+                cfg.nranks, prog, timeout=120.0, transport=transport
+            ):
                 if E is None:
                     E = np.empty((tile_E.shape[0], 16, 12))
                 E[:, t.slice1, t.slice2] = tile_E

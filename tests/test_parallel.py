@@ -203,6 +203,26 @@ class TestWorldAndErrors:
         assert exc.value.rank == 1
         assert isinstance(exc.value.cause, ValueError)
 
+    @pytest.mark.parametrize("transport", ["threads", "mp"])
+    def test_abort_error_is_unified_across_transports(self, transport):
+        # WorldAborted and WorldAbortedError are one class; a raising
+        # rank aborts its peers and surfaces the same typed error with
+        # the same rank/cause payload under either transport.
+        from repro.parallel import WorldAbortedError
+
+        assert WorldAborted is WorldAbortedError
+
+        def prog(comm):
+            if comm.rank == 0:
+                raise OSError("rank 0 lost its disk")
+            comm.barrier()  # peers must be woken, not deadlock
+
+        with pytest.raises(WorldAbortedError) as exc:
+            run_spmd(3, prog, timeout=TIMEOUT, transport=transport)
+        assert exc.value.rank == 0
+        assert isinstance(exc.value.cause, OSError)
+        assert "rank 0" in str(exc.value)
+
     def test_world_validation(self):
         with pytest.raises(ValueError):
             World(0)
