@@ -1,0 +1,252 @@
+"""Serving latency/throughput — the `repro.serve` front door under load.
+
+Drives a real :class:`~repro.serve.server.JobServer` (asyncio TCP,
+newline-delimited JSON) on an ephemeral port through the blocking
+:class:`~repro.serve.client.ServeClient`, with a mixed workload shaped
+like campaign traffic:
+
+* **cold** submissions — distinct physics, each one solver execution;
+* **duplicate** submissions — identical physics racing in flight, which
+  must fan in onto one execution (in-flight dedup);
+* **hot** resubmissions — the same physics after completion, which must
+  short-circuit at submit time from the content-addressed cache.
+
+Recorded through the :mod:`repro.perf` harness into ``BENCH_serve.json``:
+client-observed submit-to-result p50/p99 latency for cold and hot
+traffic, sustained throughput, the cache hit-rate, the dedup fraction,
+and the executed-solve count.  The shape invariants asserted are the
+service's contract, not absolute seconds: N duplicates execute exactly
+once, hot traffic never reaches a worker, and a budget-stopped job
+resumes from its checkpoint instead of recomputing finished steps.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import tempfile
+import threading
+import time
+from statistics import median
+
+from repro.perf.schema import Metric
+from repro.serve import JobServer, ServeClient, ServeConfig
+
+#: Distinct cold jobs; each is also submitted DUPLICATES extra times.
+COLD_JOBS = 6
+DUPLICATES = 3
+BASE = {"nx1": 16, "nx2": 8, "nsteps": 2, "profile": False}
+
+
+def _config(i: int) -> dict:
+    # Vary a physics field so each cold job owns a distinct content key.
+    return {**BASE, "dt": 1e-4 * (i + 1)}
+
+
+def _percentile(samples: list[float], p: float) -> float:
+    ordered = sorted(samples)
+    return ordered[min(len(ordered) - 1, int(p * (len(ordered) - 1) + 0.5))]
+
+
+class _Server:
+    """A serve instance on a background thread, torn down via the wire."""
+
+    def __init__(self, tmpdir: str):
+        self.cfg = ServeConfig(
+            port=0, workers=2,
+            cache_dir=f"{tmpdir}/cache", workdir=f"{tmpdir}/work",
+        )
+        self.server = JobServer(self.cfg)
+        self._ready = threading.Event()
+        self.thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self):
+        async def main():
+            await self.server.start()
+            self._ready.set()
+            await self.server.serve_until_shutdown()
+
+        asyncio.run(main())
+
+    def __enter__(self) -> "_Server":
+        self.thread.start()
+        assert self._ready.wait(15), "serve instance failed to start"
+        return self
+
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+    def __exit__(self, *exc):
+        if self.thread.is_alive():
+            try:
+                with ServeClient(port=self.port, timeout=10) as client:
+                    client.shutdown()
+            except OSError:
+                pass
+            self.thread.join(30)
+        assert not self.thread.is_alive(), "serve instance failed to stop"
+
+
+def _timed_round_trip(client: ServeClient, **submit_kwargs):
+    """One submit + result, returning (result, latency, submit-ack)."""
+    t0 = time.perf_counter()
+    sub = client.submit(**submit_kwargs)
+    out = client.result(sub["id"])
+    return out, time.perf_counter() - t0, sub
+
+
+class TestServeBenchmark:
+    def test_latency_throughput_dedup(self, bench_record, write_report):
+        with tempfile.TemporaryDirectory() as tmpdir, \
+                _Server(tmpdir) as srv, \
+                ServeClient(port=srv.port) as client:
+            assert client.ping()["pong"]
+
+            # --- cold + duplicate phase --------------------------------
+            t_start = time.perf_counter()
+            cold_lat, acks = [], []
+            for i in range(COLD_JOBS):
+                cfg = _config(i)
+                # Fire the duplicates while the primary is in flight:
+                # submit acks only, then collect one result.
+                first = client.submit(config=cfg)
+                for _ in range(DUPLICATES):
+                    acks.append(client.submit(config=cfg))
+                t0 = time.perf_counter()
+                out = client.result(first["id"])
+                cold_lat.append(time.perf_counter() - t0)
+                assert out["state"] == "done"
+                assert out["result"]["steps"] == BASE["nsteps"]
+            dedup_acks = [a for a in acks if a["deduped"] or a["cached"]]
+            wall_cold = time.perf_counter() - t_start
+
+            # The service contract: duplicates never bought a solve.
+            stats = client.stats()
+            assert stats["executed"] == COLD_JOBS, (
+                f"{COLD_JOBS * (1 + DUPLICATES)} submissions must execute "
+                f"exactly {COLD_JOBS} solves, saw {stats['executed']}"
+            )
+            assert len(dedup_acks) == COLD_JOBS * DUPLICATES
+
+            # --- hot phase: every key now lives in .repro-cache --------
+            hot_lat = []
+            for i in range(COLD_JOBS):
+                out, lat, sub = _timed_round_trip(client, config=_config(i))
+                hot_lat.append(lat)
+                assert sub["cached"], "hot resubmission missed the cache"
+                assert out["result"]["steps"] == BASE["nsteps"]
+            stats = client.stats()
+            assert stats["executed"] == COLD_JOBS  # hot traffic: no solves
+
+            cache = stats["cache"]
+            hit_rate = cache["hits"] / max(1, cache["hits"] + cache["misses"])
+            submissions = COLD_JOBS * (1 + DUPLICATES) + COLD_JOBS
+            dedup_fraction = len(dedup_acks) / submissions
+            throughput = COLD_JOBS * (1 + DUPLICATES) / wall_cold
+            speedup = median(cold_lat) / max(median(hot_lat), 1e-9)
+
+            # Hot traffic answers from the content cache: orders of
+            # magnitude faster than a solve, but assert only the sign.
+            assert median(hot_lat) < median(cold_lat)
+            assert hit_rate >= 0.5  # 6 misses (cold), >= 6 hits (hot)
+
+            bench_record.record(
+                "mixed_workload",
+                {
+                    "cold_p50_seconds": Metric(
+                        value=_percentile(cold_lat, 0.50), kind="time",
+                        unit="s", repeats=len(cold_lat),
+                        samples=sorted(cold_lat),
+                    ),
+                    "cold_p99_seconds": Metric(
+                        value=_percentile(cold_lat, 0.99), kind="time",
+                        unit="s", repeats=len(cold_lat),
+                    ),
+                    "hot_p50_seconds": Metric(
+                        value=_percentile(hot_lat, 0.50), kind="time",
+                        unit="s", repeats=len(hot_lat),
+                        samples=sorted(hot_lat),
+                    ),
+                    "hot_p99_seconds": Metric(
+                        value=_percentile(hot_lat, 0.99), kind="time",
+                        unit="s", repeats=len(hot_lat),
+                    ),
+                    "throughput_jobs_per_s": (throughput, "value"),
+                    "cache_hit_rate": Metric(value=hit_rate, kind="ratio"),
+                    "dedup_fraction": Metric(
+                        value=dedup_fraction, kind="ratio",
+                    ),
+                    "hot_speedup": (speedup, "value"),
+                    "submissions": (float(submissions), "count"),
+                    "executed_solves": (float(stats["executed"]), "count"),
+                },
+                config={
+                    "cold_jobs": COLD_JOBS, "duplicates": DUPLICATES,
+                    "workers": 2, **BASE,
+                },
+            )
+
+            lines = [
+                "SERVE MIXED WORKLOAD "
+                f"({COLD_JOBS} cold x {1 + DUPLICATES} submits + "
+                f"{COLD_JOBS} hot, 2 workers)",
+                f"  executed solves      {stats['executed']:>8d}"
+                f"   (of {submissions} submissions)",
+                f"  dedup fraction       {dedup_fraction:>8.1%}",
+                f"  cache hit-rate       {hit_rate:>8.1%}",
+                f"  cold p50 / p99       {_percentile(cold_lat, .5):>8.4f}"
+                f" / {_percentile(cold_lat, .99):.4f} s",
+                f"  hot  p50 / p99       {_percentile(hot_lat, .5):>8.4f}"
+                f" / {_percentile(hot_lat, .99):.4f} s",
+                f"  hot speedup          {speedup:>8.1f}x",
+                f"  throughput           {throughput:>8.1f} jobs/s",
+            ]
+            write_report("serve_mixed_workload", "\n".join(lines))
+
+    def test_budget_stop_resume_accounting(self, bench_record):
+        """A budget-stopped job resumes from its checkpoint: the resumed
+        run computes only the remaining steps, and neither partial run
+        pollutes the content cache."""
+        nsteps, stop_at = 8, 3
+        cfg = {**BASE, "nsteps": nsteps, "dt": 9.5e-5}
+        with tempfile.TemporaryDirectory() as tmpdir, \
+                _Server(tmpdir) as srv, \
+                ServeClient(port=srv.port) as client:
+            out, lat_stop, sub = _timed_round_trip(
+                client, config=cfg, budget={"max_steps": stop_at},
+            )
+            assert out["stopped_by"] == f"MaxIter({stop_at})"
+            assert out["partial"] and out["result"]["steps"] == stop_at
+            assert out["checkpoint"]["step"] == stop_at
+
+            t0 = time.perf_counter()
+            resumed = client.submit(config=cfg, resume=sub["id"])
+            rout = client.result(resumed["id"])
+            lat_resume = time.perf_counter() - t0
+            assert rout["state"] == "done"
+            assert rout["resumed_from_step"] == stop_at
+            assert rout["result"]["steps"] == nsteps - stop_at
+
+            # Partial provenance stays out of the cache: a fresh submit
+            # of the same physics is a cold execution, not a hit.
+            fresh = client.submit(config=cfg)
+            assert not fresh["cached"] and not fresh["deduped"]
+            client.result(fresh["id"])
+
+            bench_record.record(
+                "budget_stop_resume",
+                {
+                    "stop_latency_seconds": Metric(
+                        value=lat_stop, kind="time", unit="s",
+                    ),
+                    "resume_latency_seconds": Metric(
+                        value=lat_resume, kind="time", unit="s",
+                    ),
+                    "steps_before_stop": (float(stop_at), "count"),
+                    "steps_after_resume": (
+                        float(nsteps - stop_at), "count",
+                    ),
+                    "recomputed_steps": (0.0, "count"),
+                },
+                config={"nsteps": nsteps, "max_steps": stop_at, **BASE},
+            )

@@ -15,6 +15,8 @@ Commands regenerate the paper's artifacts or run the simulator:
 * ``driver``      -- the Sec. II-F kernel driver on this substrate
 * ``campaign``    -- sharded scaling-study runner with a result cache
 * ``perf``        -- performance ledger: run / report / check / baseline
+* ``serve``       -- simulation-as-a-service job server (asyncio TCP)
+* ``submit``      -- client for a running ``serve`` instance
 """
 
 from __future__ import annotations
@@ -70,17 +72,50 @@ def _make_resilience(args: argparse.Namespace):
     )
 
 
+def _transport_name(value: str) -> str:
+    """Validate ``--transport`` against the links registry at parse time.
+
+    Registry-driven (not a hardcoded ``choices=``) so plugged-in
+    transports are accepted and the error names what actually exists.
+    """
+    from repro.parallel.links import registered_transports
+
+    if value not in registered_transports():
+        raise argparse.ArgumentTypeError(
+            f"unknown transport {value!r}; registered transports: "
+            f"{', '.join(registered_transports())}"
+        )
+    return value
+
+
 def _add_transport_flag(p: argparse.ArgumentParser) -> None:
-    p.add_argument("--transport", choices=("threads", "mp"), default=None,
+    p.add_argument("--transport", type=_transport_name, default=None,
+                   metavar="NAME",
                    help="comm transport: in-process threads (default) or "
                         "one forked process per rank over shared memory; "
-                        "unset falls back to $REPRO_TRANSPORT")
+                        "unset falls back to $REPRO_TRANSPORT "
+                        "(registered: threads, mp)")
 
 
 def _resolve_transport(args: argparse.Namespace) -> str:
-    from repro.parallel.links import get_transport
+    from repro.parallel.links import (
+        TRANSPORT_ENV,
+        TransportUnavailableError,
+        get_transport,
+        registered_transports,
+    )
 
-    return get_transport(getattr(args, "transport", None)).name
+    try:
+        return get_transport(getattr(args, "transport", None)).name
+    except TransportUnavailableError as exc:
+        # An explicit flag was validated at parse time, so reaching
+        # here means a bad $REPRO_TRANSPORT (or a platform without the
+        # requested transport) -- fail at the front door, not inside
+        # run_spmd.
+        raise SystemExit(
+            f"repro: {exc} (check --transport / ${TRANSPORT_ENV}; "
+            f"registered transports: {', '.join(registered_transports())})"
+        ) from None
 
 
 def _add_resilience_flags(p: argparse.ArgumentParser) -> None:
@@ -441,9 +476,12 @@ def main(argv: list[str] | None = None) -> int:
 
     from repro.campaign.cli import add_campaign_parser
     from repro.perf.cli import add_perf_parser
+    from repro.serve.cli import add_serve_parser, add_submit_parser
 
     add_campaign_parser(sub)
     add_perf_parser(sub)
+    add_serve_parser(sub)
+    add_submit_parser(sub)
 
     args = parser.parse_args(argv)
     return args.fn(args)

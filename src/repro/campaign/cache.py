@@ -22,10 +22,33 @@ from pathlib import Path
 from typing import Any, Iterator
 
 from repro.campaign.hashing import canonical_json
+from repro.campaign.hashing import job_key as _hash_job_key
 from repro.io.atomic import atomic_write_bytes, crc32_update
+from repro.monitor.trace import get_metrics
 
 #: Default cache root, relative to the invoking directory.
 DEFAULT_CACHE_DIR = ".repro-cache"
+
+
+def job_key(config: Any, problem: str) -> str:
+    """The content-address key for one job (public helper).
+
+    Accepts a :class:`~repro.v2d.config.V2DConfig` or any mapping its
+    ``from_dict`` accepts, canonicalizes it through the config layer
+    (so spelling variations -- omitted defaults, int-vs-float -- hash
+    identically), and returns the hex SHA-256 the campaign scheduler,
+    the serve dedup index and the ``.repro-cache`` store all key by.
+    Code-version fingerprinting is memoized per process
+    (:func:`repro.campaign.hashing.code_version`), so repeated lookups
+    cost one canonical-JSON render and one SHA-256.
+    """
+    from repro.v2d.config import V2DConfig
+
+    if isinstance(config, V2DConfig):
+        canonical = config.to_dict()
+    else:
+        canonical = V2DConfig.from_dict(dict(config)).to_dict()
+    return _hash_job_key(canonical, problem)
 
 
 @dataclass
@@ -77,6 +100,7 @@ class ResultCache:
             entry = json.loads(path.read_text())
         except FileNotFoundError:
             self.stats.misses += 1
+            get_metrics().inc("repro.cache.misses")
             return None
         except (json.JSONDecodeError, OSError, UnicodeDecodeError):
             self._evict_corrupt(path)
@@ -90,6 +114,7 @@ class ResultCache:
             self._evict_corrupt(path)
             return None
         self.stats.hits += 1
+        get_metrics().inc("repro.cache.hits")
         return payload
 
     def put(self, key: str, payload: dict[str, Any]) -> Path:
@@ -101,6 +126,7 @@ class ResultCache:
             "payload": payload,
         }
         self.stats.puts += 1
+        get_metrics().inc("repro.cache.puts")
         return atomic_write_bytes(
             self.path_for(key), (canonical_json(entry) + "\n").encode()
         )
@@ -108,6 +134,9 @@ class ResultCache:
     def _evict_corrupt(self, path: Path) -> None:
         self.stats.corrupt += 1
         self.stats.misses += 1
+        metrics = get_metrics()
+        metrics.inc("repro.cache.corrupt")
+        metrics.inc("repro.cache.misses")
         path.unlink(missing_ok=True)
 
     # ------------------------------------------------------------------

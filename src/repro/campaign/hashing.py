@@ -23,8 +23,10 @@ never what it contains.
 
 from __future__ import annotations
 
+import functools
 import hashlib
 import json
+from pathlib import Path
 from typing import Any
 
 import repro
@@ -34,9 +36,27 @@ from repro.v2d.job import RESULT_SCHEMA
 CACHE_SCHEMA = 1
 
 
+@functools.lru_cache(maxsize=1)
 def code_version() -> str:
-    """The code-version tag folded into every cache key."""
-    return repro.__version__
+    """The code-version tag folded into every cache key.
+
+    ``<__version__>+g<sha12>`` when the package sits inside a git
+    checkout (with a ``.dirty`` suffix for uncommitted edits, so a
+    modified tree never serves results cached by its parent commit);
+    plain ``__version__`` otherwise.  Memoized per process: key
+    derivation happens on every cache lookup, dedup check and campaign
+    expansion, and the git subprocess must run at most once.
+    """
+    version = repro.__version__
+    try:
+        from repro.perf.schema import git_revision
+
+        sha, dirty = git_revision(cwd=str(Path(repro.__file__).resolve().parent))
+    except Exception:  # noqa: BLE001 - fingerprint is best-effort
+        return version
+    if not sha:
+        return version
+    return f"{version}+g{sha[:12]}" + (".dirty" if dirty else "")
 
 
 def canonical_json(obj: Any) -> str:

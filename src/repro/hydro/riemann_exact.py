@@ -54,10 +54,13 @@ def _star_pressure(
     al = np.sqrt(gamma * left.p / left.rho)
     ar = np.sqrt(gamma * right.p / right.rho)
     z = (gamma - 1.0) / (2.0 * gamma)
-    p = (
-        (al + ar - 0.5 * (gamma - 1.0) * (right.v - left.v))
-        / (al / left.p**z + ar / right.p**z)
-    ) ** (1.0 / z)
+    # A strongly diverging flow (2/(gamma-1)*(al+ar) <= vr-vl) generates
+    # a (near-)vacuum star region; the two-rarefaction guess then has a
+    # negative base, and a negative base under a fractional power is NaN.
+    # Clamping keeps the Newton iteration in the positive-pressure domain,
+    # where it converges onto the pressure floor for true vacuum cases.
+    base = max(al + ar - 0.5 * (gamma - 1.0) * (right.v - left.v), 1e-14)
+    p = (base / (al / left.p**z + ar / right.p**z)) ** (1.0 / z)
     p = max(p, 1e-12)
     for _ in range(100):
         fl, fpl = _pressure_function(p, left, gamma)

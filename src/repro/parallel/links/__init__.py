@@ -48,6 +48,16 @@ def available_transports() -> list[str]:
     )
 
 
+def registered_transports() -> list[str]:
+    """Every registered transport name, sorted (availability aside).
+
+    The vocabulary CLI flag validation and ``$REPRO_TRANSPORT`` checks
+    quote in error messages -- distinct from
+    :func:`available_transports`, which also probes the platform.
+    """
+    return sorted(_REGISTRY)
+
+
 def get_transport(name: str | None = None) -> Transport:
     """Resolve a transport: explicit name > ``REPRO_TRANSPORT`` > default."""
     if name is None:
@@ -80,5 +90,6 @@ __all__ = [
     "TRANSPORT_ENV",
     "available_transports",
     "get_transport",
+    "registered_transports",
     "register_transport",
 ]

@@ -183,6 +183,27 @@ def cmd_report(args: argparse.Namespace) -> int:
     else:
         print(f"LEDGER {ledger.history_path}: empty "
               "(run `repro perf run` or the pytest benchmarks)")
+
+    # Process-wide service counters (cache traffic, serve activity):
+    # nonzero only when this process actually touched those layers,
+    # e.g. under `repro serve` or a campaign run in the same process.
+    from repro.monitor.trace import get_metrics
+
+    registry = {
+        name: value
+        for name, value in sorted(get_metrics().snapshot().items())
+        if (name.startswith("repro.cache.") or name.startswith("repro.serve."))
+        and value
+    }
+    if registry:
+        print()
+        print("PROCESS METRICS")
+        for name, value in registry.items():
+            print(f"  {name:<28} {value:>10g}")
+        hits = registry.get("repro.cache.hits", 0)
+        misses = registry.get("repro.cache.misses", 0)
+        if hits + misses:
+            print(f"  {'cache hit-rate':<28} {hits / (hits + misses):>10.1%}")
     return 0
 
 

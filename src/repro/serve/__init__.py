@@ -1,0 +1,81 @@
+"""Simulation-as-a-service: the repo's front door for heavy traffic.
+
+The back half of a service already exists -- fused kernels, layered
+fault recovery, a content-addressed result cache, tracing, a perf
+ledger, a multi-process SPMD runtime.  ``repro.serve`` is the front
+half: an asyncio TCP job API over the campaign execution path, the
+shape async task-based runtimes (HPX-style futurized task graphs) give
+this class of solver at scale.
+
+* :mod:`repro.serve.stop` -- composable :class:`StoppingCriterion`
+  budgets (MaxIter / MaxDuration / RelError, ``|``/``&`` combinators).
+* :mod:`repro.serve.jobs` -- the job model: validated requests,
+  lifecycle states, typed rejections, and the checkpoint-aware runner.
+* :mod:`repro.serve.quota` -- per-tenant token buckets + active quotas.
+* :mod:`repro.serve.queue` -- :class:`ServeEngine`: priority queue,
+  bounded worker pool, in-flight dedup, cache short-circuit.
+* :mod:`repro.serve.stream` -- per-job event fan-out for ``watch``.
+* :mod:`repro.serve.server` -- the newline-delimited-JSON TCP layer.
+* :mod:`repro.serve.client` -- the blocking client (CLI, tests, bench).
+* :mod:`repro.serve.cli` -- ``repro serve`` / ``repro submit``.
+"""
+
+from repro.serve.client import RemoteError, ServeClient
+from repro.serve.jobs import (
+    InvalidRequest,
+    Job,
+    JobRequest,
+    JobState,
+    QueueFull,
+    QuotaExceeded,
+    RateLimited,
+    ServeError,
+    UnknownJob,
+    execute_serve_job,
+)
+from repro.serve.queue import ServeEngine
+from repro.serve.quota import QuotaManager, TenantPolicy, TokenBucket
+from repro.serve.server import JobServer, ServeConfig
+from repro.serve.stop import (
+    AllOf,
+    AnyOf,
+    BudgetError,
+    MaxDuration,
+    MaxIter,
+    RelError,
+    StoppingCriterion,
+    budget_from_dict,
+    criterion_from_dict,
+)
+from repro.serve.stream import EventHub
+
+__all__ = [
+    "ServeEngine",
+    "JobServer",
+    "ServeConfig",
+    "ServeClient",
+    "RemoteError",
+    "EventHub",
+    "Job",
+    "JobRequest",
+    "JobState",
+    "execute_serve_job",
+    "ServeError",
+    "InvalidRequest",
+    "UnknownJob",
+    "QuotaExceeded",
+    "RateLimited",
+    "QueueFull",
+    "QuotaManager",
+    "TenantPolicy",
+    "TokenBucket",
+    "StoppingCriterion",
+    "MaxIter",
+    "MaxDuration",
+    "RelError",
+    "AnyOf",
+    "AllOf",
+    "BudgetError",
+    "budget_from_dict",
+    "criterion_from_dict",
+]

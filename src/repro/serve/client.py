@@ -1,0 +1,147 @@
+"""Blocking client for the serve wire protocol.
+
+A deliberately small synchronous client -- plain socket, line-buffered
+JSON -- because everything that talks to the server from outside the
+event loop (the ``repro submit`` CLI, tests, the latency benchmark)
+is synchronous.  Typed server rejections are re-raised as the same
+:class:`~repro.serve.jobs.ServeError` subclasses the server itself
+uses, so ``except QuotaExceeded:`` works identically on both sides of
+the wire.
+
+    with ServeClient(port=port) as client:
+        sub = client.submit(problem="gaussian-pulse",
+                            config={"nx1": 32, "nsteps": 5})
+        done = client.result(sub["id"])
+        print(done["result"]["final_energy"])
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Any, Iterator
+
+from repro.serve.jobs import (
+    InvalidRequest,
+    QueueFull,
+    QuotaExceeded,
+    RateLimited,
+    ServeError,
+    UnknownJob,
+)
+
+__all__ = ["ServeClient", "RemoteError"]
+
+#: error.type -> exception class; unknown codes raise RemoteError.
+_ERROR_TYPES = {
+    cls.code: cls
+    for cls in (InvalidRequest, UnknownJob, QuotaExceeded, RateLimited, QueueFull)
+}
+
+
+class RemoteError(ServeError):
+    """A server-side rejection with no dedicated client-side class."""
+
+    code = "remote-error"
+
+
+class ServeClient:
+    """One connection to a job server; methods mirror the wire ops."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        timeout: float | None = 300.0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._fh = self._sock.makefile("rwb")
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        try:
+            self._fh.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def _send(self, message: dict[str, Any]) -> None:
+        self._fh.write(json.dumps(message).encode() + b"\n")
+        self._fh.flush()
+
+    def _recv(self) -> dict[str, Any]:
+        line = self._fh.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        response = json.loads(line)
+        if not response.get("ok", False):
+            error = response.get("error") or {}
+            cls = _ERROR_TYPES.get(error.get("type"), RemoteError)
+            raise cls(error.get("message", "unspecified server error"))
+        return response
+
+    def _call(self, op: str, **params: Any) -> dict[str, Any]:
+        self._send({"op": op, **{k: v for k, v in params.items() if v is not None}})
+        return self._recv()
+
+    # ------------------------------------------------------------------
+    def ping(self) -> dict[str, Any]:
+        return self._call("ping")
+
+    def submit(
+        self,
+        problem: str = "gaussian-pulse",
+        config: dict[str, Any] | None = None,
+        tenant: str | None = None,
+        priority: int | None = None,
+        budget: dict[str, Any] | None = None,
+        resume: str | None = None,
+    ) -> dict[str, Any]:
+        return self._call(
+            "submit",
+            problem=problem,
+            config=config or {},
+            tenant=tenant,
+            priority=priority,
+            budget=budget,
+            resume=resume,
+        )
+
+    def status(self, job: str) -> dict[str, Any]:
+        return self._call("status", job=job)
+
+    def result(
+        self, job: str, wait: bool = True, timeout: float | None = None
+    ) -> dict[str, Any]:
+        return self._call("result", job=job, wait=wait, timeout=timeout)
+
+    def cancel(self, job: str) -> dict[str, Any]:
+        return self._call("cancel", job=job)
+
+    def list(
+        self, tenant: str | None = None, state: str | None = None
+    ) -> list[dict[str, Any]]:
+        return self._call("list", tenant=tenant, state=state)["jobs"]
+
+    def stats(self) -> dict[str, Any]:
+        return self._call("stats")
+
+    def shutdown(self, graceful: bool = True) -> dict[str, Any]:
+        return self._call("shutdown", graceful=graceful)
+
+    def watch(self, job: str) -> Iterator[dict[str, Any]]:
+        """Yield the job's event stream until its terminal state."""
+        self._send({"op": "watch", "job": job})
+        while True:
+            response = self._recv()
+            if response.get("end"):
+                return
+            yield response["event"]

@@ -1,0 +1,429 @@
+"""The serve job model: requests, lifecycle states, and the runner.
+
+A job is one tenant-submitted simulation travelling the lifecycle
+
+    queued -> running -> done | failed | cancelled
+
+(with the two shortcuts ``queued -> done`` for cache hits and
+``queued -> cancelled`` for jobs cancelled before a worker claims
+them).  :class:`Job` is the server-side record; :class:`JobRequest` is
+the validated wire form; :func:`execute_serve_job` is the unit of work
+a pool thread runs -- the serve twin of
+:func:`repro.campaign.worker.execute_job`, with the same never-raises
+contract plus three service powers the campaign path has no use for:
+
+* a ``cancel`` event checked between steps (cancel mid-solve lands on
+  a checkpointed step boundary, so the job is resumable);
+* a :class:`~repro.serve.stop.StoppingCriterion` budget consulted
+  between steps (budget expiry also checkpoints and reports partial
+  results);
+* a ``progress`` callback fed per-step state for live streaming.
+
+Identity is content-addressed: :meth:`JobRequest.dedup_key` reuses the
+campaign cache key over the config with serve-owned fields (checkpoint
+plumbing, instrumentation toggles) normalized away, so two tenants
+asking for the same physics -- one with tracing on, one without --
+fan in onto one execution and one cache entry.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import traceback
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Mapping
+
+from repro.campaign.cache import job_key
+from repro.problems import get_problem
+from repro.serve.stop import (
+    BudgetError,
+    StoppingCriterion,
+    budget_from_dict,
+)
+from repro.v2d.config import V2DConfig
+
+__all__ = [
+    "JobState",
+    "ServeError",
+    "InvalidRequest",
+    "UnknownJob",
+    "QuotaExceeded",
+    "RateLimited",
+    "QueueFull",
+    "JobRequest",
+    "Job",
+    "execute_serve_job",
+]
+
+#: Config fields the dedup key ignores: they steer where artifacts land
+#: and what gets instrumented, never what the physics computes.
+_KEY_NEUTRAL_FIELDS = {
+    "checkpoint_path": None,
+    "checkpoint_interval": 0,
+    "profile": False,
+    "trace": False,
+}
+
+
+# ----------------------------------------------------------------------
+# Lifecycle
+# ----------------------------------------------------------------------
+class JobState:
+    """Job lifecycle states and the legal transitions between them."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+    TERMINAL = frozenset({DONE, FAILED, CANCELLED})
+
+    _ALLOWED = {
+        QUEUED: frozenset({RUNNING, DONE, CANCELLED}),
+        RUNNING: frozenset({DONE, FAILED, CANCELLED}),
+        DONE: frozenset(),
+        FAILED: frozenset(),
+        CANCELLED: frozenset(),
+    }
+
+    @classmethod
+    def check(cls, old: str, new: str) -> None:
+        if new not in cls._ALLOWED.get(old, frozenset()):
+            raise ValueError(f"illegal job transition {old!r} -> {new!r}")
+
+
+# ----------------------------------------------------------------------
+# Typed rejections (the wire error vocabulary)
+# ----------------------------------------------------------------------
+class ServeError(Exception):
+    """Base of every typed rejection the server sends a client.
+
+    ``code`` is the stable wire identifier (``error.type`` in
+    responses); the message is human-oriented and may change.
+    """
+
+    code = "error"
+
+    def to_wire(self) -> dict[str, str]:
+        return {"type": self.code, "message": str(self)}
+
+
+class InvalidRequest(ServeError):
+    """The request is malformed or names an invalid config/problem."""
+
+    code = "invalid-request"
+
+
+class UnknownJob(ServeError):
+    """The referenced job id does not exist on this server."""
+
+    code = "unknown-job"
+
+
+class QuotaExceeded(ServeError):
+    """The tenant is at its active-jobs quota."""
+
+    code = "quota-exceeded"
+
+
+class RateLimited(ServeError):
+    """The tenant's token bucket is empty; retry later."""
+
+    code = "rate-limited"
+
+
+class QueueFull(ServeError):
+    """The server's global queue is at capacity."""
+
+    code = "queue-full"
+
+
+# ----------------------------------------------------------------------
+# Requests
+# ----------------------------------------------------------------------
+@dataclass
+class JobRequest:
+    """A validated submission: what one tenant asked the server to run."""
+
+    tenant: str = "default"
+    problem: str = "gaussian-pulse"
+    config: dict[str, Any] = field(default_factory=dict)
+    priority: int = 0
+    budget: StoppingCriterion | None = None
+    budget_wire: dict[str, Any] | None = None
+    #: Job id whose checkpoint this run resumes from (serve fills in
+    #: the checkpoint path/step from its own records).
+    resume: str | None = None
+
+    @classmethod
+    def from_wire(cls, data: Mapping[str, Any]) -> "JobRequest":
+        """Parse and validate one ``submit`` request body.
+
+        Every defect raises :class:`InvalidRequest` with a message
+        naming the offending field -- validation happens here, at the
+        front door, never deep inside a worker.
+        """
+        if not isinstance(data, Mapping):
+            raise InvalidRequest(f"submit body must be an object, got {type(data).__name__}")
+        tenant = data.get("tenant", "default")
+        if not isinstance(tenant, str) or not tenant:
+            raise InvalidRequest(f"tenant must be a non-empty string, got {tenant!r}")
+        problem = data.get("problem", "gaussian-pulse")
+        if not isinstance(problem, str):
+            raise InvalidRequest(f"problem must be a string, got {problem!r}")
+        try:
+            get_problem(problem)
+        except (KeyError, ValueError) as exc:
+            raise InvalidRequest(str(exc)) from None
+        config = data.get("config", {})
+        if not isinstance(config, Mapping):
+            raise InvalidRequest(f"config must be an object, got {type(config).__name__}")
+        try:
+            canonical = V2DConfig.from_dict(dict(config)).to_dict()
+        except (ValueError, TypeError) as exc:
+            raise InvalidRequest(f"invalid config: {exc}") from None
+        priority = data.get("priority", 0)
+        if not isinstance(priority, int) or isinstance(priority, bool):
+            raise InvalidRequest(f"priority must be an integer, got {priority!r}")
+        budget_wire = data.get("budget")
+        try:
+            budget = budget_from_dict(budget_wire)
+        except BudgetError as exc:
+            raise InvalidRequest(f"invalid budget: {exc}") from None
+        resume = data.get("resume")
+        if resume is not None and not isinstance(resume, str):
+            raise InvalidRequest(f"resume must be a job id string, got {resume!r}")
+        return cls(
+            tenant=tenant,
+            problem=problem,
+            config=canonical,
+            priority=priority,
+            budget=budget,
+            budget_wire=dict(budget_wire) if isinstance(budget_wire, Mapping) else None,
+            resume=resume,
+        )
+
+    def dedup_key(self) -> str:
+        """The content-address identity of this request's physics.
+
+        Serve-owned fields (checkpoint plumbing, instrumentation) are
+        normalized out so requests differing only in observability
+        dedup onto one execution and one ``.repro-cache`` entry.
+        """
+        normalized = dict(self.config)
+        normalized.update(_KEY_NEUTRAL_FIELDS)
+        return job_key(normalized, self.problem)
+
+
+# ----------------------------------------------------------------------
+# The server-side record
+# ----------------------------------------------------------------------
+@dataclass
+class Job:
+    """One submission's full server-side state."""
+
+    id: str
+    key: str
+    request: JobRequest
+    state: str = JobState.QUEUED
+    #: Heap tiebreaker and FIFO order within a priority class.
+    seq: int = 0
+    submitted_at: float = field(default_factory=time.time)
+    started_at: float | None = None
+    finished_at: float | None = None
+    #: Monotonic submit stamp for latency metrics.
+    t_submit: float = field(default_factory=time.monotonic)
+    t_done: float | None = None
+    result: dict[str, Any] | None = None
+    error: dict[str, str] | None = None
+    #: Budget criterion that fired, if the run stopped on budget.
+    stopped_by: str | None = None
+    #: True when the result came straight from the content cache.
+    cached: bool = False
+    #: True when the result covers fewer steps than requested.
+    partial: bool = False
+    #: ``{"path": ..., "step": ...}`` of the resume point, if one exists.
+    checkpoint: dict[str, Any] | None = None
+    #: Step the run resumed from, for resumed jobs.
+    resumed_from_step: int | None = None
+    #: Duplicate submissions fanned in onto this execution.
+    subscribers: int = 0
+    #: Latest per-step progress state (streamed to watchers).
+    progress: dict[str, Any] = field(default_factory=dict)
+    #: Set by cancel; the runner checks it between steps.
+    cancel_event: threading.Event = field(default_factory=threading.Event)
+
+    def transition(self, new: str) -> None:
+        JobState.check(self.state, new)
+        self.state = new
+
+    @property
+    def latency(self) -> float | None:
+        """Submit-to-terminal seconds (the ledger's p50/p99 material)."""
+        if self.t_done is None:
+            return None
+        return self.t_done - self.t_submit
+
+    def snapshot(self) -> dict[str, Any]:
+        """The wire form of ``status`` (everything but the result body)."""
+        out: dict[str, Any] = {
+            "id": self.id,
+            "key": self.key,
+            "state": self.state,
+            "tenant": self.request.tenant,
+            "problem": self.request.problem,
+            "priority": self.request.priority,
+            "submitted_at": self.submitted_at,
+            "cached": self.cached,
+            "partial": self.partial,
+            "subscribers": self.subscribers,
+        }
+        if self.started_at is not None:
+            out["started_at"] = self.started_at
+        if self.finished_at is not None:
+            out["finished_at"] = self.finished_at
+        if self.latency is not None:
+            out["latency"] = self.latency
+        if self.stopped_by is not None:
+            out["stopped_by"] = self.stopped_by
+        if self.checkpoint is not None:
+            out["checkpoint"] = dict(self.checkpoint)
+        if self.resumed_from_step is not None:
+            out["resumed_from_step"] = self.resumed_from_step
+        if self.error is not None:
+            out["error"] = dict(self.error)
+        if self.progress:
+            out["progress"] = dict(self.progress)
+        return out
+
+
+# ----------------------------------------------------------------------
+# The unit of work a pool thread runs
+# ----------------------------------------------------------------------
+def execute_serve_job(
+    payload: Mapping[str, Any],
+    cancel: threading.Event | None = None,
+    budget: StoppingCriterion | None = None,
+    progress: Callable[[dict[str, Any]], None] | None = None,
+) -> dict[str, Any]:
+    """Run one serve job payload; always returns an outcome record.
+
+    ``payload`` carries ``name``, ``key``, ``problem``, ``config`` (the
+    canonical request config), ``workdir`` (this job's scratch
+    directory, owning its checkpoints) and optionally ``resume_path`` /
+    ``resume_step`` naming the checkpoint to continue from.
+
+    Outcome statuses:
+
+    ``ok``
+        Full step budget completed; ``result`` is cacheable.
+    ``stopped``
+        A budget criterion fired between steps; ``result`` is the
+        partial payload, ``stopped_by`` names the criterion, and
+        ``checkpoint`` is the resume point.  Never cached.
+    ``cancelled``
+        The cancel event fired between steps; same partial shape.
+    ``failed``
+        Anything raised; ``error`` carries the condensed traceback.
+
+    Like the campaign worker, this function never raises: containment
+    is the contract that keeps one bad job from taking a worker down.
+    """
+    outcome: dict[str, Any] = {
+        "name": payload.get("name", "?"),
+        "key": payload.get("key", ""),
+        "status": "failed",
+        "result": None,
+        "error": None,
+        "stopped_by": None,
+        "partial": False,
+        "checkpoint": None,
+        "resumed_from_step": None,
+    }
+    if cancel is not None and cancel.is_set():
+        outcome["status"] = "cancelled"
+        return outcome
+    try:
+        outcome.update(_run_serve_job(payload, cancel, budget, progress))
+    except Exception as exc:  # noqa: BLE001 - containment is the contract
+        tail = traceback.format_exc(limit=3).strip().splitlines()[-1]
+        outcome["error"] = f"{type(exc).__name__}: {exc} ({tail})"
+    return outcome
+
+
+def _run_serve_job(
+    payload: Mapping[str, Any],
+    cancel: threading.Event | None,
+    budget: StoppingCriterion | None,
+    progress: Callable[[dict[str, Any]], None] | None,
+) -> dict[str, Any]:
+    from repro.v2d.job import run_job, summarize_reports
+    from repro.v2d.simulation import RunInterrupted, Simulation
+
+    problem_name = payload.get("problem", "gaussian-pulse")
+    exec_cfg = dict(payload["config"])
+    workdir = payload.get("workdir")
+    if workdir:
+        # Serve owns checkpoint placement: every job checkpoints into
+        # its own scratch directory so interrupts always have a resume
+        # point, whatever the submitted config said about I/O.
+        Path(workdir).mkdir(parents=True, exist_ok=True)
+        exec_cfg["checkpoint_path"] = str(Path(workdir) / "ck")
+    cfg = V2DConfig.from_dict(exec_cfg)
+
+    if cfg.nranks != 1:
+        # Decomposed jobs run whole through the campaign-style path:
+        # the SPMD substrate owns its ranks' loops, so budgets and
+        # mid-run cancel don't reach between their steps (documented
+        # serve limitation; cancel still works while queued).
+        result = run_job(cfg, problem=problem_name)
+        return {"status": "ok", "result": result}
+
+    sim = Simulation(cfg, get_problem(problem_name))
+    nsteps = cfg.nsteps
+    resume_path = payload.get("resume_path")
+    resumed_from = None
+    if resume_path:
+        sim.restart_from(str(resume_path))
+        resumed_from = int(payload.get("resume_step", sim.integrator.step_count))
+        nsteps = max(cfg.nsteps - resumed_from, 0)
+    if budget is not None:
+        budget.clear()
+
+    base_step = sim.integrator.step_count
+    totals = {"iterations": 0}
+
+    def step_callback(s: Simulation, report) -> None:
+        totals["iterations"] += report.iterations
+        state = {
+            "step": s.integrator.step_count - base_step,
+            "total_step": s.integrator.step_count,
+            "time": s.time,
+            "iterations": totals["iterations"],
+            "energy": s.integrator.total_energy(),
+        }
+        if progress is not None:
+            progress(dict(state))
+        if cancel is not None and cancel.is_set():
+            raise RunInterrupted("cancelled")
+        if budget is not None and budget.stop(state):
+            raise RunInterrupted(budget.reason() or "budget")
+
+    report = sim.run(step_callback=step_callback, nsteps=nsteps)
+    result = summarize_reports(cfg, problem_name, [report])
+    out: dict[str, Any] = {"result": result, "resumed_from_step": resumed_from}
+    if resumed_from is not None:
+        result["resumed_from_step"] = resumed_from
+    if report.interrupted is None:
+        out["status"] = "ok"
+        return out
+    out["status"] = "cancelled" if report.interrupted == "cancelled" else "stopped"
+    out["stopped_by"] = None if report.interrupted == "cancelled" else report.interrupted
+    out["partial"] = True
+    if sim.last_checkpoint is not None:
+        path, step = sim.last_checkpoint
+        out["checkpoint"] = {"path": path, "step": step}
+    return out

@@ -1,0 +1,462 @@
+"""The serve engine: priority queue, worker pool, dedup, lifecycle.
+
+:class:`ServeEngine` is the server's core, independent of any wire
+protocol (the TCP layer in :mod:`repro.serve.server` is a thin adapter
+over it, and tests drive it directly).  One engine owns:
+
+* the **priority queue** -- a heap of ``(-priority, seq)`` so higher
+  priority wins and FIFO order breaks ties, with lazy removal for
+  jobs cancelled while queued;
+* the **worker pool** -- N asyncio worker tasks, each running jobs on
+  a thread pool via ``run_in_executor`` so the event loop stays
+  responsive while a solve grinds;
+* the **dedup index** -- in-flight jobs by content key: a duplicate
+  submission fans in as a subscriber on the primary execution instead
+  of queueing a second solve;
+* the **result cache** -- the campaign's ``.repro-cache`` store; a hit
+  completes the job at submit time without touching the queue;
+* **admission control** -- :class:`~repro.serve.quota.QuotaManager`:
+  every request pays a rate token, but only cold executions take an
+  active-job slot (cache hits and dedup fan-ins consume no worker, so
+  they are admitted even when the tenant's slots are all busy).
+
+Everything except the executor threads runs on the event loop, so the
+engine needs no locks of its own; worker threads talk back only
+through ``call_soon_threadsafe`` (via the
+:class:`~repro.serve.stream.EventHub`) and the job's cancel event.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import functools
+import heapq
+import time
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+from typing import Any
+
+from repro.campaign.cache import ResultCache
+from repro.monitor.trace import get_metrics
+from repro.serve.jobs import (
+    InvalidRequest,
+    Job,
+    JobRequest,
+    JobState,
+    QueueFull,
+    ServeError,
+    UnknownJob,
+    execute_serve_job,
+)
+from repro.serve.quota import QuotaManager, TenantPolicy
+from repro.serve.stream import EventHub
+
+__all__ = ["ServeEngine"]
+
+
+class ServeEngine:
+    """Queue + pool + dedup over the campaign execution path."""
+
+    def __init__(
+        self,
+        workers: int = 2,
+        cache_dir: str = ".repro-cache",
+        workdir: str = ".repro-serve",
+        max_queue: int = 256,
+        quota: TenantPolicy | None = None,
+    ) -> None:
+        self.cache = ResultCache(cache_dir)
+        self.workdir = Path(workdir)
+        self.max_queue = int(max_queue)
+        self.quota = QuotaManager(quota)
+        self.nworkers = max(1, int(workers))
+
+        self.jobs: dict[str, Job] = {}
+        self._inflight: dict[str, str] = {}  # content key -> primary job id
+        self._resume_info: dict[str, dict[str, Any]] = {}  # job id -> source
+        self._heap: list[tuple[int, int, str]] = []
+        self._seq = 0
+        self._queued = 0
+        self._stopping = False
+        self._latencies: list[float] = []
+        self._executed = 0
+
+        # Bound to the running loop in start().
+        self.hub: EventHub | None = None
+        self._cond: asyncio.Condition | None = None
+        self._done: dict[str, asyncio.Event] = {}
+        self._executor: ThreadPoolExecutor | None = None
+        self._tasks: list[asyncio.Task] = []
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        loop = asyncio.get_running_loop()
+        self.hub = EventHub(loop)
+        self._cond = asyncio.Condition()
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.nworkers, thread_name_prefix="serve-worker"
+        )
+        self._tasks = [
+            asyncio.create_task(self._worker(), name=f"serve-worker-{i}")
+            for i in range(self.nworkers)
+        ]
+
+    async def stop(self, graceful: bool = True) -> None:
+        """Stop the engine: drain the queue (graceful) or cut running
+        jobs loose via their cancel events (not graceful)."""
+        assert self._cond is not None
+        if not graceful:
+            for job in self.jobs.values():
+                if job.state == JobState.RUNNING:
+                    job.cancel_event.set()
+            async with self._cond:
+                for _, _, job_id in self._heap:
+                    job = self.jobs[job_id]
+                    if job.state == JobState.QUEUED:
+                        self._finish_queued_cancel(job)
+                self._heap.clear()
+                self._queued = 0
+        async with self._cond:
+            self._stopping = True
+            self._cond.notify_all()
+        if self._tasks:
+            await asyncio.gather(*self._tasks, return_exceptions=True)
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    async def submit(self, request: JobRequest) -> dict[str, Any]:
+        """Admit one request; returns ``{"id", "state", "cached", "deduped"}``.
+
+        Raises a typed :class:`~repro.serve.jobs.ServeError` on
+        rejection (quota, rate, queue capacity, invalid resume target).
+        """
+        assert self._cond is not None and self.hub is not None
+        metrics = get_metrics()
+        metrics.inc("repro.serve.submitted")
+        if self._stopping:
+            metrics.inc("repro.serve.rejected")
+            raise QueueFull("server is shutting down")
+        # Every request pays a rate token; only cold executions (below)
+        # take an active-job slot, so cache hits and dedup fan-ins are
+        # admitted even when the tenant's slots are all busy.
+        try:
+            self.quota.charge(request.tenant)
+        except ServeError:
+            metrics.inc("repro.serve.rejected")
+            raise
+
+        resume_payload = None
+        if request.resume is not None:
+            try:
+                resume_payload = self._resume_source(request.resume)
+            except ServeError:
+                metrics.inc("repro.serve.rejected")
+                raise
+
+        key = request.dedup_key()
+
+        if resume_payload is None:
+            # Hot path 1: identical request already in flight -> fan in.
+            # Checked before the cache: an in-flight key cannot have a
+            # cache entry yet (results land only at finalize), and this
+            # spares a disk stat per duplicate.
+            primary_id = self._inflight.get(key)
+            if primary_id is not None:
+                primary = self.jobs[primary_id]
+                primary.subscribers += 1
+                metrics.inc("repro.serve.dedup_inflight")
+                return {
+                    "id": primary.id, "key": key, "state": primary.state,
+                    "cached": False, "deduped": True,
+                }
+
+            # Hot path 2: the cache already has this physics.
+            cached = self.cache.get(key)
+            if cached is not None:
+                job = self._new_job(key, request)
+                job.transition(JobState.DONE)
+                job.cached = True
+                job.result = cached
+                job.finished_at = time.time()
+                job.t_done = time.monotonic()
+                self._record_done(job)
+                metrics.inc("repro.serve.cache_hits")
+                self._publish_state(job)
+                return {
+                    "id": job.id, "key": key, "state": job.state,
+                    "cached": True, "deduped": False,
+                }
+
+        # Cold path: a real execution must queue -- this is the point
+        # where the tenant's active-job quota applies.
+        try:
+            self.quota.acquire_slot(request.tenant)
+        except ServeError:
+            metrics.inc("repro.serve.rejected")
+            raise
+        if self._queued >= self.max_queue:
+            self.quota.release(request.tenant)
+            metrics.inc("repro.serve.rejected")
+            raise QueueFull(
+                f"queue is at capacity ({self.max_queue} jobs); retry later"
+            )
+        job = self._new_job(key, request)
+        if resume_payload is not None:
+            job.resumed_from_step = resume_payload["resume_step"]
+            job.checkpoint = {
+                "path": resume_payload["resume_path"],
+                "step": resume_payload["resume_step"],
+            }
+            self._resume_info[job.id] = resume_payload
+        else:
+            # Resumed runs produce partial-provenance results, so they
+            # never become the dedup primary for fresh submissions.
+            self._inflight[key] = job.id
+        async with self._cond:
+            heapq.heappush(self._heap, (-request.priority, job.seq, job.id))
+            self._queued += 1
+            self._cond.notify()
+        self._publish_state(job)
+        return {
+            "id": job.id, "key": key, "state": job.state,
+            "cached": False, "deduped": False,
+        }
+
+    def _new_job(self, key: str, request: JobRequest) -> Job:
+        self._seq += 1
+        job = Job(id=f"j-{self._seq:06d}", key=key, request=request, seq=self._seq)
+        self.jobs[job.id] = job
+        self._done[job.id] = asyncio.Event()
+        return job
+
+    def _resume_source(self, job_id: str) -> dict[str, Any]:
+        prior = self.jobs.get(job_id)
+        if prior is None:
+            raise UnknownJob(f"cannot resume {job_id!r}: no such job")
+        if prior.checkpoint is None:
+            raise InvalidRequest(
+                f"cannot resume {job_id!r}: it left no checkpoint "
+                f"(state {prior.state!r})"
+            )
+        return {
+            "resume_path": prior.checkpoint["path"],
+            "resume_step": int(prior.checkpoint["step"]),
+        }
+
+    # ------------------------------------------------------------------
+    # Worker tasks
+    # ------------------------------------------------------------------
+    async def _worker(self) -> None:
+        assert self._cond is not None
+        while True:
+            async with self._cond:
+                while True:
+                    job = self._pop_runnable()
+                    if job is not None:
+                        break
+                    if self._stopping:
+                        return
+                    await self._cond.wait()
+            await self._run_job(job)
+
+    def _pop_runnable(self) -> Job | None:
+        while self._heap:
+            _, _, job_id = heapq.heappop(self._heap)
+            self._queued -= 1
+            job = self.jobs[job_id]
+            if job.state == JobState.QUEUED:  # skip lazily-cancelled entries
+                return job
+        return None
+
+    async def _run_job(self, job: Job) -> None:
+        assert self.hub is not None and self._executor is not None
+        loop = asyncio.get_running_loop()
+        job.transition(JobState.RUNNING)
+        job.started_at = time.time()
+        self._publish_state(job)
+
+        hub = self.hub
+
+        def progress(state: dict[str, Any]) -> None:
+            job.progress = state
+            hub.publish_threadsafe(job.id, {"ev": "progress", **state})
+
+        payload: dict[str, Any] = {
+            "name": job.id,
+            "key": job.key,
+            "problem": job.request.problem,
+            "config": job.request.config,
+            "workdir": str(self.workdir / job.id),
+        }
+        resume = self._resume_info.get(job.id)
+        if resume is not None:
+            payload.update(resume)
+
+        self._executed += 1
+        get_metrics().inc("repro.serve.executed")
+        outcome = await loop.run_in_executor(
+            self._executor,
+            functools.partial(
+                execute_serve_job,
+                payload,
+                cancel=job.cancel_event,
+                budget=job.request.budget,
+                progress=progress,
+            ),
+        )
+        self._finalize(job, outcome)
+
+    def _finalize(self, job: Job, outcome: dict[str, Any]) -> None:
+        metrics = get_metrics()
+        status = outcome.get("status", "failed")
+        job.result = outcome.get("result")
+        job.stopped_by = outcome.get("stopped_by")
+        job.partial = bool(outcome.get("partial"))
+        if outcome.get("checkpoint") is not None:
+            job.checkpoint = outcome["checkpoint"]
+        if outcome.get("resumed_from_step") is not None:
+            job.resumed_from_step = outcome["resumed_from_step"]
+
+        if status == "ok":
+            job.transition(JobState.DONE)
+            metrics.inc("repro.serve.completed")
+            # Only full, from-scratch results enter the content cache:
+            # partial and resumed payloads describe a different step
+            # history than the key's canonical run.
+            if job.resumed_from_step is None and not job.partial:
+                self.cache.put(job.key, job.result)
+        elif status == "stopped":
+            job.transition(JobState.DONE)
+            metrics.inc("repro.serve.stopped")
+        elif status == "cancelled":
+            job.transition(JobState.CANCELLED)
+            metrics.inc("repro.serve.cancelled")
+        else:
+            job.transition(JobState.FAILED)
+            job.error = {
+                "type": "execution-failed",
+                "message": str(outcome.get("error")),
+            }
+            metrics.inc("repro.serve.failed")
+
+        job.finished_at = time.time()
+        job.t_done = time.monotonic()
+        if self._inflight.get(job.key) == job.id:
+            del self._inflight[job.key]
+        self.quota.release(job.request.tenant)
+        self._record_done(job)
+        self._publish_state(job)
+
+    def _finish_queued_cancel(self, job: Job) -> None:
+        job.transition(JobState.CANCELLED)
+        job.finished_at = time.time()
+        job.t_done = time.monotonic()
+        if self._inflight.get(job.key) == job.id:
+            del self._inflight[job.key]
+        self.quota.release(job.request.tenant)
+        get_metrics().inc("repro.serve.cancelled")
+        self._record_done(job)
+        self._publish_state(job)
+
+    def _record_done(self, job: Job) -> None:
+        if job.latency is not None:
+            self._latencies.append(job.latency)
+        self._done[job.id].set()
+
+    def _publish_state(self, job: Job) -> None:
+        if self.hub is not None:
+            self.hub.publish(
+                job.id,
+                {"ev": "state", "state": job.state, "key": job.key},
+            )
+
+    # ------------------------------------------------------------------
+    # Queries and control
+    # ------------------------------------------------------------------
+    def _get(self, job_id: str) -> Job:
+        try:
+            return self.jobs[job_id]
+        except KeyError:
+            raise UnknownJob(f"no such job: {job_id!r}") from None
+
+    def status(self, job_id: str) -> dict[str, Any]:
+        return self._get(job_id).snapshot()
+
+    async def result(
+        self, job_id: str, wait: bool = True, timeout: float | None = None
+    ) -> dict[str, Any]:
+        """The job's snapshot plus result body, optionally awaiting it."""
+        job = self._get(job_id)
+        if wait and job.state not in JobState.TERMINAL:
+            waiter = self._done[job_id].wait()
+            if timeout is not None:
+                await asyncio.wait_for(waiter, timeout)
+            else:
+                await waiter
+        out = job.snapshot()
+        out["result"] = job.result
+        return out
+
+    async def cancel(self, job_id: str) -> dict[str, Any]:
+        """Cancel a job: immediate while queued, between-steps while
+        running (the runner checkpoints, so the job stays resumable)."""
+        assert self._cond is not None
+        job = self._get(job_id)
+        if job.state == JobState.QUEUED:
+            async with self._cond:
+                if job.state == JobState.QUEUED:  # recheck under the lock
+                    self._finish_queued_cancel(job)
+        elif job.state == JobState.RUNNING:
+            job.cancel_event.set()
+        out = job.snapshot()
+        out["cancelling"] = job.state == JobState.RUNNING
+        return out
+
+    def list_jobs(
+        self, tenant: str | None = None, state: str | None = None
+    ) -> list[dict[str, Any]]:
+        out = []
+        for job in self.jobs.values():
+            if tenant is not None and job.request.tenant != tenant:
+                continue
+            if state is not None and job.state != state:
+                continue
+            out.append(job.snapshot())
+        return out
+
+    def stats(self) -> dict[str, Any]:
+        lat = sorted(self._latencies)
+
+        def pct(p: float) -> float | None:
+            if not lat:
+                return None
+            return lat[min(len(lat) - 1, int(p * (len(lat) - 1) + 0.5))]
+
+        by_state: dict[str, int] = {}
+        for job in self.jobs.values():
+            by_state[job.state] = by_state.get(job.state, 0) + 1
+        return {
+            "jobs": by_state,
+            "queued": self._queued,
+            "executed": self._executed,
+            "inflight_keys": len(self._inflight),
+            "cache": {
+                "hits": self.cache.stats.hits,
+                "misses": self.cache.stats.misses,
+                "puts": self.cache.stats.puts,
+                "corrupt": self.cache.stats.corrupt,
+            },
+            "latency": {
+                "count": len(lat),
+                "p50": pct(0.50),
+                "p99": pct(0.99),
+                "max": lat[-1] if lat else None,
+            },
+            "quota": self.quota.snapshot(),
+            "workers": self.nworkers,
+        }

@@ -1,0 +1,152 @@
+"""Per-tenant admission control: active-job quotas + token buckets.
+
+Two independent gates guard the front door, checked in this order on
+every submission:
+
+1. **Rate** -- a token bucket per tenant (``rate`` tokens/second,
+   ``burst`` capacity).  Every submission spends one token, including
+   ones that end up served from cache or deduped onto an in-flight
+   run: the bucket prices *requests*, protecting the server itself.
+2. **Concurrency** -- at most ``max_active`` queued-or-running jobs
+   per tenant.  Cache hits and dedup fan-ins never hold a slot (they
+   cost no worker), so a tenant's quota bounds the compute it can pin,
+   not the questions it can ask.
+
+Both rejections are typed (:class:`~repro.serve.jobs.RateLimited`,
+:class:`~repro.serve.jobs.QuotaExceeded`) so clients can tell "slow
+down" from "wait for your own jobs".  All state is in-process and
+guarded by one lock: the serve subsystem is a single-node front door,
+not a distributed limiter.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any
+
+from repro.serve.jobs import QuotaExceeded, RateLimited
+
+__all__ = ["TenantPolicy", "TokenBucket", "QuotaManager"]
+
+
+@dataclass(frozen=True)
+class TenantPolicy:
+    """Admission limits applied to one tenant (or the default)."""
+
+    #: Max queued-or-running jobs holding worker capacity.
+    max_active: int = 4
+    #: Sustained submissions per second (0 disables rate limiting).
+    rate: float = 0.0
+    #: Bucket capacity: how many submissions may burst at once.
+    burst: int = 8
+
+
+class TokenBucket:
+    """The classic leaky-bucket-as-meter: refill at ``rate``, cap at
+    ``burst``, spend one token per request."""
+
+    def __init__(self, rate: float, burst: int) -> None:
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._tokens = float(burst)
+        self._stamp = time.monotonic()
+
+    def try_take(self) -> bool:
+        now = time.monotonic()
+        self._tokens = min(self.burst, self._tokens + (now - self._stamp) * self.rate)
+        self._stamp = now
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            return True
+        return False
+
+    @property
+    def tokens(self) -> float:
+        return self._tokens
+
+
+class QuotaManager:
+    """Tracks every tenant's bucket and active-slot count."""
+
+    def __init__(self, default: TenantPolicy | None = None) -> None:
+        self.default = default if default is not None else TenantPolicy()
+        self._policies: dict[str, TenantPolicy] = {}
+        self._buckets: dict[str, TokenBucket] = {}
+        self._active: dict[str, int] = {}
+        self._lock = threading.Lock()
+
+    def set_policy(self, tenant: str, policy: TenantPolicy) -> None:
+        with self._lock:
+            self._policies[tenant] = policy
+            self._buckets.pop(tenant, None)  # rebuild with the new limits
+
+    def policy_for(self, tenant: str) -> TenantPolicy:
+        return self._policies.get(tenant, self.default)
+
+    # ------------------------------------------------------------------
+    def charge(self, tenant: str) -> None:
+        """Charge one submission against the tenant's rate limit.
+
+        Every request pays a rate token -- including cache hits and
+        dedup fan-ins, which are still server work -- so a tight
+        client loop can't hammer the front door for free.
+        """
+        with self._lock:
+            policy = self.policy_for(tenant)
+            if policy.rate > 0:
+                bucket = self._buckets.get(tenant)
+                if bucket is None:
+                    bucket = self._buckets[tenant] = TokenBucket(
+                        policy.rate, policy.burst
+                    )
+                if not bucket.try_take():
+                    raise RateLimited(
+                        f"tenant {tenant!r} exceeded {policy.rate:g} submits/s "
+                        f"(burst {policy.burst}); retry later"
+                    )
+
+    def acquire_slot(self, tenant: str) -> None:
+        """Take one active-job slot; raises the typed rejection on refusal.
+
+        Only jobs that will actually occupy the queue or a worker take
+        a slot -- cache hits and dedup fan-ins never call this.  The
+        caller must pair a successful acquire with :meth:`release`
+        once the job reaches a terminal state.
+        """
+        with self._lock:
+            policy = self.policy_for(tenant)
+            active = self._active.get(tenant, 0)
+            if active >= policy.max_active:
+                raise QuotaExceeded(
+                    f"tenant {tenant!r} has {active} active jobs "
+                    f"(quota {policy.max_active}); wait for one to finish"
+                )
+            self._active[tenant] = active + 1
+
+    def admit(self, tenant: str) -> None:
+        """Charge the rate limit and take an active slot in one call."""
+        self.charge(tenant)
+        self.acquire_slot(tenant)
+
+    def release(self, tenant: str) -> None:
+        with self._lock:
+            active = self._active.get(tenant, 0)
+            if active > 0:
+                self._active[tenant] = active - 1
+
+    def active(self, tenant: str) -> int:
+        with self._lock:
+            return self._active.get(tenant, 0)
+
+    def snapshot(self) -> dict[str, Any]:
+        with self._lock:
+            return {
+                "default": {
+                    "max_active": self.default.max_active,
+                    "rate": self.default.rate,
+                    "burst": self.default.burst,
+                },
+                "active": dict(self._active),
+            }

@@ -1,0 +1,229 @@
+"""The asyncio TCP front door: newline-delimited JSON over a socket.
+
+Wire protocol (stdlib only, one JSON object per line, UTF-8):
+
+    -> {"op": "submit", "problem": "...", "config": {...},
+        "tenant": "...", "priority": 0, "budget": {...}, "resume": "j-..."}
+    <- {"ok": true, "id": "j-000001", "state": "queued",
+        "cached": false, "deduped": false, "key": "ab12..."}
+
+    -> {"op": "status"|"result"|"cancel", "job": "j-000001", ...}
+    <- {"ok": true, ...snapshot...}
+
+    -> {"op": "list"|"stats"|"ping"|"shutdown"}
+    <- {"ok": true, ...}
+
+    -> {"op": "watch", "job": "j-000001"}
+    <- {"ok": true, "event": {...}}         (repeated)
+    <- {"ok": true, "end": true}
+
+Every rejection is ``{"ok": false, "error": {"type", "message"}}``
+where ``type`` is a stable code from the
+:class:`~repro.serve.jobs.ServeError` hierarchy -- clients re-raise
+the matching typed exception.  Requests on one connection are handled
+in order; the engine behind them is shared across connections, so
+dedup and quotas span every client of the process.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.serve.jobs import InvalidRequest, JobRequest, ServeError
+from repro.serve.queue import ServeEngine
+from repro.serve.quota import TenantPolicy
+
+__all__ = ["ServeConfig", "JobServer"]
+
+#: Per-line size cap (requests and responses ride single lines).
+MAX_LINE = 4 * 1024 * 1024
+
+
+@dataclass
+class ServeConfig:
+    """Everything ``repro serve`` needs to bring a server up."""
+
+    host: str = "127.0.0.1"
+    port: int = 0  # 0 = ephemeral; the bound port is on JobServer.port
+    workers: int = 2
+    cache_dir: str = ".repro-cache"
+    workdir: str = ".repro-serve"
+    max_queue: int = 256
+    quota: TenantPolicy = field(default_factory=TenantPolicy)
+
+
+class JobServer:
+    """One process's serve front door over a :class:`ServeEngine`."""
+
+    def __init__(self, config: ServeConfig | None = None) -> None:
+        self.config = config if config is not None else ServeConfig()
+        self.engine = ServeEngine(
+            workers=self.config.workers,
+            cache_dir=self.config.cache_dir,
+            workdir=self.config.workdir,
+            max_queue=self.config.max_queue,
+            quota=self.config.quota,
+        )
+        self.port: int | None = None
+        self._server: asyncio.Server | None = None
+        self._shutdown: asyncio.Event | None = None
+        self._graceful = True
+
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Bind the socket and start the worker pool."""
+        self._shutdown = asyncio.Event()
+        await self.engine.start()
+        self._server = await asyncio.start_server(
+            self._handle,
+            host=self.config.host,
+            port=self.config.port,
+            limit=MAX_LINE,
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def serve_until_shutdown(self) -> None:
+        """Serve until a client sends ``shutdown`` (or :meth:`stop`)."""
+        assert self._shutdown is not None
+        await self._shutdown.wait()
+        await self.stop(graceful=self._graceful)
+
+    async def stop(self, graceful: bool = True) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.engine.stop(graceful=graceful)
+
+    async def run(self) -> None:
+        """start + serve_until_shutdown (the CLI entrypoint)."""
+        await self.start()
+        await self.serve_until_shutdown()
+
+    # ------------------------------------------------------------------
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    await self._send(writer, _error(
+                        InvalidRequest(f"request line over {MAX_LINE} bytes")
+                    ))
+                    break
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                try:
+                    msg = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    await self._send(writer, _error(
+                        InvalidRequest(f"request is not valid JSON: {exc}")
+                    ))
+                    continue
+                if not isinstance(msg, dict):
+                    await self._send(writer, _error(
+                        InvalidRequest("request must be a JSON object")
+                    ))
+                    continue
+                op = msg.get("op")
+                if op == "watch":
+                    if not await self._watch(writer, msg):
+                        break
+                    continue
+                try:
+                    resp = await self._dispatch(op, msg)
+                except ServeError as exc:
+                    resp = _error(exc)
+                except asyncio.TimeoutError:
+                    resp = {
+                        "ok": False,
+                        "error": {"type": "timeout", "message": "result wait timed out"},
+                    }
+                await self._send(writer, resp)
+                if op == "shutdown" and resp.get("ok"):
+                    assert self._shutdown is not None
+                    self._shutdown.set()
+                    break
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+                pass
+
+    async def _dispatch(self, op: Any, msg: dict[str, Any]) -> dict[str, Any]:
+        engine = self.engine
+        if op == "ping":
+            return {"ok": True, "pong": True, "port": self.port}
+        if op == "submit":
+            request = JobRequest.from_wire(msg)
+            out = await engine.submit(request)
+            return {"ok": True, **out}
+        if op == "status":
+            return {"ok": True, **engine.status(_job_id(msg))}
+        if op == "result":
+            wait = bool(msg.get("wait", True))
+            timeout = msg.get("timeout")
+            out = await engine.result(
+                _job_id(msg), wait=wait,
+                timeout=None if timeout is None else float(timeout),
+            )
+            return {"ok": True, **out}
+        if op == "cancel":
+            out = await engine.cancel(_job_id(msg))
+            return {"ok": True, **out}
+        if op == "list":
+            jobs = engine.list_jobs(
+                tenant=msg.get("tenant"), state=msg.get("state")
+            )
+            return {"ok": True, "jobs": jobs}
+        if op == "stats":
+            return {"ok": True, **engine.stats()}
+        if op == "shutdown":
+            self._graceful = bool(msg.get("graceful", True))
+            return {"ok": True, "stopping": True, "graceful": self._graceful}
+        raise InvalidRequest(f"unknown op {op!r}")
+
+    async def _watch(
+        self, writer: asyncio.StreamWriter, msg: dict[str, Any]
+    ) -> bool:
+        """Stream a job's events; returns False when the peer vanished."""
+        assert self.engine.hub is not None
+        try:
+            job_id = _job_id(msg)
+            self.engine.status(job_id)  # raises UnknownJob for bad ids
+        except ServeError as exc:
+            await self._send(writer, _error(exc))
+            return True
+        try:
+            async for event in self.engine.hub.watch(job_id):
+                await self._send(writer, {"ok": True, "event": event})
+            await self._send(writer, {"ok": True, "end": True})
+        except (ConnectionResetError, BrokenPipeError):
+            return False
+        return True
+
+    @staticmethod
+    async def _send(writer: asyncio.StreamWriter, payload: dict[str, Any]) -> None:
+        writer.write(json.dumps(payload).encode() + b"\n")
+        await writer.drain()
+
+
+def _job_id(msg: dict[str, Any]) -> str:
+    job = msg.get("job")
+    if not isinstance(job, str) or not job:
+        raise InvalidRequest("missing 'job' (a job id string)")
+    return job
+
+
+def _error(exc: ServeError) -> dict[str, Any]:
+    return {"ok": False, "error": exc.to_wire()}

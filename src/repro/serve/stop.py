@@ -1,0 +1,364 @@
+"""Composable stopping criteria: the budget a served job runs under.
+
+Modeled on pyxu's ``opt/stop.py`` pattern (MaxIter / MaxDuration /
+RelError objects handed to ``Solver.fit``): a criterion is a small
+stateful object the run loop consults *between* checkpoints with a
+plain state mapping, and criteria compose with ``|`` (stop when any
+fires) and ``&`` (stop when all fire).  The serve subsystem attaches
+one to every tenant submission, so a job is wall-clock-budgeted
+(:class:`MaxDuration`), step-budgeted (:class:`MaxIter`), or stops
+itself once the monitored quantity settles (:class:`RelError`) --
+and because the run loop checkpoints before honouring a stop, every
+budget expiry leaves a resume point behind.
+
+The state mapping the serve runner supplies between steps:
+
+====================  =================================================
+``step``              steps completed in this run segment
+``total_step``        the integrator's absolute step counter
+``time``              simulation time
+``iterations``        cumulative BiCGSTAB iterations
+``energy``            current total radiation energy
+====================  =================================================
+
+Criteria serialize to plain JSON (:meth:`StoppingCriterion.to_dict` /
+:func:`criterion_from_dict`) so budgets cross the wire protocol; the
+shorthand mapping ``{"max_steps": 50, "max_seconds": 2.0,
+"rel_error": 1e-6}`` is also accepted (:func:`budget_from_dict`) and
+expands to the ``|``-composition of the named criteria.
+"""
+
+from __future__ import annotations
+
+import time
+from abc import ABC, abstractmethod
+from typing import Any, Mapping
+
+__all__ = [
+    "StoppingCriterion",
+    "MaxIter",
+    "MaxDuration",
+    "RelError",
+    "AnyOf",
+    "AllOf",
+    "criterion_from_dict",
+    "budget_from_dict",
+    "BudgetError",
+]
+
+
+class BudgetError(ValueError):
+    """A budget mapping does not describe a valid stopping criterion."""
+
+
+class StoppingCriterion(ABC):
+    """One stop condition consulted between run-loop checkpoints.
+
+    Subclasses implement :meth:`stop` (pure read of the state mapping
+    plus the criterion's own memory) and :meth:`info`; they record why
+    they fired so :meth:`reason` can label the stopped job.
+    """
+
+    def __init__(self) -> None:
+        self._reason: str | None = None
+
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def stop(self, state: Mapping[str, Any]) -> bool:
+        """True when the run should stop at this checkpoint."""
+
+    @abstractmethod
+    def info(self) -> dict[str, Any]:
+        """Progress snapshot (for status endpoints and stream events)."""
+
+    def reason(self) -> str | None:
+        """Why the criterion fired (None while it has not)."""
+        return self._reason
+
+    def clear(self) -> None:
+        """Reset internal memory so the criterion can budget a new run."""
+        self._reason = None
+
+    @abstractmethod
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-shaped form accepted by :func:`criterion_from_dict`."""
+
+    # ------------------------------------------------------------------
+    def __or__(self, other: "StoppingCriterion") -> "AnyOf":
+        return AnyOf([self, other])
+
+    def __and__(self, other: "StoppingCriterion") -> "AllOf":
+        return AllOf([self, other])
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        body = ", ".join(
+            f"{k}={v!r}" for k, v in self.to_dict().items() if k != "kind"
+        )
+        return f"{type(self).__name__}({body})"
+
+
+class MaxIter(StoppingCriterion):
+    """Stop after ``n`` completed steps of the current run segment.
+
+    Falls back to counting its own :meth:`stop` calls when the state
+    mapping carries no ``step`` entry, so the criterion also budgets
+    loops that never report a step counter (pyxu's MaxIter semantics).
+    """
+
+    def __init__(self, n: int) -> None:
+        super().__init__()
+        if int(n) < 1:
+            raise BudgetError(f"MaxIter needs n >= 1, got {n!r}")
+        self.n = int(n)
+        self._calls = 0
+
+    def stop(self, state: Mapping[str, Any]) -> bool:
+        self._calls += 1
+        done = int(state.get("step", self._calls))
+        if done >= self.n:
+            self._reason = f"MaxIter({self.n})"
+            return True
+        return False
+
+    def info(self) -> dict[str, Any]:
+        return {"criterion": "MaxIter", "n": self.n, "seen": self._calls}
+
+    def clear(self) -> None:
+        super().clear()
+        self._calls = 0
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"kind": "max_iter", "n": self.n}
+
+
+class MaxDuration(StoppingCriterion):
+    """Stop once ``seconds`` of wall clock elapse from the first check.
+
+    The clock starts on the first :meth:`stop` call (not construction),
+    so queue wait does not consume the execution budget.
+    """
+
+    def __init__(self, seconds: float) -> None:
+        super().__init__()
+        if float(seconds) <= 0:
+            raise BudgetError(f"MaxDuration needs seconds > 0, got {seconds!r}")
+        self.seconds = float(seconds)
+        self._t0: float | None = None
+
+    def stop(self, state: Mapping[str, Any]) -> bool:
+        now = time.monotonic()
+        if self._t0 is None:
+            self._t0 = now
+        if now - self._t0 >= self.seconds:
+            self._reason = f"MaxDuration({self.seconds:g}s)"
+            return True
+        return False
+
+    def elapsed(self) -> float:
+        return 0.0 if self._t0 is None else time.monotonic() - self._t0
+
+    def info(self) -> dict[str, Any]:
+        return {
+            "criterion": "MaxDuration",
+            "seconds": self.seconds,
+            "elapsed": self.elapsed(),
+        }
+
+    def clear(self) -> None:
+        super().clear()
+        self._t0 = None
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"kind": "max_duration", "seconds": self.seconds}
+
+
+class RelError(StoppingCriterion):
+    """Stop when the monitored variable's relative change settles.
+
+    Watches ``state[var]`` (default ``energy``) across consecutive
+    checks; once ``|x_k - x_{k-1}| / max(|x_k|, eps)`` stays below
+    ``eps`` for ``patience`` consecutive checks the run is declared
+    converged.  A missing or non-finite variable never triggers.
+    """
+
+    def __init__(self, eps: float, var: str = "energy", patience: int = 1) -> None:
+        super().__init__()
+        if not (float(eps) > 0):
+            raise BudgetError(f"RelError needs eps > 0, got {eps!r}")
+        if int(patience) < 1:
+            raise BudgetError(f"RelError needs patience >= 1, got {patience!r}")
+        self.eps = float(eps)
+        self.var = str(var)
+        self.patience = int(patience)
+        self._prev: float | None = None
+        self._settled = 0
+        self._last_rel: float | None = None
+
+    def stop(self, state: Mapping[str, Any]) -> bool:
+        value = state.get(self.var)
+        if value is None:
+            return False
+        x = float(value)
+        if x != x:  # NaN never converges
+            self._prev, self._settled = None, 0
+            return False
+        if self._prev is not None:
+            rel = abs(x - self._prev) / max(abs(x), self.eps)
+            self._last_rel = rel
+            self._settled = self._settled + 1 if rel < self.eps else 0
+            if self._settled >= self.patience:
+                self._reason = f"RelError({self.var}<{self.eps:g})"
+                self._prev = x
+                return True
+        self._prev = x
+        return False
+
+    def info(self) -> dict[str, Any]:
+        return {
+            "criterion": "RelError",
+            "var": self.var,
+            "eps": self.eps,
+            "rel": self._last_rel,
+            "settled": self._settled,
+        }
+
+    def clear(self) -> None:
+        super().clear()
+        self._prev, self._settled, self._last_rel = None, 0, None
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "kind": "rel_error",
+            "eps": self.eps,
+            "var": self.var,
+            "patience": self.patience,
+        }
+
+
+class _Composite(StoppingCriterion):
+    """Shared mechanics of the ``|`` / ``&`` combinators."""
+
+    _kind = ""
+    _joiner = ""
+
+    def __init__(self, of: list[StoppingCriterion]) -> None:
+        super().__init__()
+        flat: list[StoppingCriterion] = []
+        for c in of:
+            # Same-type composites flatten so a | b | c stays one level.
+            if type(c) is type(self):
+                flat.extend(c.of)  # type: ignore[attr-defined]
+            else:
+                flat.append(c)
+        if not flat:
+            raise BudgetError(f"{type(self).__name__} needs at least one criterion")
+        self.of = flat
+
+    def info(self) -> dict[str, Any]:
+        return {"criterion": type(self).__name__, "of": [c.info() for c in self.of]}
+
+    def clear(self) -> None:
+        super().clear()
+        for c in self.of:
+            c.clear()
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"kind": self._kind, "of": [c.to_dict() for c in self.of]}
+
+
+class AnyOf(_Composite):
+    """Fires when any member fires (the ``|`` combinator).
+
+    Every member is polled on every check even after one fires, so
+    stateful members (MaxDuration's clock, RelError's history) stay
+    warm; the recorded reason is the first member that fired.
+    """
+
+    _kind = "any"
+
+    def stop(self, state: Mapping[str, Any]) -> bool:
+        fired = [c for c in self.of if c.stop(state)]
+        if fired:
+            self._reason = fired[0].reason()
+            return True
+        return False
+
+
+class AllOf(_Composite):
+    """Fires only when every member fires on the same check (``&``)."""
+
+    _kind = "all"
+
+    def stop(self, state: Mapping[str, Any]) -> bool:
+        fired = [c.stop(state) for c in self.of]
+        if all(fired):
+            self._reason = " & ".join(
+                str(c.reason()) for c in self.of if c.reason()
+            )
+            return True
+        return False
+
+
+# ----------------------------------------------------------------------
+# Wire forms
+# ----------------------------------------------------------------------
+_KINDS = {
+    "max_iter": lambda d: MaxIter(d["n"]),
+    "max_duration": lambda d: MaxDuration(d["seconds"]),
+    "rel_error": lambda d: RelError(
+        d["eps"], var=d.get("var", "energy"), patience=d.get("patience", 1)
+    ),
+    "any": lambda d: AnyOf([criterion_from_dict(c) for c in d["of"]]),
+    "all": lambda d: AllOf([criterion_from_dict(c) for c in d["of"]]),
+}
+
+#: Shorthand budget keys (``budget_from_dict``) and their expansions.
+_SHORTHAND = {
+    "max_steps": lambda v: MaxIter(v),
+    "max_seconds": lambda v: MaxDuration(v),
+    "rel_error": lambda v: RelError(v),
+}
+
+
+def criterion_from_dict(data: Mapping[str, Any]) -> StoppingCriterion:
+    """Rebuild a criterion from its :meth:`~StoppingCriterion.to_dict`."""
+    if not isinstance(data, Mapping):
+        raise BudgetError(f"criterion must be a mapping, got {type(data).__name__}")
+    kind = data.get("kind")
+    try:
+        build = _KINDS[kind]
+    except KeyError:
+        raise BudgetError(
+            f"unknown criterion kind {kind!r}; known: {sorted(_KINDS)}"
+        ) from None
+    try:
+        return build(data)
+    except KeyError as exc:
+        raise BudgetError(f"criterion {kind!r} missing field {exc}") from None
+
+
+def budget_from_dict(data: Mapping[str, Any] | None) -> StoppingCriterion | None:
+    """A job budget from its wire form; ``None`` means unbudgeted.
+
+    Accepts either the explicit ``{"kind": ...}`` tree of
+    :func:`criterion_from_dict` or the flat shorthand
+    ``{"max_steps": N, "max_seconds": S, "rel_error": E}`` (any
+    subset), which composes with ``|`` -- the job stops when any
+    budget line is exhausted.
+    """
+    if data is None:
+        return None
+    if not isinstance(data, Mapping):
+        raise BudgetError(f"budget must be a mapping, got {type(data).__name__}")
+    if not data:
+        return None
+    if "kind" in data:
+        return criterion_from_dict(data)
+    unknown = set(data) - set(_SHORTHAND)
+    if unknown:
+        raise BudgetError(
+            f"unknown budget keys {sorted(unknown)}; "
+            f"expected {sorted(_SHORTHAND)} or an explicit 'kind' tree"
+        )
+    parts = [_SHORTHAND[key](value) for key, value in sorted(data.items())]
+    return parts[0] if len(parts) == 1 else AnyOf(parts)

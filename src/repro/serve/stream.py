@@ -1,0 +1,108 @@
+"""Progress streaming: fan job events out to watching clients.
+
+Worker threads produce events (state changes, per-step progress,
+tracer-style instants); asyncio connections consume them.  The
+:class:`EventHub` bridges the two worlds: producers call
+:meth:`EventHub.publish_threadsafe` from any thread (it hops onto the
+event loop via ``call_soon_threadsafe``), subscribers get a private
+bounded :class:`asyncio.Queue` plus a replay of the job's recent
+history so a watcher attached mid-run still sees how the run got here.
+
+Events are plain dicts shaped like the tracer's instant events --
+``{"ev": ..., "job": ..., "ts": ..., **payload}`` -- and a terminal
+state event (``done``/``failed``/``cancelled``) closes every
+subscription on that job, which is how ``watch`` streams end.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections import deque
+from typing import Any, AsyncIterator
+
+from repro.serve.jobs import JobState
+
+__all__ = ["EventHub"]
+
+#: Per-job replay ring: late watchers see at most this many past events.
+HISTORY = 256
+
+#: Per-subscriber buffer; a stalled client drops oldest-first rather
+#: than back-pressuring the worker that produced the event.
+SUBSCRIBER_BUFFER = 1024
+
+
+class EventHub:
+    """Per-job pub/sub between worker threads and asyncio watchers."""
+
+    def __init__(self, loop: asyncio.AbstractEventLoop) -> None:
+        self._loop = loop
+        self._subscribers: dict[str, list[asyncio.Queue]] = {}
+        self._history: dict[str, deque] = {}
+        self._closed: set[str] = set()
+
+    # ------------------------------------------------------------------
+    # Producer side (any thread)
+    # ------------------------------------------------------------------
+    def publish_threadsafe(self, job_id: str, event: dict[str, Any]) -> None:
+        """Queue ``event`` for ``job_id``'s watchers from any thread."""
+        self._loop.call_soon_threadsafe(self.publish, job_id, event)
+
+    def publish(self, job_id: str, event: dict[str, Any]) -> None:
+        """Deliver ``event`` to watchers (event-loop thread only)."""
+        event = {"job": job_id, "ts": time.time(), **event}
+        history = self._history.setdefault(job_id, deque(maxlen=HISTORY))
+        history.append(event)
+        for queue in self._subscribers.get(job_id, []):
+            if queue.full():  # drop oldest; a slow watcher never blocks
+                try:
+                    queue.get_nowait()
+                except asyncio.QueueEmpty:  # pragma: no cover - racy guard
+                    pass
+            queue.put_nowait(event)
+        if event.get("ev") == "state" and event.get("state") in JobState.TERMINAL:
+            self._closed.add(job_id)
+
+    # ------------------------------------------------------------------
+    # Consumer side (event loop)
+    # ------------------------------------------------------------------
+    async def watch(self, job_id: str) -> AsyncIterator[dict[str, Any]]:
+        """Yield ``job_id``'s events: history replay, then live tail.
+
+        The stream ends after a terminal state event; watching an
+        already-finished job replays its retained history and returns.
+        """
+        queue: asyncio.Queue = asyncio.Queue(maxsize=SUBSCRIBER_BUFFER)
+        replay = list(self._history.get(job_id, ()))
+        finished = job_id in self._closed
+        if not finished:
+            self._subscribers.setdefault(job_id, []).append(queue)
+        try:
+            for event in replay:
+                yield event
+                if self._terminal(event):
+                    return
+            if finished:
+                return
+            while True:
+                event = await queue.get()
+                yield event
+                if self._terminal(event):
+                    return
+        finally:
+            subs = self._subscribers.get(job_id)
+            if subs is not None and queue in subs:
+                subs.remove(queue)
+                if not subs:
+                    del self._subscribers[job_id]
+
+    @staticmethod
+    def _terminal(event: dict[str, Any]) -> bool:
+        return event.get("ev") == "state" and event.get("state") in JobState.TERMINAL
+
+    # ------------------------------------------------------------------
+    def forget(self, job_id: str) -> None:
+        """Drop a finished job's history (retention hygiene)."""
+        self._history.pop(job_id, None)
+        self._closed.discard(job_id)

@@ -35,6 +35,9 @@ class RunReport:
     final_energy: float = 0.0
     solution_error: float | None = None
     resilience: ResilienceReport | None = None
+    #: Why the run paused early (RunInterrupted reason), None if it
+    #: completed its full step budget.
+    interrupted: str | None = None
 
     # ------------------------------------------------------------------
     @property
@@ -79,7 +82,8 @@ class RunReport:
             f"  ranks: {self.nranks} (this report: rank {self.rank})",
             f"  steps: {self.nsteps}, linear solves: {self.total_solves}, "
             f"BiCGSTAB iterations: {self.total_iterations}",
-            f"  converged: {self.all_converged}",
+            f"  converged: {self.all_converged}"
+            + (f" (interrupted: {self.interrupted})" if self.interrupted else ""),
             f"  final time: {self.final_time:.6g}, total radiation energy: "
             f"{self.final_energy:.6g}",
         ]

@@ -45,6 +45,21 @@ from repro.v2d.report import RunReport
 Array = np.ndarray
 
 
+class RunInterrupted(Exception):
+    """Raised by a ``run(step_callback=...)`` to stop at a step boundary.
+
+    The driver treats this as a controlled pause, not a failure: it
+    writes a checkpoint at the current step (when the config names a
+    checkpoint path) and returns the partial :class:`RunReport` with
+    its ``interrupted`` field set to :attr:`reason`, so the caller can
+    later resume via :meth:`Simulation.restart_from`.
+    """
+
+    def __init__(self, reason: str = "interrupted") -> None:
+        super().__init__(reason)
+        self.reason = reason
+
+
 def _scope(profiler, tracer, name, rank, cat="sim"):
     """Context manager entering the profiler region and/or tracer span."""
     if profiler is None and tracer is None:
@@ -215,6 +230,11 @@ class Simulation:
     @property
     def time(self) -> float:
         return self.integrator.time
+
+    @property
+    def last_checkpoint(self) -> tuple[str, int] | None:
+        """``(path, step)`` of the last good checkpoint, if any."""
+        return self._last_checkpoint
 
     # ------------------------------------------------------------------
     def _hydro_advance(self, dt: float) -> None:
@@ -410,8 +430,28 @@ class Simulation:
         self.restart_from(path)
         self.step_reports = [r for r in self.step_reports if r.step <= step]
 
-    def run(self) -> RunReport:
-        """Run ``config.nsteps`` steps and assemble the report."""
+    def run(
+        self,
+        step_callback=None,
+        nsteps: int | None = None,
+    ) -> RunReport:
+        """Run ``config.nsteps`` steps and assemble the report.
+
+        Parameters
+        ----------
+        step_callback:
+            Optional ``callback(sim, step_report)`` invoked after every
+            completed step (post-checkpoint).  Raising
+            :class:`RunInterrupted` from it pauses the run at this step
+            boundary: a checkpoint is written (when the config names a
+            checkpoint path) and the partial report is returned with
+            ``interrupted`` set -- the serve subsystem's cancel/budget
+            hook.
+        nsteps:
+            Step budget for this run segment, overriding
+            ``config.nsteps`` (used when resuming a partially-run job
+            whose remaining step count differs from the config's).
+        """
         cfg = self.config
         rc = cfg.resilience
         label = (
@@ -419,17 +459,19 @@ class Simulation:
             f"{cfg.nprx1}x{cfg.nprx2}"
         )
         rollbacks = 0
+        interrupted: str | None = None
         # Anchor on the absolute step counter so a rollback (which
         # rewinds it) naturally re-runs the lost steps, while a
         # restarted simulation still advances nsteps further.
-        target_step = self.integrator.step_count + cfg.nsteps
+        segment = cfg.nsteps if nsteps is None else int(nsteps)
+        target_step = self.integrator.step_count + segment
         with perf_stat() as ps:
             if rc is not None and rc.max_rollbacks > 0 and cfg.checkpoint_interval > 0:
                 # Initial checkpoint so the first rollback has a target.
                 self._write_checkpoint(self.integrator.step_count)
             while self.integrator.step_count < target_step:
                 try:
-                    self.step()
+                    step_report = self.step()
                 except StepRetryExhaustedError as exc:
                     if rc is None or self._last_checkpoint is None:
                         raise
@@ -443,6 +485,18 @@ class Simulation:
                     self._rollback()
                     continue
                 self._maybe_checkpoint(self.integrator.step_count)
+                if step_callback is not None:
+                    try:
+                        step_callback(self, step_report)
+                    except RunInterrupted as exc:
+                        interrupted = exc.reason
+                        step_now = self.integrator.step_count
+                        if cfg.checkpoint_path and (
+                            self._last_checkpoint is None
+                            or self._last_checkpoint[1] != step_now
+                        ):
+                            self._write_checkpoint(step_now)
+                        break
         report = RunReport(
             config_label=label,
             problem_name=self.problem.name,
@@ -454,6 +508,7 @@ class Simulation:
             tracer=self.tracer,
             final_time=self.time,
             final_energy=self.integrator.total_energy(),
+            interrupted=interrupted,
         )
         report.counters.merge(self.counters)
         if self.comm is not None:

@@ -1,0 +1,594 @@
+"""Tests for repro.serve: budgets, lifecycle, dedup, quotas, protocol.
+
+The engine-level tests drive :class:`ServeEngine` directly under
+``asyncio.run`` (no pytest-asyncio dependency); the wire-level tests
+run a real :class:`JobServer` on an ephemeral port in a background
+thread and talk to it through :class:`ServeClient` -- the same path
+the CLI and the CI smoke job use.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import threading
+import time
+
+import pytest
+
+from repro.campaign.cache import ResultCache, job_key
+from repro.monitor.trace import get_metrics
+from repro.serve import (
+    AllOf,
+    AnyOf,
+    BudgetError,
+    InvalidRequest,
+    JobRequest,
+    JobServer,
+    MaxDuration,
+    MaxIter,
+    QuotaExceeded,
+    QuotaManager,
+    RateLimited,
+    RelError,
+    ServeClient,
+    ServeConfig,
+    ServeEngine,
+    TenantPolicy,
+    UnknownJob,
+    budget_from_dict,
+    criterion_from_dict,
+)
+from repro.serve.jobs import JobState
+
+# A small, fast config every test job shares (distinct tests vary a
+# field so their content keys don't collide through the shared tmpdir).
+BASE = {"nx1": 16, "nx2": 8, "nsteps": 3, "profile": False}
+
+
+def wire(config=None, **extra):
+    body = {"problem": "gaussian-pulse", "config": {**BASE, **(config or {})}}
+    body.update(extra)
+    return JobRequest.from_wire(body)
+
+
+@contextlib.contextmanager
+def engine_ctx(tmp_path, **kwargs):
+    """A started engine + its loop, torn down cleanly.
+
+    Yields a ``run(coro)`` helper so each test body reads linearly
+    while everything executes on one persistent event loop.
+    """
+    kwargs.setdefault("cache_dir", str(tmp_path / "cache"))
+    kwargs.setdefault("workdir", str(tmp_path / "work"))
+    engine = ServeEngine(**kwargs)
+    loop = asyncio.new_event_loop()
+    try:
+        loop.run_until_complete(engine.start())
+        yield engine, lambda coro: loop.run_until_complete(coro)
+    finally:
+        loop.run_until_complete(engine.stop())
+        loop.close()
+
+
+# ======================================================================
+# Stopping criteria
+# ======================================================================
+class TestStoppingCriteria:
+    def test_max_iter_fires_on_step_count(self):
+        crit = MaxIter(3)
+        assert not crit.stop({"step": 1})
+        assert not crit.stop({"step": 2})
+        assert crit.stop({"step": 3})
+        assert crit.reason() == "MaxIter(3)"
+
+    def test_max_iter_counts_own_calls_without_step(self):
+        crit = MaxIter(2)
+        assert not crit.stop({})
+        assert crit.stop({})
+
+    def test_max_iter_clear_resets(self):
+        crit = MaxIter(1)
+        assert crit.stop({})
+        crit.clear()
+        assert crit.reason() is None
+
+    def test_max_duration_clock_starts_at_first_check(self):
+        crit = MaxDuration(10.0)
+        time.sleep(0.01)  # construction-to-first-check delay must not count
+        assert not crit.stop({})
+        assert crit.elapsed() < 1.0
+
+    def test_max_duration_expires(self):
+        crit = MaxDuration(0.01)
+        assert not crit.stop({})
+        time.sleep(0.02)
+        assert crit.stop({})
+        assert "MaxDuration" in crit.reason()
+
+    def test_rel_error_settles(self):
+        crit = RelError(1e-3, var="energy")
+        assert not crit.stop({"energy": 1.0})       # first sample: no pair yet
+        assert not crit.stop({"energy": 0.5})       # big change
+        assert crit.stop({"energy": 0.5000001})     # settled
+        assert "RelError" in crit.reason()
+
+    def test_rel_error_patience(self):
+        crit = RelError(1e-3, patience=2)
+        crit.stop({"energy": 1.0})
+        assert not crit.stop({"energy": 1.0})       # settled x1
+        assert crit.stop({"energy": 1.0})           # settled x2
+
+    def test_rel_error_ignores_missing_and_nan(self):
+        crit = RelError(1e-3)
+        assert not crit.stop({})
+        assert not crit.stop({"energy": float("nan")})
+
+    def test_any_of_composition(self):
+        crit = MaxIter(100) | MaxDuration(0.001)
+        assert isinstance(crit, AnyOf)
+        time.sleep(0.002)
+        crit.stop({"step": 1})
+        time.sleep(0.005)
+        assert crit.stop({"step": 2})
+        assert "MaxDuration" in crit.reason()
+
+    def test_all_of_requires_every_member(self):
+        crit = MaxIter(1) & MaxIter(3)
+        assert isinstance(crit, AllOf)
+        assert not crit.stop({"step": 1})
+        assert not crit.stop({"step": 2})
+        assert crit.stop({"step": 3})
+
+    def test_wire_round_trip(self):
+        crit = (MaxIter(5) | MaxDuration(2.0)) & RelError(1e-6, var="time")
+        rebuilt = criterion_from_dict(crit.to_dict())
+        assert rebuilt.to_dict() == crit.to_dict()
+
+    def test_budget_shorthand(self):
+        crit = budget_from_dict({"max_steps": 4, "max_seconds": 9.0})
+        assert isinstance(crit, AnyOf)
+        kinds = {c.to_dict()["kind"] for c in crit.of}
+        assert kinds == {"max_iter", "max_duration"}
+
+    def test_budget_none_and_empty(self):
+        assert budget_from_dict(None) is None
+        assert budget_from_dict({}) is None
+
+    def test_budget_rejects_unknown_keys(self):
+        with pytest.raises(BudgetError, match="unknown budget keys"):
+            budget_from_dict({"max_stepz": 3})
+
+    def test_criterion_rejects_unknown_kind(self):
+        with pytest.raises(BudgetError, match="unknown criterion kind"):
+            criterion_from_dict({"kind": "wallclock"})
+
+    def test_invalid_parameters(self):
+        with pytest.raises(BudgetError):
+            MaxIter(0)
+        with pytest.raises(BudgetError):
+            MaxDuration(0.0)
+        with pytest.raises(BudgetError):
+            RelError(-1.0)
+
+
+# ======================================================================
+# Requests, keys, quotas
+# ======================================================================
+class TestRequestsAndQuotas:
+    def test_invalid_problem_is_typed(self):
+        with pytest.raises(InvalidRequest):
+            JobRequest.from_wire({"problem": "no-such-problem"})
+
+    def test_invalid_config_is_typed(self):
+        with pytest.raises(InvalidRequest, match="invalid config"):
+            JobRequest.from_wire({"config": {"nx1": -3}})
+        with pytest.raises(InvalidRequest, match="invalid config"):
+            JobRequest.from_wire({"config": {"not_a_field": 1}})
+
+    def test_invalid_budget_is_typed(self):
+        with pytest.raises(InvalidRequest, match="invalid budget"):
+            JobRequest.from_wire({"budget": {"max_steps": 0}})
+
+    def test_dedup_key_ignores_observability_fields(self):
+        base = wire()
+        traced = wire({"trace": True, "profile": True})
+        assert base.dedup_key() == traced.dedup_key()
+        other = wire({"nsteps": 4})
+        assert base.dedup_key() != other.dedup_key()
+
+    def test_public_job_key_canonicalizes(self):
+        # Omitted-default and explicit-default spellings hash equally.
+        assert job_key({"nx1": 16}, "gaussian-pulse") == job_key(
+            {"nx1": 16, "nx2": 32}, "gaussian-pulse"
+        )
+        assert job_key({"nx1": 16}, "gaussian-pulse") != job_key(
+            {"nx1": 17}, "gaussian-pulse"
+        )
+
+    def test_quota_exhaustion_is_typed(self):
+        quota = QuotaManager(TenantPolicy(max_active=2))
+        quota.admit("t")
+        quota.admit("t")
+        with pytest.raises(QuotaExceeded):
+            quota.admit("t")
+        quota.release("t")
+        quota.admit("t")  # slot freed -> admitted again
+
+    def test_quota_is_per_tenant(self):
+        quota = QuotaManager(TenantPolicy(max_active=1))
+        quota.admit("a")
+        quota.admit("b")  # different tenant, own quota
+        with pytest.raises(QuotaExceeded):
+            quota.admit("a")
+
+    def test_rate_limit_is_typed(self):
+        quota = QuotaManager(TenantPolicy(max_active=100, rate=0.001, burst=2))
+        quota.admit("t")
+        quota.admit("t")
+        with pytest.raises(RateLimited):
+            quota.admit("t")
+
+
+# ======================================================================
+# Engine behaviour
+# ======================================================================
+class TestEngine:
+    def test_duplicate_submits_race_one_key(self, tmp_path):
+        """N identical submissions execute the solver exactly once."""
+        with engine_ctx(tmp_path, workers=2) as (engine, run):
+            async def storm():
+                return await asyncio.gather(
+                    *[engine.submit(wire({"dt": 9e-4})) for _ in range(6)]
+                )
+
+            subs = run(storm())
+            assert len({s["id"] for s in subs}) == 1
+            assert sum(s["deduped"] for s in subs) == 5
+            out = run(engine.result(subs[0]["id"]))
+            assert out["state"] == JobState.DONE
+            assert engine.stats()["executed"] == 1
+
+    def test_cache_hit_completes_at_submit(self, tmp_path):
+        with engine_ctx(tmp_path, workers=1) as (engine, run):
+            first = run(engine.submit(wire({"dt": 8e-4})))
+            run(engine.result(first["id"]))
+            again = run(engine.submit(wire({"dt": 8e-4})))
+            assert again["cached"] and again["state"] == JobState.DONE
+            out = run(engine.result(again["id"]))
+            assert out["result"]["steps"] == BASE["nsteps"]
+            assert engine.stats()["executed"] == 1
+
+    def test_cache_survives_engine_restart(self, tmp_path):
+        with engine_ctx(tmp_path, workers=1) as (engine, run):
+            run(engine.result((run(engine.submit(wire({"dt": 7e-4}))))["id"]))
+        with engine_ctx(tmp_path, workers=1) as (engine, run):
+            again = run(engine.submit(wire({"dt": 7e-4})))
+            assert again["cached"]
+
+    def test_cancel_while_queued(self, tmp_path):
+        with engine_ctx(tmp_path, workers=1) as (engine, run):
+            async def body():
+                # A slow job occupies the single worker...
+                slow = await engine.submit(wire({"nsteps": 25, "dt": 6e-4}))
+                # ...so this one is still queued when we cancel it.
+                queued = await engine.submit(wire({"nsteps": 2, "dt": 5e-4}))
+                out = await engine.cancel(queued["id"])
+                assert out["state"] == JobState.CANCELLED
+                done = await engine.result(queued["id"])
+                assert done["state"] == JobState.CANCELLED
+                assert done["result"] is None
+                slow_out = await engine.result(slow["id"])
+                assert slow_out["state"] == JobState.DONE
+                return done
+
+            run(body())
+            assert engine.stats()["executed"] == 1  # cancelled job never ran
+
+    def test_cancel_mid_solve_is_resumable(self, tmp_path):
+        """Cancel between checkpoints, then resume from the checkpoint."""
+        nsteps = 40
+        with engine_ctx(tmp_path, workers=1) as (engine, run):
+            async def body():
+                sub = await engine.submit(wire({"nsteps": nsteps, "dt": 4e-4}))
+                job = engine.jobs[sub["id"]]
+                # Wait until the run is demonstrably mid-solve.
+                for _ in range(2000):
+                    if job.progress.get("step", 0) >= 2:
+                        break
+                    await asyncio.sleep(0.005)
+                else:
+                    pytest.fail("job never reported progress")
+                await engine.cancel(sub["id"])
+                out = await engine.result(sub["id"])
+                assert out["state"] == JobState.CANCELLED
+                assert out["partial"]
+                assert out["checkpoint"] is not None
+                done_steps = out["result"]["steps"]
+                assert 0 < done_steps < nsteps
+                assert out["checkpoint"]["step"] == done_steps
+
+                resumed = await engine.submit(
+                    wire({"nsteps": nsteps, "dt": 4e-4}, resume=sub["id"])
+                )
+                rout = await engine.result(resumed["id"])
+                assert rout["state"] == JobState.DONE
+                assert rout["resumed_from_step"] == done_steps
+                assert rout["result"]["steps"] == nsteps - done_steps
+
+            run(body())
+
+    def test_max_duration_expiry_mid_run(self, tmp_path):
+        with engine_ctx(tmp_path, workers=1) as (engine, run):
+            sub = run(engine.submit(
+                wire({"nsteps": 500, "dt": 3e-4}, budget={"max_seconds": 0.05})
+            ))
+            out = run(engine.result(sub["id"]))
+            assert out["state"] == JobState.DONE
+            assert out["partial"]
+            assert "MaxDuration" in out["stopped_by"]
+            assert 0 < out["result"]["steps"] < 500
+            assert out["checkpoint"] is not None  # budget stop is resumable
+
+    def test_max_steps_budget_then_resume(self, tmp_path):
+        with engine_ctx(tmp_path, workers=1) as (engine, run):
+            sub = run(engine.submit(
+                wire({"nsteps": 6, "dt": 2e-4}, budget={"max_steps": 2})
+            ))
+            out = run(engine.result(sub["id"]))
+            assert out["result"]["steps"] == 2
+            assert out["stopped_by"] == "MaxIter(2)"
+            resumed = run(engine.submit(
+                wire({"nsteps": 6, "dt": 2e-4}, resume=sub["id"])
+            ))
+            rout = run(engine.result(resumed["id"]))
+            assert rout["result"]["steps"] == 4
+            # Partial and resumed runs never pollute the content cache.
+            cache = ResultCache(str(tmp_path / "cache"))
+            assert cache.get(sub["key"]) is None
+
+    def test_quota_exhaustion_on_submit(self, tmp_path):
+        with engine_ctx(
+            tmp_path, workers=1, quota=TenantPolicy(max_active=1)
+        ) as (engine, run):
+            async def body():
+                first = await engine.submit(wire({"nsteps": 20, "dt": 1.5e-4}))
+                with pytest.raises(QuotaExceeded):
+                    await engine.submit(wire({"nsteps": 2, "dt": 1.2e-4}))
+                await engine.result(first["id"])
+                # Slot freed: the same submission is admitted now.
+                ok = await engine.submit(wire({"nsteps": 2, "dt": 1.2e-4}))
+                await engine.result(ok["id"])
+
+            run(body())
+
+    def test_dedup_and_cache_release_quota_slots(self, tmp_path):
+        with engine_ctx(
+            tmp_path, workers=2, quota=TenantPolicy(max_active=1)
+        ) as (engine, run):
+            async def body():
+                first = await engine.submit(wire({"nsteps": 15, "dt": 1.1e-4}))
+                # Identical request fans in without consuming the quota.
+                dup = await engine.submit(wire({"nsteps": 15, "dt": 1.1e-4}))
+                assert dup["deduped"]
+                await engine.result(first["id"])
+                # Cache hits don't consume the quota either.
+                hit = await engine.submit(wire({"nsteps": 15, "dt": 1.1e-4}))
+                assert hit["cached"]
+
+            run(body())
+
+    def test_unknown_job_is_typed(self, tmp_path):
+        with engine_ctx(tmp_path, workers=1) as (engine, run):
+            with pytest.raises(UnknownJob):
+                engine.status("j-999999")
+            with pytest.raises(UnknownJob):
+                run(engine.submit(wire(resume="j-999999")))
+
+    def test_resume_requires_checkpoint(self, tmp_path):
+        with engine_ctx(tmp_path, workers=1) as (engine, run):
+            sub = run(engine.submit(wire({"dt": 1.05e-4})))
+            run(engine.result(sub["id"]))
+            with pytest.raises(InvalidRequest, match="no checkpoint"):
+                run(engine.submit(wire({"dt": 1.05e-4}, resume=sub["id"])))
+
+    def test_priority_orders_queue(self, tmp_path):
+        with engine_ctx(tmp_path, workers=1) as (engine, run):
+            async def body():
+                blocker = await engine.submit(wire({"nsteps": 10, "dt": 1.06e-4}))
+                low = await engine.submit(
+                    wire({"nsteps": 1, "dt": 1.07e-4}, priority=0)
+                )
+                high = await engine.submit(
+                    wire({"nsteps": 1, "dt": 1.08e-4}, priority=5)
+                )
+                out_high = await engine.result(high["id"])
+                out_low = await engine.result(low["id"])
+                await engine.result(blocker["id"])
+                assert out_high["finished_at"] <= out_low["finished_at"]
+
+            run(body())
+
+    def test_metrics_registry_counters(self, tmp_path):
+        before = get_metrics().snapshot()
+        with engine_ctx(tmp_path, workers=1) as (engine, run):
+            sub = run(engine.submit(wire({"dt": 1.09e-4})))
+            run(engine.result(sub["id"]))
+            run(engine.submit(wire({"dt": 1.09e-4})))          # cache hit
+            async def dup_pair():
+                a = await engine.submit(wire({"nsteps": 8, "dt": 1.11e-4}))
+                b = await engine.submit(wire({"nsteps": 8, "dt": 1.11e-4}))
+                assert b["deduped"]
+                await engine.result(a["id"])
+
+            run(dup_pair())
+        after = get_metrics().snapshot()
+
+        def delta(name):
+            return after.get(name, 0) - before.get(name, 0)
+
+        assert delta("repro.serve.submitted") == 4
+        assert delta("repro.serve.cache_hits") == 1
+        assert delta("repro.serve.dedup_inflight") == 1
+        assert delta("repro.serve.executed") == 2
+        assert delta("repro.cache.hits") >= 1
+        assert delta("repro.cache.puts") == 2
+
+
+# ======================================================================
+# Wire protocol (real TCP server in a background thread)
+# ======================================================================
+@contextlib.contextmanager
+def server_ctx(tmp_path, **quota_kwargs):
+    cfg = ServeConfig(
+        port=0, workers=2,
+        cache_dir=str(tmp_path / "cache"),
+        workdir=str(tmp_path / "work"),
+        quota=TenantPolicy(**quota_kwargs) if quota_kwargs else TenantPolicy(),
+    )
+    server = JobServer(cfg)
+    ready = threading.Event()
+
+    def runner():
+        async def main():
+            await server.start()
+            ready.set()
+            await server.serve_until_shutdown()
+
+        asyncio.run(main())
+
+    thread = threading.Thread(target=runner, daemon=True)
+    thread.start()
+    assert ready.wait(15), "server failed to start"
+    try:
+        yield server
+    finally:
+        if thread.is_alive():
+            with contextlib.suppress(Exception):
+                with ServeClient(port=server.port, timeout=10) as client:
+                    client.shutdown()
+            thread.join(30)
+        assert not thread.is_alive(), "server thread failed to shut down"
+
+
+class TestWireProtocol:
+    def test_submit_result_round_trip(self, tmp_path):
+        with server_ctx(tmp_path) as server:
+            with ServeClient(port=server.port) as client:
+                assert client.ping()["pong"]
+                sub = client.submit(config={**BASE, "dt": 2.1e-4})
+                out = client.result(sub["id"])
+                assert out["state"] == "done"
+                assert out["result"]["steps"] == BASE["nsteps"]
+                assert out["result"]["converged"] is True
+
+    def test_dedup_and_cache_over_the_wire(self, tmp_path):
+        with server_ctx(tmp_path) as server:
+            with ServeClient(port=server.port) as c1, \
+                 ServeClient(port=server.port) as c2:
+                a = c1.submit(config={**BASE, "dt": 2.2e-4})
+                b = c2.submit(config={**BASE, "dt": 2.2e-4})
+                # Dedup spans connections (or the first already finished
+                # and the second is a cache hit -- either way, one solve).
+                assert b["deduped"] or b["cached"]
+                c1.result(a["id"])
+                hit = c1.submit(config={**BASE, "dt": 2.2e-4})
+                assert hit["cached"]
+                stats = c1.stats()
+                assert stats["executed"] == 1
+
+    def test_typed_errors_cross_the_wire(self, tmp_path):
+        with server_ctx(tmp_path, max_active=1) as server:
+            with ServeClient(port=server.port) as client:
+                with pytest.raises(UnknownJob):
+                    client.status("j-424242")
+                with pytest.raises(InvalidRequest):
+                    client.submit(config={"bogus_field": 1})
+                slow = client.submit(config={**BASE, "nsteps": 20, "dt": 2.3e-4})
+                with pytest.raises(QuotaExceeded):
+                    client.submit(config={**BASE, "dt": 2.4e-4})
+                client.result(slow["id"])
+
+    def test_malformed_line_gets_typed_error(self, tmp_path):
+        import json as _json
+        import socket
+
+        with server_ctx(tmp_path) as server:
+            with socket.create_connection(("127.0.0.1", server.port), 10) as s:
+                fh = s.makefile("rwb")
+                fh.write(b"this is not json\n")
+                fh.flush()
+                resp = _json.loads(fh.readline())
+                assert resp["ok"] is False
+                assert resp["error"]["type"] == "invalid-request"
+                # The connection survives a bad line.
+                fh.write(b'{"op": "ping"}\n')
+                fh.flush()
+                assert _json.loads(fh.readline())["ok"] is True
+
+    def test_watch_streams_progress_and_terminates(self, tmp_path):
+        with server_ctx(tmp_path) as server:
+            with ServeClient(port=server.port) as client:
+                sub = client.submit(config={**BASE, "nsteps": 4, "dt": 2.5e-4})
+                events = list(client.watch(sub["id"]))
+                kinds = [e["ev"] for e in events]
+                assert "progress" in kinds
+                assert events[-1]["ev"] == "state"
+                assert events[-1]["state"] in ("done", "failed", "cancelled")
+
+    def test_budget_and_resume_over_the_wire(self, tmp_path):
+        with server_ctx(tmp_path) as server:
+            with ServeClient(port=server.port) as client:
+                sub = client.submit(
+                    config={**BASE, "nsteps": 6, "dt": 2.6e-4},
+                    budget={"max_steps": 2},
+                )
+                out = client.result(sub["id"])
+                assert out["stopped_by"] == "MaxIter(2)"
+                resumed = client.submit(
+                    config={**BASE, "nsteps": 6, "dt": 2.6e-4},
+                    resume=sub["id"],
+                )
+                rout = client.result(resumed["id"])
+                assert rout["result"]["steps"] == 4
+
+    def test_list_and_clean_shutdown(self, tmp_path):
+        with server_ctx(tmp_path) as server:
+            with ServeClient(port=server.port) as client:
+                sub = client.submit(config={**BASE, "dt": 2.7e-4}, tenant="alice")
+                client.result(sub["id"])
+                jobs = client.list(tenant="alice")
+                assert [j["tenant"] for j in jobs] == ["alice"]
+                assert client.list(tenant="bob") == []
+            # server_ctx's exit path sends shutdown and asserts the
+            # thread actually terminated.
+
+
+# ======================================================================
+# Transport validation satellite
+# ======================================================================
+class TestTransportValidation:
+    def test_flag_rejects_unknown_transport_at_parse_time(self, capsys):
+        from repro.__main__ import main
+
+        with pytest.raises(SystemExit) as exc:
+            main(["run", "--transport", "bogus"])
+        assert exc.value.code == 2  # argparse usage error
+        err = capsys.readouterr().err
+        assert "bogus" in err and "threads" in err and "mp" in err
+
+    def test_env_var_rejected_with_helpful_message(self, monkeypatch):
+        from repro.__main__ import _resolve_transport
+
+        monkeypatch.setenv("REPRO_TRANSPORT", "carrier-pigeon")
+        with pytest.raises(SystemExit) as exc:
+            _resolve_transport(__import__("argparse").Namespace(transport=None))
+        message = str(exc.value)
+        assert "carrier-pigeon" in message
+        assert "threads" in message and "mp" in message
+        assert "REPRO_TRANSPORT" in message
+
+    def test_registered_transports_lists_registry(self):
+        from repro.parallel.links import registered_transports
+
+        assert registered_transports() == ["mp", "threads"]
