@@ -50,8 +50,8 @@ CFG = dict(
 )
 
 
-def make_sim(fused: bool) -> Simulation:
-    cfg = V2DConfig.scaled_test_problem(fused=fused, **CFG)
+def make_sim(fused: bool, backend: str = "vector") -> Simulation:
+    cfg = V2DConfig.scaled_test_problem(fused=fused, backend=backend, **CFG)
     return Simulation(cfg, GaussianPulseProblem())
 
 
@@ -202,3 +202,31 @@ class TestFusedBenchmark:
     def test_bench_unfused_app(self, benchmark):
         sim = make_sim(False)
         benchmark.pedantic(sim.run, rounds=1, iterations=1)
+
+    def test_bench_fused_app_jit(self, benchmark, bench_record):
+        # The jit row: the same solver-dominant fused run on the
+        # compiled tier, recorded beside the vector rows so the ledger
+        # carries the three-way comparison wherever numba is installed.
+        # A full warm-up run (not just one call) precedes the timed
+        # round so every kernel the app touches is compiled up front.
+        import pytest
+
+        pytest.importorskip("numba")
+        make_sim(True, backend="jit").run()
+        sim = make_sim(True, backend="jit")
+        benchmark.pedantic(sim.run, rounds=1, iterations=1)
+        solves = [s for rep in sim.step_reports for s in rep.solves]
+        assert all(s.converged for s in solves)
+        assert sim.counters.fused_ops > 0  # the capability gate held
+        bench_record.record(
+            "fused_app_jit",
+            {
+                "kernel_launches": (float(sim.counters.kernel_calls), "count"),
+                "fused_ops": (float(sim.counters.fused_ops), "count"),
+                "solver_iterations": (
+                    float(sum(s.iterations for s in solves)), "count",
+                ),
+            },
+            config={**CFG, "backend": "jit"},
+            backend="jit",
+        )

@@ -28,10 +28,13 @@ __version__ = "1.0.0"
 
 from repro.backend import (
     Backend,
+    JitBackend,
     ScalarBackend,
     VectorBackend,
     available_backends,
     get_backend,
+    numba_available,
+    set_default_backend,
     use_backend,
 )
 from repro.grid import Field, Mesh2D, Tile, TileDecomposition
@@ -44,8 +47,11 @@ __all__ = [
     "Backend",
     "ScalarBackend",
     "VectorBackend",
+    "JitBackend",
+    "numba_available",
     "get_backend",
     "use_backend",
+    "set_default_backend",
     "available_backends",
     "Mesh2D",
     "Field",

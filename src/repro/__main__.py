@@ -88,6 +88,31 @@ def _transport_name(value: str) -> str:
     return value
 
 
+def _backend_name(value: str) -> str:
+    """Validate ``--backend`` against the backend registry at parse time.
+
+    Registry-driven (not a hardcoded ``choices=``) so plugged-in
+    backends -- the optional ``jit`` tier today, a GPU tier tomorrow --
+    are accepted without CLI edits and the error names what exists.
+    """
+    from repro.backend import available_backends
+
+    if value not in available_backends():
+        raise argparse.ArgumentTypeError(
+            f"unknown backend {value!r}; registered backends: "
+            f"{', '.join(available_backends())}"
+        )
+    return value
+
+
+def _add_backend_flag(p: argparse.ArgumentParser, default: str = "vector") -> None:
+    p.add_argument("--backend", type=_backend_name, default=default,
+                   metavar="NAME",
+                   help="execution backend: vector (SVE analogue, default), "
+                        "scalar (no-SVE), or jit (compiled fused loops; "
+                        f"needs numba) [default: {default}]")
+
+
 def _add_transport_flag(p: argparse.ArgumentParser) -> None:
     p.add_argument("--transport", type=_transport_name, default=None,
                    metavar="NAME",
@@ -251,7 +276,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     common = dict(
         nx1=args.nx1, nx2=args.nx2, nsteps=args.nsteps, dt=args.dt,
         nprx1=args.nprx1, nprx2=args.nprx2, precond=args.precond,
-        solver_tol=args.tol, profile=False,
+        backend=args.backend, solver_tol=args.tol, profile=False,
         transport=_resolve_transport(args),
     )
 
@@ -410,7 +435,7 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--dt", type=float, default=2e-4)
     p.add_argument("--nprx1", type=int, default=1)
     p.add_argument("--nprx2", type=int, default=1)
-    p.add_argument("--backend", choices=("vector", "scalar"), default="vector")
+    _add_backend_flag(p)
     p.add_argument("--precond", choices=("spai", "jacobi", "none"), default="spai")
     p.add_argument("--classic", action="store_true",
                    help="textbook BiCGSTAB instead of ganged reductions")
@@ -437,7 +462,7 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--dt", type=float, default=2e-4)
     p.add_argument("--nprx1", type=int, default=1)
     p.add_argument("--nprx2", type=int, default=1)
-    p.add_argument("--backend", choices=("vector", "scalar"), default="vector")
+    _add_backend_flag(p)
     p.add_argument("--precond", choices=("spai", "jacobi", "none"), default="spai")
     p.add_argument("--tol", type=float, default=1e-10)
     p.add_argument("--output", default="trace.json",
@@ -456,6 +481,7 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--nprx2", type=int, default=1)
     p.add_argument("--precond", choices=("spai", "jacobi", "none"),
                    default="jacobi")
+    _add_backend_flag(p)
     p.add_argument("--tol", type=float, default=1e-10)
     p.add_argument("--error-margin", type=float, default=1e-3,
                    help="absolute slack allowed over the baseline error")
@@ -468,9 +494,7 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--reps", type=int, default=50)
     p.add_argument("--ranks", type=int, default=1,
                    help="run the driver on an SPMD job of this many ranks")
-    p.add_argument("--backend", choices=("vector", "scalar"),
-                   default="scalar",
-                   help="backend for the SPMD driver (--ranks > 1)")
+    _add_backend_flag(p, default="scalar")
     _add_transport_flag(p)
     p.set_defaults(fn=_cmd_driver)
 
@@ -484,7 +508,18 @@ def main(argv: list[str] | None = None) -> int:
     add_submit_parser(sub)
 
     args = parser.parse_args(argv)
-    return args.fn(args)
+    try:
+        return args.fn(args)
+    except KeyError as exc:
+        from repro.backend.jit import NUMBA_HINT
+
+        # The backend *name* validates at parse time; whether the jit
+        # tier can actually run is decided when the backend is built.
+        # Surface that one failure as a front-door message, not a
+        # traceback.
+        if exc.args and exc.args[0] == NUMBA_HINT:
+            raise SystemExit(f"repro: {NUMBA_HINT}") from None
+        raise
 
 
 if __name__ == "__main__":

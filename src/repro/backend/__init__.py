@@ -13,10 +13,15 @@ substitutes the same transformation one level up:
   -- the analogue of SVE codegen, including a configurable
   vector-length parameter (128-2048 bit, the Armv8-A VLA range) used
   for SIMD instruction accounting.
+* :class:`~repro.backend.jit.JitBackend` compiles the same loops with
+  Numba (optional dependency) -- the "perfect codegen" tier: fused
+  single-pass kernels free of interpreter and NumPy per-operator
+  overhead.
 
-Both backends produce *bit-identical results* for every primitive
-(asserted by the test suite); only their execution strategy differs,
-which is precisely the SVE-on/SVE-off contract.
+All backends produce *bit-identical results* for every elementwise and
+stencil primitive (asserted by the test suite); reductions agree up to
+summation order.  Only the execution strategy differs, which is
+precisely the SVE-on/SVE-off contract.
 """
 
 from repro.backend.base import Backend
@@ -27,8 +32,10 @@ from repro.backend.dispatch import (
     get_backend,
     native_fused_ops,
     register_backend,
+    set_default_backend,
     use_backend,
 )
+from repro.backend.jit import JitBackend, numba_available
 from repro.backend.scalar import ScalarBackend
 from repro.backend.vector import VectorBackend
 
@@ -36,10 +43,13 @@ __all__ = [
     "Backend",
     "ScalarBackend",
     "VectorBackend",
+    "JitBackend",
+    "numba_available",
     "get_backend",
     "register_backend",
     "available_backends",
     "default_backend",
+    "set_default_backend",
     "use_backend",
     "FUSED_PRIMITIVES",
     "native_fused_ops",

@@ -2,9 +2,21 @@
 
 V2D selects its code path at build time (compiler flags); we select at
 run time through a small registry.  ``get_backend("vector")`` is the
-SVE build, ``get_backend("scalar")`` the no-SVE build, and
-:func:`use_backend` scopes a process-wide default the way a benchmark
-harness rebuilds and reruns an executable.
+SVE build, ``get_backend("scalar")`` the no-SVE build and
+``get_backend("jit")`` the "perfect codegen" tier (compiled fused
+loops; requires the optional numba dependency).
+
+The ambient default is two-layered:
+
+* a **process-wide default** (:func:`set_default_backend`), visible
+  from every thread -- including worker threads spawned after it was
+  set, such as the serve subsystem's ThreadPoolExecutor pool;
+* a **per-thread override** (:func:`use_backend`), scoping a backend
+  to a ``with`` block on the current thread only, the way a benchmark
+  harness rebuilds and reruns an executable.
+
+:func:`default_backend` resolves the thread override first, then the
+process default.
 """
 
 from __future__ import annotations
@@ -48,14 +60,21 @@ def fault_wrapper() -> Callable[[Backend], Backend] | None:
 
 @contextmanager
 def faulty_backends(wrapper: Callable[[Backend], Backend]) -> Iterator[None]:
-    """Scope :func:`install_fault_wrapper` to a ``with`` block."""
+    """Scope :func:`install_fault_wrapper` to a ``with`` block.
+
+    Save-and-install happens in one critical section (and the restore
+    in another), so two nested or racing scopes can never observe --
+    and then restore -- each other's half-installed state.
+    """
+    global _fault_wrapper
     with _lock:
         previous = _fault_wrapper
-    install_fault_wrapper(wrapper)
+        _fault_wrapper = wrapper
     try:
         yield
     finally:
-        install_fault_wrapper(previous)
+        with _lock:
+            _fault_wrapper = previous
 
 
 def register_backend(name: str, factory: Callable[..., Backend]) -> None:
@@ -101,8 +120,17 @@ def get_backend(name: str | Backend, **kwargs: object) -> Backend:
     return backend
 
 
+def _make_jit_backend(**kwargs: object) -> Backend:
+    # Imported lazily so merely registering the name costs nothing; the
+    # constructor raises a KeyError-with-hint when numba is missing.
+    from repro.backend.jit import JitBackend
+
+    return JitBackend(**kwargs)  # type: ignore[arg-type]
+
+
 register_backend("scalar", ScalarBackend)
 register_backend("vector", VectorBackend)
+register_backend("jit", _make_jit_backend)
 
 #: Fused hot-path operations a backend may override with single-pass code.
 FUSED_PRIMITIVES: tuple[str, ...] = ("axpy_dot", "dscal_dot", "stencil_apply_dots")
@@ -113,10 +141,11 @@ def native_fused_ops(backend: Backend) -> tuple[str, ...]:
 
     A fused op counts as native when the backend's class overrides the
     base-class default (which is the unfused composition).  The scalar
-    backend fuses in-loop; the vector backend inherits the defaults
-    because whole-array NumPy cannot express register-level fusion --
-    there, fusion materializes as workspace reuse and batched
-    reductions instead.
+    and jit backends fuse in-loop (the jit tier at compiled register
+    level); the vector backend inherits the defaults because
+    whole-array NumPy cannot express register-level fusion -- there,
+    fusion materializes as workspace reuse and batched reductions
+    instead.
     """
     cls = type(backend)
     return tuple(
@@ -125,16 +154,46 @@ def native_fused_ops(backend: Backend) -> tuple[str, ...]:
         if getattr(cls, name) is not getattr(Backend, name)
     )
 
-_default = threading.local()
+#: Process-wide ambient default, shared by every thread (lock-guarded;
+#: lazily a :class:`VectorBackend`, which is stateless and thread-safe).
+_process_default: Backend | None = None
+
+#: Per-thread override scoped by :func:`use_backend`; wins over the
+#: process default on the thread that set it, invisible elsewhere.
+_thread = threading.local()
 
 
 def default_backend() -> Backend:
-    """The ambient backend (vector/SVE unless overridden)."""
-    bk = getattr(_default, "backend", None)
-    if bk is None:
-        bk = VectorBackend()
-        _default.backend = bk
-    return bk
+    """The ambient backend: this thread's :func:`use_backend` override
+    if one is active, else the process-wide default (vector/SVE unless
+    :func:`set_default_backend` changed it)."""
+    override = getattr(_thread, "backend", None)
+    if override is not None:
+        return override
+    global _process_default
+    with _lock:
+        if _process_default is None:
+            _process_default = VectorBackend()
+        return _process_default
+
+
+def set_default_backend(
+    name: str | Backend | None, **kwargs: object
+) -> Backend | None:
+    """Set the process-wide default backend, visible from every thread.
+
+    This is the knob for whole-process reconfiguration -- e.g. a serve
+    deployment pinning its worker pool to one backend tier -- where
+    :func:`use_backend`'s thread-scoped override would be invisible to
+    worker threads.  Passing ``None`` restores the built-in default
+    (a fresh vector backend on next use).  Returns the installed
+    backend (``None`` when resetting).
+    """
+    global _process_default
+    new = None if name is None else get_backend(name, **kwargs)
+    with _lock:
+        _process_default = new
+    return new
 
 
 @contextmanager
@@ -143,11 +202,20 @@ def use_backend(name: str | Backend, **kwargs: object) -> Iterator[Backend]:
 
         with use_backend("scalar"):
             run_driver()          # everything executes unvectorized
+
+    Nested scopes restore the enclosing override on exit; the
+    outermost scope removes the override entirely, so the thread falls
+    back to the process-wide default rather than pinning a stale
+    ``None``/backend snapshot taken at entry.
     """
     new = get_backend(name, **kwargs)
-    old = getattr(_default, "backend", None)
-    _default.backend = new
+    had_override = hasattr(_thread, "backend")
+    old = getattr(_thread, "backend", None)
+    _thread.backend = new
     try:
         yield new
     finally:
-        _default.backend = old
+        if had_override:
+            _thread.backend = old
+        else:
+            del _thread.backend

@@ -1,0 +1,536 @@
+"""JIT-compiled backend: the "perfect codegen" tier.
+
+The paper's two build configurations (no-SVE scalar code vs SVE packed
+doubles) bound what the *compiler* made of the Table-II loops.  This
+backend asks the follow-up question -- what if codegen were perfect? --
+by handing the very same element loops to Numba's ``@njit``: compiled,
+fused at register level, free of both interpreter overhead and NumPy's
+one-pass-per-operator structure.  It follows pyxu's pattern of
+Numba-compiled stencils behind a uniform operator API.
+
+Numba is a **soft optional dependency**:
+
+* with numba installed, every kernel lazily compiles on first use
+  (``fastmath=False`` throughout -- see below) and is cached for the
+  process lifetime;
+* without numba, ``get_backend("jit")`` raises a ``KeyError`` with an
+  installation hint, and the rest of the registry is untouched, so the
+  stdlib+numpy baseline never notices the tier exists;
+* ``JitBackend(force_python=True)`` runs the *same kernel functions*
+  uncompiled -- a test-only mode that lets the numerical contracts
+  below be asserted on numba-less machines (it is pure-Python slow and
+  never selected by the registry factory).
+
+Numerical contracts (pinned by ``tests/test_jit.py``):
+
+* **Elementwise and stencil primitives are bitwise identical** to both
+  the scalar and vector backends: same per-element operations in the
+  same association, and ``fastmath=False`` forbids LLVM from
+  reassociating or contracting them.
+* **Reductions accumulate sequentially left-to-right** -- bitwise
+  identical to the scalar backend, and equal to the vector backend's
+  pairwise NumPy sums only to reassociation error (exactly the
+  scalar-vs-vector contract).
+* **Fused ops are bitwise identical to their unfused composition**
+  within this backend: the in-loop accumulations consume the freshly
+  computed element "from the register", and in IEEE double precision a
+  stored value re-read equals the register value, so fusing cannot
+  change a single bit.
+
+``parallel=True`` (with ``prange``) is used only where iterations are
+independent -- the elementwise updates and the stencil rows.  Every
+accumulating kernel compiles sequentially: a parallel reduction would
+reassociate partial sums nondeterministically, trading the bitwise
+contracts for a speedup the Table-II kernels do not need at L1-resident
+sizes.  ``fastmath`` stays off for the same reason (DESIGN section 15).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.backend.base import Array, Backend
+
+__all__ = ["JitBackend", "numba_available", "NUMBA_HINT"]
+
+#: The KeyError payload when the tier is requested without numba.
+NUMBA_HINT = (
+    "backend 'jit' requires the optional numba dependency "
+    "(pip install numba); use 'vector' or 'scalar' instead"
+)
+
+try:  # soft dependency: resolved once at import, never a hard failure
+    from numba import njit, prange
+
+    _HAVE_NUMBA = True
+except ImportError:  # pragma: no cover - exercised on numba-less CI legs
+    njit = None
+    prange = range  # the kernels below stay runnable in pure Python
+    _HAVE_NUMBA = False
+
+
+def numba_available() -> bool:
+    """True when the optional numba dependency is importable."""
+    return _HAVE_NUMBA
+
+
+# ----------------------------------------------------------------------
+# Kernel bodies.  Plain module-level functions: compiled via njit when
+# numba is present, run as-is under ``force_python=True``.  All loops
+# are written exactly as the scalar backend walks its operands, so the
+# per-element association (and hence the bitwise contract) is shared.
+# ----------------------------------------------------------------------
+def _k_dot(x, y):
+    acc = 0.0
+    for i in range(x.shape[0]):
+        acc += x[i] * y[i]
+    return acc
+
+
+def _k_axpy(a, x, y, out):
+    for i in prange(x.shape[0]):
+        out[i] = a * x[i] + y[i]
+
+
+def _k_dscal(c, d, y, out):
+    for i in prange(c.shape[0]):
+        out[i] = c[i] - d * y[i]
+
+
+def _k_ddaxpy(a, x, b, y, z, out):
+    for i in prange(x.shape[0]):
+        out[i] = a * x[i] + b * y[i] + z[i]
+
+
+def _k_scale(alpha, x, out):
+    for i in prange(x.shape[0]):
+        out[i] = alpha * x[i]
+
+
+def _k_copy(x, out):
+    for i in prange(x.shape[0]):
+        out[i] = x[i]
+
+
+def _k_fill(x, value):
+    for i in prange(x.shape[0]):
+        x[i] = value
+
+
+def _k_add(x, y, out):
+    for i in prange(x.shape[0]):
+        out[i] = x[i] + y[i]
+
+
+def _k_sub(x, y, out):
+    for i in prange(x.shape[0]):
+        out[i] = x[i] - y[i]
+
+
+def _k_mul(x, y, out):
+    for i in prange(x.shape[0]):
+        out[i] = x[i] * y[i]
+
+
+def _k_stencil(diag, west, east, south, north, x, out):
+    n1, n2 = diag.shape
+    for i in prange(n1):
+        for j in range(n2):
+            out[i, j] = (
+                diag[i, j] * x[i + 1, j + 1]
+                + west[i, j] * x[i, j + 1]
+                + east[i, j] * x[i + 2, j + 1]
+                + south[i, j] * x[i + 1, j]
+                + north[i, j] * x[i + 1, j + 2]
+            )
+
+
+def _k_banded_band(band, x, out, off):
+    # One band's contribution; bands accumulate in offset order, the
+    # same left-to-right association as the scalar and vector backends.
+    n = x.shape[0]
+    if off >= 0:
+        hi = n - off
+        for i in prange(hi):
+            out[i] += band[i] * x[i + off]
+    else:
+        lo = -off
+        for i in prange(n - lo):
+            out[lo + i] += band[lo + i] * x[i]
+
+
+# Fused kernels: the dot accumulation rides inside the loop producing
+# the output element.  Sequential on purpose (see module docstring).
+def _k_axpy_dot(a, x, y, out):
+    acc = 0.0
+    for i in range(x.shape[0]):
+        v = a * x[i] + y[i]
+        out[i] = v
+        acc += v * v
+    return acc
+
+
+def _k_axpy_dot_w(a, x, y, w, out):
+    acc = 0.0
+    for i in range(x.shape[0]):
+        v = a * x[i] + y[i]
+        out[i] = v
+        acc += v * w[i]
+    return acc
+
+
+def _k_dscal_dot(c, d, y, out):
+    acc = 0.0
+    for i in range(c.shape[0]):
+        v = c[i] - d * y[i]
+        out[i] = v
+        acc += v * v
+    return acc
+
+
+def _k_dscal_dot_w(c, d, y, w, out):
+    acc = 0.0
+    for i in range(c.shape[0]):
+        v = c[i] - d * y[i]
+        out[i] = v
+        acc += v * w[i]
+    return acc
+
+
+def _k_stencil_dots(diag, west, east, south, north, x, modes, ws, out, accs):
+    # Row-major sweep with all result-dependent accumulations riding in
+    # the element loop; ``modes[k]`` selects the dot form (0: <v, v>,
+    # 1: <v, ws[k]>).  The flattened order equals the sequential
+    # ``_k_dot`` order over the stored result, so each accumulator is
+    # bitwise identical to the unfused composition.
+    n1, n2 = diag.shape
+    nk = modes.shape[0]
+    for i in range(n1):
+        for j in range(n2):
+            v = (
+                diag[i, j] * x[i + 1, j + 1]
+                + west[i, j] * x[i, j + 1]
+                + east[i, j] * x[i + 2, j + 1]
+                + south[i, j] * x[i + 1, j]
+                + north[i, j] * x[i + 1, j + 2]
+            )
+            out[i, j] = v
+            for k in range(nk):
+                if modes[k] == 0:
+                    accs[k] += v * v
+                else:
+                    accs[k] += v * ws[k, i, j]
+
+
+#: Kernel name -> (python body, compile with parallel=True).  The
+#: accumulating kernels stay sequential for bitwise determinism.
+_KERNELS: dict[str, tuple[Callable, bool]] = {
+    "dot": (_k_dot, False),
+    "axpy": (_k_axpy, True),
+    "dscal": (_k_dscal, True),
+    "ddaxpy": (_k_ddaxpy, True),
+    "scale": (_k_scale, True),
+    "copy": (_k_copy, True),
+    "fill": (_k_fill, True),
+    "add": (_k_add, True),
+    "sub": (_k_sub, True),
+    "mul": (_k_mul, True),
+    "stencil": (_k_stencil, True),
+    "banded_band": (_k_banded_band, True),
+    "axpy_dot": (_k_axpy_dot, False),
+    "axpy_dot_w": (_k_axpy_dot_w, False),
+    "dscal_dot": (_k_dscal_dot, False),
+    "dscal_dot_w": (_k_dscal_dot_w, False),
+    "stencil_dots": (_k_stencil_dots, False),
+}
+
+#: Process-lifetime cache of compiled dispatchers (compile once, reuse
+#: across every JitBackend instance; the harness's warm-up pass is what
+#: keeps the first-call compilation out of timed windows).
+_COMPILED: dict[str, Callable] = {}
+
+
+def _compiled(name: str) -> Callable:
+    fn = _COMPILED.get(name)
+    if fn is None:
+        body, parallel = _KERNELS[name]
+        # fastmath stays False: reassociation/contraction would break
+        # the bitwise contracts shared with the scalar/vector tiers.
+        fn = njit(parallel=parallel, fastmath=False)(body)
+        _COMPILED[name] = fn
+    return fn
+
+
+class JitBackend(Backend):
+    """Compiled fused-loop execution (numba ``@njit``).
+
+    Parameters
+    ----------
+    vector_bits:
+        SIMD accounting width, as for the vector backend (the compiled
+        loops model the same packed-double execution; A64FX: 512).
+    force_python:
+        Run the kernel bodies uncompiled (test-only; lets numba-less
+        environments assert the numerical contracts).  The registry
+        factory never sets this.
+    """
+
+    name = "jit"
+    vectorized = True
+
+    def __init__(self, vector_bits: int = 512, force_python: bool = False) -> None:
+        if not force_python and not _HAVE_NUMBA:
+            raise KeyError(NUMBA_HINT)
+        if vector_bits % 128 != 0 or not 128 <= vector_bits <= 2048:
+            raise ValueError(
+                "SVE vector length must be a multiple of 128 in [128, 2048], "
+                f"got {vector_bits}"
+            )
+        super().__init__(vector_bits=vector_bits)
+        self.force_python = bool(force_python)
+
+    def _k(self, name: str) -> Callable:
+        if self.force_python:
+            return _KERNELS[name][0]
+        return _compiled(name)
+
+    # -- reductions -----------------------------------------------------
+    # Sequential left-to-right accumulation: bitwise identical to the
+    # scalar backend, and to this backend's own fused accumulators.
+    def dot(self, x: Array, y: Array) -> float:
+        self._check_same_shape(x, y)
+        return float(self._k("dot")(x.ravel(), y.ravel()))
+
+    def multi_dot(self, pairs: Sequence[tuple[Array, Array]]) -> Array:
+        if not pairs:
+            return np.zeros(0)
+        n = pairs[0][0].size
+        dot = self._k("dot")
+        out = np.empty(len(pairs))
+        for k, (x, y) in enumerate(pairs):
+            self._check_same_shape(x, y)
+            if x.size != n:
+                raise ValueError("ganged dot products require equal-length operands")
+            out[k] = dot(x.ravel(), y.ravel())
+        return out
+
+    def norm2(self, x: Array) -> float:
+        xf = x.ravel()
+        return float(np.sqrt(self._k("dot")(xf, xf)))
+
+    # -- BLAS-1 updates --------------------------------------------------
+    # Element loops read every operand at index i before writing out[i],
+    # so aliased ``out`` is naturally safe and ``work`` is never needed
+    # (accepted for signature compatibility, as in the scalar backend).
+    def axpy(
+        self,
+        a: float,
+        x: Array,
+        y: Array,
+        out: Array | None = None,
+        work: Array | None = None,
+    ) -> Array:
+        self._check_same_shape(x, y)
+        out = self._out_like(x, out)
+        self._k("axpy")(a, x.ravel(), y.ravel(), out.ravel())
+        return out
+
+    def dscal(
+        self,
+        c: Array,
+        d: float,
+        y: Array,
+        out: Array | None = None,
+        work: Array | None = None,
+    ) -> Array:
+        self._check_same_shape(c, y)
+        out = self._out_like(c, out)
+        self._k("dscal")(c.ravel(), d, y.ravel(), out.ravel())
+        return out
+
+    def ddaxpy(
+        self,
+        a: float,
+        x: Array,
+        b: float,
+        y: Array,
+        z: Array,
+        out: Array | None = None,
+        work: Array | None = None,
+    ) -> Array:
+        self._check_same_shape(x, y, z)
+        out = self._out_like(x, out)
+        self._k("ddaxpy")(a, x.ravel(), b, y.ravel(), z.ravel(), out.ravel())
+        return out
+
+    def scale(self, alpha: float, x: Array, out: Array | None = None) -> Array:
+        out = self._out_like(x, out)
+        self._k("scale")(alpha, x.ravel(), out.ravel())
+        return out
+
+    def copy(self, x: Array, out: Array | None = None) -> Array:
+        out = self._out_like(x, out)
+        self._k("copy")(x.ravel(), out.ravel())
+        return out
+
+    def fill(self, x: Array, value: float) -> Array:
+        self._k("fill")(x.ravel(), value)
+        return x
+
+    def add(self, x: Array, y: Array, out: Array | None = None) -> Array:
+        self._check_same_shape(x, y)
+        out = self._out_like(x, out)
+        self._k("add")(x.ravel(), y.ravel(), out.ravel())
+        return out
+
+    def sub(self, x: Array, y: Array, out: Array | None = None) -> Array:
+        self._check_same_shape(x, y)
+        out = self._out_like(x, out)
+        self._k("sub")(x.ravel(), y.ravel(), out.ravel())
+        return out
+
+    def mul(self, x: Array, y: Array, out: Array | None = None) -> Array:
+        self._check_same_shape(x, y)
+        out = self._out_like(x, out)
+        self._k("mul")(x.ravel(), y.ravel(), out.ravel())
+        return out
+
+    # -- matrix-free operators --------------------------------------------
+    def stencil_apply(
+        self,
+        diag: Array,
+        west: Array,
+        east: Array,
+        south: Array,
+        north: Array,
+        x: Array,
+        out: Array | None = None,
+        work: Array | None = None,
+    ) -> Array:
+        self._check_same_shape(diag, west, east, south, north)
+        n1, n2 = diag.shape
+        if x.shape != (n1 + 2, n2 + 2):
+            raise ValueError(
+                f"ghost-padded field must be {(n1 + 2, n2 + 2)}, got {x.shape}"
+            )
+        out = self._out_like(diag, out)
+        self._k("stencil")(diag, west, east, south, north, x, out)
+        return out
+
+    def banded_matvec(
+        self,
+        offsets: Sequence[int],
+        bands: Sequence[Array],
+        x: Array,
+        out: Array | None = None,
+    ) -> Array:
+        if len(offsets) != len(bands):
+            raise ValueError("offsets and bands must pair up")
+        if out is x:
+            raise ValueError("banded_matvec cannot write its result over x")
+        out = self._out_like(x, out)
+        self._k("fill")(out, 0.0)
+        band_kernel = self._k("banded_band")
+        for off, band in zip(offsets, bands):
+            band_kernel(band, x, out, int(off))
+        return out
+
+    # -- fused operations --------------------------------------------------
+    # True single-pass compiled loops: the dot accumulations consume the
+    # freshly computed element before it leaves the register.  Bitwise
+    # identical to the unfused composition within this backend (stored
+    # float64 == register float64; same sequential order).
+    def axpy_dot(
+        self,
+        a: float,
+        x: Array,
+        y: Array,
+        w: Array | None = None,
+        out: Array | None = None,
+        work: Array | None = None,
+    ) -> tuple[Array, float]:
+        self._check_same_shape(x, y)
+        if w is not None:
+            self._check_same_shape(x, w)
+        out = self._out_like(x, out)
+        if w is None:
+            acc = self._k("axpy_dot")(a, x.ravel(), y.ravel(), out.ravel())
+        else:
+            acc = self._k("axpy_dot_w")(
+                a, x.ravel(), y.ravel(), w.ravel(), out.ravel()
+            )
+        return out, float(acc)
+
+    def dscal_dot(
+        self,
+        c: Array,
+        d: float,
+        y: Array,
+        w: Array | None = None,
+        out: Array | None = None,
+        work: Array | None = None,
+    ) -> tuple[Array, float]:
+        self._check_same_shape(c, y)
+        if w is not None:
+            self._check_same_shape(c, w)
+        out = self._out_like(c, out)
+        if w is None:
+            acc = self._k("dscal_dot")(c.ravel(), d, y.ravel(), out.ravel())
+        else:
+            acc = self._k("dscal_dot_w")(
+                c.ravel(), d, y.ravel(), w.ravel(), out.ravel()
+            )
+        return out, float(acc)
+
+    def stencil_apply_dots(
+        self,
+        diag: Array,
+        west: Array,
+        east: Array,
+        south: Array,
+        north: Array,
+        x: Array,
+        dots: Sequence[object],
+        out: Array | None = None,
+    ) -> tuple[Array, Array]:
+        self._check_same_shape(diag, west, east, south, north)
+        n1, n2 = diag.shape
+        if x.shape != (n1 + 2, n2 + 2):
+            raise ValueError(
+                f"ghost-padded field must be {(n1 + 2, n2 + 2)}, got {x.shape}"
+            )
+        out = self._out_like(diag, out)
+        specs = list(dots)
+        # Result-dependent specs (None -> <out, out>, array w ->
+        # <out, w>) ride the fused sweep; independent (a, b) pairs gain
+        # nothing from it (their operands are unrelated streams) and go
+        # through the same sequential dot kernel afterwards -- the
+        # composition order is per-spec, so values stay bitwise equal
+        # to unfused whichever path each spec takes.
+        riding = [
+            (k, spec) for k, spec in enumerate(specs)
+            if not isinstance(spec, tuple)
+        ]
+        modes = np.array(
+            [0 if spec is None else 1 for _, spec in riding], dtype=np.int64
+        )
+        ws = np.zeros((len(riding), n1, n2)) if riding else np.zeros((0, n1, n2))
+        for slot, (_, spec) in enumerate(riding):
+            if spec is not None:
+                ws[slot] = spec  # type: ignore[assignment]
+        accs = np.zeros(len(riding))
+        self._k("stencil_dots")(
+            diag, west, east, south, north, x, modes, ws, out, accs
+        )
+        values = np.empty(len(specs))
+        for slot, (k, _) in enumerate(riding):
+            values[k] = accs[slot]
+        dot = self._k("dot")
+        for k, spec in enumerate(specs):
+            if isinstance(spec, tuple):
+                a, b = spec
+                self._check_same_shape(a, b)
+                values[k] = dot(a.ravel(), b.ravel())
+        return out, values

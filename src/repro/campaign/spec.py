@@ -24,7 +24,7 @@ Spec files are TOML or JSON with up to four sections::
 
     [axes]                          # grid mode: cartesian product
     topology = [[1, 1], [10, 1]]    # special axis -> (nprx1, nprx2)
-    backend = ["vector", "scalar"]
+    backend = ["vector", "scalar"]  # add "jit" where numba is installed
 
     [[jobs]]                        # list mode: explicit entries,
     nprx1 = 2                       # each merged over [base]

@@ -125,6 +125,12 @@ class KernelDriver:
         offsets = list(self._offsets)
 
         def timed(name: str, fn) -> None:
+            # One untimed warm-up before the counter snapshot and the
+            # clocks: first-call costs (the jit tier's numba
+            # compilation, cold caches) must never land in a timed
+            # window, and snapshotting *after* the warm-up keeps the
+            # recorded event counts exactly reps x per-call counts.
+            fn()
             before = counters.snapshot()
             ct, wt = CpuTimer(), WallTimer()
             ct.start()

@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.backend.base import Array, Backend
+from repro.backend.dispatch import native_fused_ops
 from repro.kernels.suite import KernelSuite
 
 
@@ -210,11 +211,14 @@ class MultiSpeciesStencil:
             raise ValueError(f"out shape {out.shape} != {(ns, n1, n2)}")
 
         bk = self.backend
-        if not bk.vectorized and ns == 1:
-            # Single species: hand the whole sweep to the scalar
-            # backend's in-loop fusion.  Its row-major accumulation
-            # order equals the flattened order of the unfused
-            # multi_dot, so the values are bit-identical.
+        if ns == 1 and "stencil_apply_dots" in native_fused_ops(bk):
+            # Single species on a backend with native in-loop fusion
+            # (scalar's element loop, jit's compiled sweep): hand it
+            # the whole sweep.  The gate is capability-based rather
+            # than ``not bk.vectorized`` so the jit tier's fused kernel
+            # is actually exercised.  Row-major accumulation order
+            # equals the flattened order of the unfused multi_dot, so
+            # the values are bit-identical.
             specs = []
             for spec in dots:
                 if spec is None:

@@ -36,6 +36,19 @@ DEFAULT_BASELINES = "benchmarks/baselines"
 SMOKE_SUITE = "smoke"
 
 
+def _smoke_backends() -> tuple[str, ...]:
+    """Backends the smoke suite measures: the two compiler builds, plus
+    the jit tier whenever its optional numba dependency is present.
+
+    The roofline report is then three-way scalar/vector/jit; on a
+    numba-less machine it degrades to the classic two-way table
+    instead of failing.
+    """
+    from repro.backend import numba_available
+
+    return ("scalar", "vector") + (("jit",) if numba_available() else ())
+
+
 # ----------------------------------------------------------------------
 # Smoke measurements (shared by ``run`` and ``report``)
 # ----------------------------------------------------------------------
@@ -129,13 +142,13 @@ def cmd_run(args: argparse.Namespace) -> int:
     harness = Harness(SMOKE_SUITE, ledger=ledger)
     if args.time_scale != 1.0:
         print(f"(debug: scaling recorded times by {args.time_scale}x)")
-    for backend in ("scalar", "vector"):
+    for backend in _smoke_backends():
         result, rows = _run_driver(args.n, args.reps, backend)
         _record_driver(harness, result, rows, time_scale=args.time_scale)
         print(f"driver[{backend}]: {len(rows)} routines recorded "
               f"(n={args.n}, reps={args.reps})")
     if not args.no_app:
-        for backend in ("scalar", "vector"):
+        for backend in _smoke_backends():
             cfg, report = _run_app(args.nx, args.nsteps, backend)
             _record_app(harness, cfg, report, time_scale=args.time_scale)
             print(f"app[{backend}]: solve recorded "
@@ -149,7 +162,7 @@ def cmd_report(args: argparse.Namespace) -> int:
     from repro.perf.efficiency import app_efficiency, efficiency_table
 
     rows = []
-    for backend in ("scalar", "vector"):
+    for backend in _smoke_backends():
         _, backend_rows = _run_driver(args.n, args.reps, backend)
         rows.extend(backend_rows)
     print(efficiency_table(
@@ -158,7 +171,7 @@ def cmd_report(args: argparse.Namespace) -> int:
     ))
     print()
     app_rows = []
-    for backend in ("scalar", "vector"):
+    for backend in _smoke_backends():
         cfg, report = _run_app(args.nx, args.nsteps, backend)
         app_rows.extend(app_efficiency(
             [report], {0: cfg.nunknowns}, backend=backend,
@@ -289,7 +302,7 @@ def add_perf_parser(sub: argparse._SubParsersAction) -> None:
 
     vp = verbs.add_parser(
         "report",
-        help="roofline-efficiency attribution, scalar vs vector",
+        help="roofline-efficiency attribution, scalar vs vector (vs jit\n when numba is installed)",
     )
     sizes(vp)
     common(vp)

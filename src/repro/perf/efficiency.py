@@ -90,7 +90,9 @@ def driver_efficiency(
     """
     machine = machine or A64FX()
     roofline = RooflineModel(machine)
-    vectorized = result.backend == "vector"
+    # Every non-scalar tier (vector's whole-array NumPy, jit's compiled
+    # loops) models packed-double execution against the SIMD roof.
+    vectorized = result.backend != "scalar"
     rows: list[KernelEfficiency] = []
     for routine in routines:
         ev = result.counters[routine]
@@ -157,7 +159,7 @@ def app_efficiency(
             continue
         rank = getattr(rep, "rank", 0)
         nunk = int(nunknowns_by_rank[rank])
-        vectorized = backend == "vector"
+        vectorized = backend != "scalar"
         spans = span_seconds(tracer.summary())
         # one double-precision field per stencil operand stream
         residence = machine.working_set_level(nunk * 8)

@@ -144,7 +144,11 @@ class Harness:
         """
         if repeats < 1:
             raise ValueError("repeats must be >= 1")
-        for _ in range(max(0, warmup)):
+        # Compile-time exclusion policy (DESIGN section 15): at least
+        # one warmup pass always runs, so first-call costs -- the jit
+        # backend's numba compilation above all -- can never leak into
+        # a timed sample whatever ``warmup`` a bench module asked for.
+        for _ in range(max(1, warmup)):
             fn()
         walls: list[float] = []
         cpus: list[float] = []

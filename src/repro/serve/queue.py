@@ -207,11 +207,21 @@ class ServeEngine:
             )
         job = self._new_job(key, request)
         if resume_payload is not None:
+            # The consumed budget travels outside the worker payload:
+            # it charges the criterion object here, at admission.
+            carried = resume_payload.pop("budget_elapsed", 0.0)
             job.resumed_from_step = resume_payload["resume_step"]
             job.checkpoint = {
                 "path": resume_payload["resume_path"],
                 "step": resume_payload["resume_step"],
             }
+            if carried > 0:
+                # Keep the carry on the new job's checkpoint too, so a
+                # chain resumed off a queued-then-cancelled job still
+                # inherits the consumed clock.
+                job.checkpoint["budget_elapsed"] = carried
+                if request.budget is not None:
+                    request.budget.preload_elapsed(carried)
             self._resume_info[job.id] = resume_payload
         else:
             # Resumed runs produce partial-provenance results, so they
@@ -246,6 +256,10 @@ class ServeEngine:
         return {
             "resume_path": prior.checkpoint["path"],
             "resume_step": int(prior.checkpoint["step"]),
+            # Wall-clock budget the prior segments already consumed;
+            # preloaded into the new request's budget so cancel ->
+            # resume loops cannot mint fresh MaxDuration clock.
+            "budget_elapsed": float(prior.checkpoint.get("budget_elapsed", 0.0)),
         }
 
     # ------------------------------------------------------------------
@@ -319,6 +333,13 @@ class ServeEngine:
         job.partial = bool(outcome.get("partial"))
         if outcome.get("checkpoint") is not None:
             job.checkpoint = outcome["checkpoint"]
+            if job.request.budget is not None:
+                # Persist total consumed wall clock (prior segments +
+                # this one -- elapsed() already includes the preload)
+                # so the next resume starts from the same budget line.
+                carried = job.request.budget.carry_elapsed()
+                if carried > 0:
+                    job.checkpoint["budget_elapsed"] = carried
         if outcome.get("resumed_from_step") is not None:
             job.resumed_from_step = outcome["resumed_from_step"]
 

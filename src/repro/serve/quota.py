@@ -133,8 +133,14 @@ class QuotaManager:
     def release(self, tenant: str) -> None:
         with self._lock:
             active = self._active.get(tenant, 0)
-            if active > 0:
+            if active > 1:
                 self._active[tenant] = active - 1
+            else:
+                # Prune at zero: a long-lived server sees an unbounded
+                # stream of ephemeral tenants, and keeping their dead
+                # zero entries would grow ``_active`` (and every
+                # ``snapshot()``) without bound.
+                self._active.pop(tenant, None)
 
     def active(self, tenant: str) -> int:
         with self._lock:

@@ -79,6 +79,17 @@ class StoppingCriterion(ABC):
         """Reset internal memory so the criterion can budget a new run."""
         self._reason = None
 
+    # -- resume accounting ---------------------------------------------
+    # Wall-clock budgets must survive cancel -> resume: a job that ran
+    # 4 s of a 5 s budget gets 1 s after resuming, not a fresh 5 s.
+    # Criteria with nothing to carry inherit these no-ops.
+    def carry_elapsed(self) -> float:
+        """Budget already consumed, to persist into a checkpoint."""
+        return 0.0
+
+    def preload_elapsed(self, seconds: float) -> None:
+        """Charge budget consumed by earlier run segments (resume)."""
+
     @abstractmethod
     def to_dict(self) -> dict[str, Any]:
         """JSON-shaped form accepted by :func:`criterion_from_dict`."""
@@ -135,7 +146,10 @@ class MaxDuration(StoppingCriterion):
     """Stop once ``seconds`` of wall clock elapse from the first check.
 
     The clock starts on the first :meth:`stop` call (not construction),
-    so queue wait does not consume the execution budget.
+    so queue wait does not consume the execution budget.  Time consumed
+    by earlier run segments (:meth:`preload_elapsed`, fed from the
+    checkpoint on resume) counts against the same budget -- a
+    cancel -> resume loop cannot mint fresh wall clock.
     """
 
     def __init__(self, seconds: float) -> None:
@@ -144,18 +158,27 @@ class MaxDuration(StoppingCriterion):
             raise BudgetError(f"MaxDuration needs seconds > 0, got {seconds!r}")
         self.seconds = float(seconds)
         self._t0: float | None = None
+        self._consumed = 0.0
 
     def stop(self, state: Mapping[str, Any]) -> bool:
         now = time.monotonic()
         if self._t0 is None:
             self._t0 = now
-        if now - self._t0 >= self.seconds:
+        if self._consumed + (now - self._t0) >= self.seconds:
             self._reason = f"MaxDuration({self.seconds:g}s)"
             return True
         return False
 
     def elapsed(self) -> float:
-        return 0.0 if self._t0 is None else time.monotonic() - self._t0
+        live = 0.0 if self._t0 is None else time.monotonic() - self._t0
+        return self._consumed + live
+
+    def carry_elapsed(self) -> float:
+        return self.elapsed()
+
+    def preload_elapsed(self, seconds: float) -> None:
+        self._consumed = max(0.0, float(seconds))
+        self._t0 = None
 
     def info(self) -> dict[str, Any]:
         return {
@@ -165,6 +188,9 @@ class MaxDuration(StoppingCriterion):
         }
 
     def clear(self) -> None:
+        # Resets the live clock only: ``_consumed`` is resume state
+        # preloaded before the runner's pre-run clear(), and wiping it
+        # here would hand resumed jobs a fresh budget again.
         super().clear()
         self._t0 = None
 
@@ -261,6 +287,15 @@ class _Composite(StoppingCriterion):
         super().clear()
         for c in self.of:
             c.clear()
+
+    def carry_elapsed(self) -> float:
+        # One scalar crosses the checkpoint, so carry the worst case;
+        # composites hold at most one wall-clock member in practice.
+        return max((c.carry_elapsed() for c in self.of), default=0.0)
+
+    def preload_elapsed(self, seconds: float) -> None:
+        for c in self.of:
+            c.preload_elapsed(seconds)
 
     def to_dict(self) -> dict[str, Any]:
         return {"kind": self._kind, "of": [c.to_dict() for c in self.of]}

@@ -51,7 +51,8 @@ class V2DConfig:
     dt: float = 1e-3
 
     # --- solver / backend (the study's independent variables) ------------
-    backend: str = "vector"          # "vector" = SVE build, "scalar" = no-SVE
+    backend: str = "vector"          # "vector" = SVE, "scalar" = no-SVE,
+                                     # "jit" = compiled fused loops (numba)
     vector_bits: int = 512           # A64FX SVE implementation width
     precond: str = "spai"            # "spai" | "jacobi" | "none"
     ganged: bool = True              # restructured (ganged-reduction) BiCGSTAB
@@ -107,6 +108,19 @@ class V2DConfig:
         if self.transport and self.transport not in _REGISTRY:
             raise ValueError(
                 f"unknown transport {self.transport!r}; known: {sorted(_REGISTRY)}"
+            )
+        # Mirror check for the backend registry, so bad names are
+        # rejected at config time (the serve front door's from_wire
+        # validation inherits this) rather than mid-run.  Name-only:
+        # whether 'jit' can actually construct (numba present) is a
+        # property of the executing machine, decided at Simulation
+        # build time.
+        from repro.backend.dispatch import available_backends
+
+        if self.backend not in available_backends():
+            raise ValueError(
+                f"unknown backend {self.backend!r}; "
+                f"known: {available_backends()}"
             )
         # Topology must tile the grid with non-empty tiles.
         self.decomposition()

@@ -125,7 +125,11 @@ class Simulation:
         self.counters = Counters()
         backend = get_backend(
             config.backend,
-            **({"vector_bits": config.vector_bits} if config.backend == "vector" else {}),
+            **(
+                {"vector_bits": config.vector_bits}
+                if config.backend in ("vector", "jit")
+                else {}
+            ),
         )
 
         # Resilience: arm the seeded fault-injection sites and the

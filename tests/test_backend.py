@@ -1,20 +1,27 @@
 """Unit tests for the execution backends (the SVE substitute layer)."""
 
+import threading
+
 import numpy as np
 import pytest
 
 from repro.backend import (
     Backend,
+    JitBackend,
     ScalarBackend,
     VectorBackend,
     available_backends,
     default_backend,
     get_backend,
     register_backend,
+    set_default_backend,
     use_backend,
 )
 
-BACKENDS = [ScalarBackend(), VectorBackend()]
+#: The jit tier joins every per-backend unit test through its
+#: pure-Python kernel mode (same loop bodies numba would compile), so
+#: this file needs no numba to cover it.
+BACKENDS = [ScalarBackend(), VectorBackend(), JitBackend(force_python=True)]
 IDS = [b.name for b in BACKENDS]
 
 
@@ -283,3 +290,109 @@ class TestDispatch:
             assert isinstance(b, Backend)
             assert default_backend().name == "scalar"
         assert default_backend().name == "vector"
+
+
+class TestAmbientDefault:
+    """Regression suite for the two-layer ambient default.
+
+    The original design stored the ambient default in a bare
+    ``threading.local``, so a backend selected on the main thread was
+    invisible to any worker thread spawned afterwards -- serve's
+    ThreadPoolExecutor pool silently fell back to VectorBackend.
+    """
+
+    @pytest.fixture(autouse=True)
+    def _restore_process_default(self):
+        yield
+        set_default_backend(None)
+
+    def test_worker_thread_sees_process_default(self):
+        set_default_backend("scalar")
+        seen = {}
+
+        def worker():
+            seen["name"] = default_backend().name
+
+        t = threading.Thread(target=worker)
+        t.start()
+        t.join()
+        assert seen["name"] == "scalar"
+
+    def test_set_default_backend_none_restores_builtin(self):
+        set_default_backend("scalar")
+        assert default_backend().name == "scalar"
+        set_default_backend(None)
+        assert default_backend().name == "vector"
+
+    def test_thread_override_wins_over_process_default(self):
+        set_default_backend("scalar")
+        with use_backend("vector"):
+            assert default_backend().name == "vector"
+        assert default_backend().name == "scalar"
+
+    def test_use_backend_stays_thread_local(self):
+        barrier = threading.Barrier(2)
+        seen = {}
+
+        def worker():
+            barrier.wait()  # main thread is inside use_backend now
+            seen["name"] = default_backend().name
+
+        t = threading.Thread(target=worker)
+        t.start()
+        with use_backend("scalar"):
+            barrier.wait()
+            t.join()
+        assert seen["name"] == "vector"
+
+    def test_nested_scopes_restore_enclosing_override(self):
+        with use_backend("scalar"):
+            with use_backend("vector"):
+                assert default_backend().name == "vector"
+            assert default_backend().name == "scalar"
+        assert default_backend().name == "vector"
+
+    def test_outermost_exit_tracks_later_process_default(self):
+        # The teardown must *remove* the thread override, not pin the
+        # ``None``/stale snapshot taken at entry: a process default
+        # installed while the scope was open must be visible after it
+        # closes.
+        with use_backend("scalar"):
+            set_default_backend("scalar")
+        try:
+            assert default_backend().name == "scalar"
+        finally:
+            set_default_backend(None)
+
+    def test_concurrent_scopes_do_not_interfere(self):
+        results = {}
+        start = threading.Barrier(3)
+
+        def worker(name):
+            def body():
+                with use_backend(name):
+                    start.wait()
+                    results[name] = default_backend().name
+            return body
+
+        threads = [
+            threading.Thread(target=worker(n)) for n in ("scalar", "vector")
+        ]
+        for t in threads:
+            t.start()
+        start.wait()
+        for t in threads:
+            t.join()
+        assert results == {"scalar": "scalar", "vector": "vector"}
+
+    def test_nested_fault_scopes_restore_in_order(self):
+        from repro.backend.dispatch import fault_wrapper, faulty_backends
+
+        w1, w2 = (lambda b: b), (lambda b: b)
+        assert fault_wrapper() is None
+        with faulty_backends(w1):
+            assert fault_wrapper() is w1
+            with faulty_backends(w2):
+                assert fault_wrapper() is w2
+            assert fault_wrapper() is w1
+        assert fault_wrapper() is None

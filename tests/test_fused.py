@@ -31,9 +31,11 @@ from hypothesis.extra.numpy import arrays
 
 from repro.backend import (
     FUSED_PRIMITIVES,
+    JitBackend,
     ScalarBackend,
     VectorBackend,
     native_fused_ops,
+    numba_available,
 )
 from repro.kernels import KernelSuite, SolverWorkspace
 from repro.kernels.fused import (
@@ -55,6 +57,17 @@ from repro.v2d import Simulation, V2DConfig
 
 SCALAR, VECTOR = ScalarBackend(), VectorBackend()
 
+#: The jit tier joins the primitive-level fused==unfused sweeps via its
+#: pure-Python kernel mode (same loop bodies, no numba needed); a
+#: compiled instance is added whenever numba is actually installed so
+#: the njit code paths get the identical property coverage.
+JIT_PY = JitBackend(force_python=True)
+PRIM_BACKENDS = [SCALAR, VECTOR, JIT_PY]
+PRIM_IDS = ["scalar", "vector", "jit-py"]
+if numba_available():
+    PRIM_BACKENDS.append(JitBackend())
+    PRIM_IDS.append("jit")
+
 #: Every decomposed test runs under both comm transports: the threaded
 #: in-process fabric and the multi-process shared-memory fabric must be
 #: indistinguishable down to the bit pattern of fields and reductions.
@@ -73,7 +86,7 @@ def vecs(k, n_min=1, n_max=48, dtype=np.float64):
 # 1. Fused primitives == unfused compositions (property tests).
 # ---------------------------------------------------------------------------
 class TestFusedPrimitiveProperties:
-    @pytest.mark.parametrize("bk", [SCALAR, VECTOR], ids=["scalar", "vector"])
+    @pytest.mark.parametrize("bk", PRIM_BACKENDS, ids=PRIM_IDS)
     @given(xy=vecs(2), a=finite)
     def test_axpy_dot_norm_form(self, bk, xy, a):
         x, y = xy
@@ -82,7 +95,7 @@ class TestFusedPrimitiveProperties:
         np.testing.assert_array_equal(out_f, out_u)
         assert dot_f == dot_u  # float64: bitwise
 
-    @pytest.mark.parametrize("bk", [SCALAR, VECTOR], ids=["scalar", "vector"])
+    @pytest.mark.parametrize("bk", PRIM_BACKENDS, ids=PRIM_IDS)
     @given(xyw=vecs(3), a=finite)
     def test_axpy_dot_weighted_form(self, bk, xyw, a):
         x, y, w = xyw
@@ -91,7 +104,7 @@ class TestFusedPrimitiveProperties:
         np.testing.assert_array_equal(out_f, out_u)
         assert dot_f == dot_u
 
-    @pytest.mark.parametrize("bk", [SCALAR, VECTOR], ids=["scalar", "vector"])
+    @pytest.mark.parametrize("bk", PRIM_BACKENDS, ids=PRIM_IDS)
     @given(cyw=vecs(3), d=finite)
     def test_dscal_dot_both_forms(self, bk, cyw, d):
         c, y, w = cyw
@@ -113,7 +126,7 @@ class TestFusedPrimitiveProperties:
         np.testing.assert_array_equal(out_f, out_u)
         assert dot_f == pytest.approx(dot_u, rel=1e-4, abs=1e-10)
 
-    @pytest.mark.parametrize("bk", [SCALAR, VECTOR], ids=["scalar", "vector"])
+    @pytest.mark.parametrize("bk", PRIM_BACKENDS, ids=PRIM_IDS)
     @given(
         n1=st.integers(1, 6),
         n2=st.integers(1, 6),
@@ -178,6 +191,12 @@ class TestFusedRegistry:
         # fusion, so the vector backend inherits the compositions
         # (making fused==unfused trivially bitwise there).
         assert native_fused_ops(VECTOR) == ()
+
+    def test_jit_backend_fuses_all_three_primitives(self):
+        # The jit tier is the one backend that fuses at compiled
+        # register level: all three primitives are native overrides,
+        # in both its compiled and pure-Python kernel modes.
+        assert native_fused_ops(JIT_PY) == FUSED_PRIMITIVES
 
 
 class TestSolverWorkspace:

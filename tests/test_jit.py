@@ -1,0 +1,263 @@
+"""The jit (Numba) backend tier: parity, fusion, fallback, policy.
+
+Most of this file runs **without numba**: ``JitBackend(force_python=True)``
+executes the exact loop bodies numba would compile, so the numerical
+contracts -- reductions bitwise-equal to the scalar backend, elementwise
+and matrix-free kernels bitwise-equal to *both* builtin backends, fused
+primitives bitwise-equal to their unfused composition -- are pinned on
+every machine.  The compiled-mode class then asserts that compilation
+changes nothing: with ``fastmath=False`` numba may not reassociate, so
+compiled output must match the interpreted bodies bit for bit.  Those
+tests ``importorskip("numba")`` (the CI jit-smoke job installs it).
+"""
+
+import numpy as np
+import pytest
+
+from repro.backend import (
+    JitBackend,
+    ScalarBackend,
+    VectorBackend,
+    get_backend,
+    numba_available,
+)
+from repro.backend.dispatch import FUSED_PRIMITIVES, native_fused_ops
+from repro.backend.jit import NUMBA_HINT
+from repro.kernels.stencil import MultiSpeciesStencil, StencilCoefficients
+from repro.kernels.suite import KernelSuite
+from repro.monitor.counters import Counters
+from repro.v2d.config import V2DConfig
+
+SCALAR = ScalarBackend()
+VECTOR = VectorBackend()
+JIT = JitBackend(force_python=True)
+
+
+def rng():
+    return np.random.default_rng(7)
+
+
+def vecs(n=257):
+    r = rng()
+    return r.standard_normal(n), r.standard_normal(n), r.standard_normal(n)
+
+
+def stencil_operands(n1=6, n2=5):
+    r = rng()
+    coeff = [r.standard_normal((n1, n2)) for _ in range(5)]
+    coeff[0] += 5.0  # diagonal dominance, as the solvers see it
+    xpad = r.standard_normal((n1 + 2, n2 + 2))
+    return coeff, xpad
+
+
+# ======================================================================
+# Numerical contracts (force_python: no numba required)
+# ======================================================================
+class TestNumericalContracts:
+    def test_reductions_bitwise_match_scalar(self):
+        # jit accumulates left-to-right like the scalar backend; the
+        # vector backend's np.dot pairwise sums agree only to rounding.
+        x, y, z = vecs()
+        assert JIT.dot(x, y) == SCALAR.dot(x, y)
+        assert JIT.norm2(x) == SCALAR.norm2(x)
+        np.testing.assert_array_equal(
+            JIT.multi_dot([(x, y), (y, z), (x, x)]),
+            SCALAR.multi_dot([(x, y), (y, z), (x, x)]),
+        )
+
+    @pytest.mark.parametrize("other", [SCALAR, VECTOR], ids=["scalar", "vector"])
+    def test_elementwise_bitwise_match_both_backends(self, other):
+        # Per-element association is identical across all three tiers,
+        # so elementwise kernels must agree bit for bit with both.
+        x, y, z = vecs()
+        np.testing.assert_array_equal(JIT.axpy(1.7, x, y), other.axpy(1.7, x, y))
+        np.testing.assert_array_equal(
+            JIT.dscal(x, 0.3, y), other.dscal(x, 0.3, y)
+        )
+        np.testing.assert_array_equal(
+            JIT.ddaxpy(1.1, x, -0.4, y, z), other.ddaxpy(1.1, x, -0.4, y, z)
+        )
+        np.testing.assert_array_equal(JIT.scale(2.5, x), other.scale(2.5, x))
+        np.testing.assert_array_equal(JIT.add(x, y), other.add(x, y))
+        np.testing.assert_array_equal(JIT.sub(x, y), other.sub(x, y))
+        np.testing.assert_array_equal(JIT.mul(x, y), other.mul(x, y))
+
+    @pytest.mark.parametrize("other", [SCALAR, VECTOR], ids=["scalar", "vector"])
+    def test_stencil_bitwise_matches_both_backends(self, other):
+        coeff, xpad = stencil_operands()
+        np.testing.assert_array_equal(
+            JIT.stencil_apply(*coeff, xpad), other.stencil_apply(*coeff, xpad)
+        )
+
+    @pytest.mark.parametrize("other", [SCALAR, VECTOR], ids=["scalar", "vector"])
+    def test_banded_matvec_bitwise_matches_both_backends(self, other):
+        r = rng()
+        n, offsets = 64, (-8, -1, 0, 1, 8)
+        bands = [r.standard_normal(n) for _ in offsets]
+        x = r.standard_normal(n)
+        np.testing.assert_array_equal(
+            JIT.banded_matvec(offsets, bands, x),
+            other.banded_matvec(offsets, bands, x),
+        )
+
+    def test_fused_equals_unfused_within_jit(self):
+        # float64 stored value == register value and the sequential
+        # order is shared, so fusion changes nothing bitwise.
+        x, y, w = vecs()
+        out, acc = JIT.axpy_dot(1.3, x, y)
+        ref = JIT.axpy(1.3, x, y)
+        np.testing.assert_array_equal(out, ref)
+        assert acc == JIT.dot(ref, ref)
+        out, acc = JIT.axpy_dot(1.3, x, y, w=w)
+        assert acc == JIT.dot(ref, w)
+        out, acc = JIT.dscal_dot(x, 0.6, y, w=w)
+        ref = JIT.dscal(x, 0.6, y)
+        np.testing.assert_array_equal(out, ref)
+        assert acc == JIT.dot(ref, w)
+
+    def test_fused_stencil_dots_equal_unfused_within_jit(self):
+        coeff, xpad = stencil_operands()
+        r = rng()
+        w = r.standard_normal(coeff[0].shape)
+        a, b = r.standard_normal(coeff[0].shape), r.standard_normal(coeff[0].shape)
+        out, vals = JIT.stencil_apply_dots(*coeff, xpad, [None, w, (a, b)])
+        ref = JIT.stencil_apply(*coeff, xpad)
+        np.testing.assert_array_equal(out, ref)
+        np.testing.assert_array_equal(
+            vals, JIT.multi_dot([(ref, ref), (ref, w), (a, b)])
+        )
+
+
+# ======================================================================
+# Registry, selection surfaces, graceful fallback
+# ======================================================================
+class TestRegistryAndPolicy:
+    def test_jit_reports_all_three_fused_primitives(self):
+        assert native_fused_ops(JIT) == FUSED_PRIMITIVES
+
+    def test_vector_bits_validation(self):
+        assert JitBackend(vector_bits=512, force_python=True).vector_bits == 512
+        for bad in (0, 64, 100, 4096):
+            with pytest.raises(ValueError):
+                JitBackend(vector_bits=bad, force_python=True)
+
+    @pytest.mark.skipif(
+        numba_available(), reason="fallback message only fires without numba"
+    )
+    def test_missing_numba_raises_keyerror_with_hint(self):
+        with pytest.raises(KeyError) as excinfo:
+            get_backend("jit")
+        msg = str(excinfo.value)
+        assert NUMBA_HINT in msg
+        assert "vector" in msg  # the hint names a working substitute
+
+    def test_config_validates_backend_by_name_only(self):
+        # Config construction must not require numba: whether the jit
+        # tier can run is a property of the executing machine, decided
+        # when the Simulation builds its backend.
+        assert V2DConfig(backend="jit").backend == "jit"
+        with pytest.raises(ValueError, match="unknown backend"):
+            V2DConfig(backend="cuda")
+
+
+# ======================================================================
+# The kernel suite routes single-species systems through the fused sweep
+# ======================================================================
+class TestFusedRouting:
+    def test_apply_dots_uses_jit_fused_kernel(self):
+        r = rng()
+        n1, n2 = 6, 5
+        c = StencilCoefficients(
+            diag=r.standard_normal((1, n1, n2)) + 5.0,
+            west=r.standard_normal((1, n1, n2)),
+            east=r.standard_normal((1, n1, n2)),
+            south=r.standard_normal((1, n1, n2)),
+            north=r.standard_normal((1, n1, n2)),
+        )
+        xpad = r.standard_normal((1, n1 + 2, n2 + 2))
+        w = r.standard_normal((1, n1, n2))
+
+        fused_suite = KernelSuite(JIT, counters=Counters())
+        fused = MultiSpeciesStencil(c, suite=fused_suite)
+        out_f, vals_f = fused.apply_dots(xpad, [None, w])
+        # The capability gate (not bk.vectorized checks) must route the
+        # jit tier through its native single-pass kernel.
+        assert fused_suite.counters.fused_ops == 1
+
+        unfused = MultiSpeciesStencil(c.copy(), suite=KernelSuite(JIT))
+        out_u = unfused.apply(xpad)
+        vals_u = JIT.multi_dot([(out_u, out_u), (out_u, w)])
+        np.testing.assert_array_equal(out_f, out_u)
+        np.testing.assert_array_equal(vals_f, vals_u)
+
+
+# ======================================================================
+# Compiled mode: numba must change nothing
+# ======================================================================
+class TestCompiledParity:
+    @pytest.fixture(autouse=True)
+    def _need_numba(self):
+        pytest.importorskip("numba")
+
+    @pytest.fixture()
+    def compiled(self):
+        return JitBackend()
+
+    def test_compiled_matches_interpreted_bodies_bitwise(self, compiled):
+        # fastmath=False forbids reassociation, so compilation is
+        # numerically invisible: every kernel must agree bit for bit
+        # with the same body run by the interpreter.
+        x, y, z = vecs()
+        assert compiled.dot(x, y) == JIT.dot(x, y)
+        np.testing.assert_array_equal(
+            compiled.axpy(1.7, x, y), JIT.axpy(1.7, x, y)
+        )
+        np.testing.assert_array_equal(
+            compiled.dscal(x, 0.3, y), JIT.dscal(x, 0.3, y)
+        )
+        np.testing.assert_array_equal(
+            compiled.ddaxpy(1.1, x, -0.4, y, z), JIT.ddaxpy(1.1, x, -0.4, y, z)
+        )
+        coeff, xpad = stencil_operands()
+        np.testing.assert_array_equal(
+            compiled.stencil_apply(*coeff, xpad), JIT.stencil_apply(*coeff, xpad)
+        )
+        out_c, acc_c = compiled.axpy_dot(1.3, x, y)
+        out_p, acc_p = JIT.axpy_dot(1.3, x, y)
+        np.testing.assert_array_equal(out_c, out_p)
+        assert acc_c == acc_p
+        w = rng().standard_normal(coeff[0].shape)
+        out_c, vals_c = compiled.stencil_apply_dots(*coeff, xpad, [None, w])
+        out_p, vals_p = JIT.stencil_apply_dots(*coeff, xpad, [None, w])
+        np.testing.assert_array_equal(out_c, out_p)
+        np.testing.assert_array_equal(vals_c, vals_p)
+
+    def test_small_simulation_matches_vector_tier(self):
+        # Whole-solver parity is *tight tolerance*, not bitwise: the
+        # vector tier's pairwise dot reductions round differently.
+        from repro.v2d.problems import GaussianPulseProblem
+        from repro.v2d.simulation import Simulation
+
+        def report(backend):
+            cfg = V2DConfig(nx1=16, nx2=8, nsteps=3, backend=backend)
+            return Simulation(cfg, GaussianPulseProblem()).run()
+
+        jit_report, vec_report = report("jit"), report("vector")
+        np.testing.assert_allclose(
+            jit_report.total_energy, vec_report.total_energy, rtol=1e-12
+        )
+
+
+# ======================================================================
+# Compile-time exclusion in the measurement harness
+# ======================================================================
+class TestHarnessWarmup:
+    def test_time_always_runs_at_least_one_warmup(self):
+        from repro.perf.harness import Harness
+
+        calls = []
+        h = Harness("jit-warmup-test")
+        h.time(lambda: calls.append(1), name="noop", repeats=2, warmup=0)
+        # One clamped warm-up pass (never timed) plus the two repeats:
+        # first-call compilation can never leak into a sample.
+        assert len(calls) == 3

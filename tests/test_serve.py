@@ -106,6 +106,32 @@ class TestStoppingCriteria:
         assert crit.stop({})
         assert "MaxDuration" in crit.reason()
 
+    def test_max_duration_preload_counts_against_budget(self):
+        # Resume accounting: wall clock burned by earlier run segments
+        # (fed back from the checkpoint) spends the same budget.
+        crit = MaxDuration(10.0)
+        crit.preload_elapsed(10.0)
+        assert crit.stop({})  # budget already exhausted before this segment
+        assert "MaxDuration" in crit.reason()
+        assert crit.carry_elapsed() >= 10.0
+
+    def test_max_duration_clear_preserves_preloaded_elapsed(self):
+        # The runner clear()s the budget right before the run; that must
+        # not wipe the consumed time preloaded on resume.
+        crit = MaxDuration(0.05)
+        crit.preload_elapsed(0.049)
+        crit.clear()
+        assert not crit.stop({})
+        time.sleep(0.01)
+        assert crit.stop({})
+
+    def test_composite_forwards_resume_accounting(self):
+        crit = MaxIter(100) | MaxDuration(5.0)
+        crit.preload_elapsed(4.0)
+        crit.stop({"step": 1})
+        assert crit.carry_elapsed() >= 4.0
+        assert not crit.stop({"step": 2})
+
     def test_rel_error_settles(self):
         crit = RelError(1e-3, var="energy")
         assert not crit.stop({"energy": 1.0})       # first sample: no pair yet
@@ -229,6 +255,25 @@ class TestRequestsAndQuotas:
         with pytest.raises(RateLimited):
             quota.admit("t")
 
+    def test_release_prunes_idle_tenants(self):
+        # Regression: release() used to leave a zero entry per tenant,
+        # so a long-lived server accumulated one dict slot for every
+        # ephemeral tenant it ever served and snapshot() grew without
+        # bound.
+        quota = QuotaManager(TenantPolicy(max_active=4))
+        for i in range(50):
+            tenant = f"ephemeral-{i}"
+            quota.acquire_slot(tenant)
+            quota.acquire_slot(tenant)
+            quota.release(tenant)
+            assert quota.snapshot()["active"] == {tenant: 1}
+            quota.release(tenant)
+            assert quota.active(tenant) == 0
+        assert quota.snapshot()["active"] == {}
+        # Releasing a tenant that was never admitted stays a no-op.
+        quota.release("ghost")
+        assert quota.snapshot()["active"] == {}
+
 
 # ======================================================================
 # Engine behaviour
@@ -329,6 +374,39 @@ class TestEngine:
             assert "MaxDuration" in out["stopped_by"]
             assert 0 < out["result"]["steps"] < 500
             assert out["checkpoint"] is not None  # budget stop is resumable
+
+    def test_wall_clock_budget_survives_resume(self, tmp_path):
+        # Regression: resuming a wall-clock-budgeted job used to hand it
+        # a fresh MaxDuration, so a cancel -> resume loop minted 0.05 s
+        # of compute per lap forever.  The elapsed budget now rides the
+        # checkpoint and is preloaded on resume, so each resumed segment
+        # inherits an already-spent clock and stops almost immediately.
+        budget = {"max_seconds": 0.05}
+        with engine_ctx(tmp_path, workers=1) as (engine, run):
+            sub = run(engine.submit(
+                wire({"nsteps": 500, "dt": 3e-4}, budget=budget)
+            ))
+            out = run(engine.result(sub["id"]))
+            assert "MaxDuration" in out["stopped_by"]
+            first_steps = out["result"]["steps"]
+            carried = out["checkpoint"]["budget_elapsed"]
+            assert carried >= 0.05  # the whole budget was consumed
+
+            prev_id, prev_carried = sub["id"], carried
+            for _ in range(2):  # resume twice: the carry must compound
+                resumed = run(engine.submit(
+                    wire({"nsteps": 500, "dt": 3e-4},
+                         resume=prev_id, budget=budget)
+                ))
+                rout = run(engine.result(resumed["id"]))
+                assert "MaxDuration" in rout["stopped_by"]
+                # The carried clock already exceeds the budget, so the
+                # segment stops at its first checkpoint instead of
+                # running another full 0.05 s worth of steps.
+                assert rout["result"]["steps"] <= max(2, first_steps // 2)
+                assert rout["checkpoint"]["budget_elapsed"] >= prev_carried
+                prev_id = resumed["id"]
+                prev_carried = rout["checkpoint"]["budget_elapsed"]
 
     def test_max_steps_budget_then_resume(self, tmp_path):
         with engine_ctx(tmp_path, workers=1) as (engine, run):
