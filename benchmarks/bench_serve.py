@@ -26,8 +26,8 @@ import asyncio
 import tempfile
 import threading
 import time
-from statistics import median
 
+from repro.monitor.telemetry import LATENCY_BUCKETS, Histogram
 from repro.perf.schema import Metric
 from repro.serve import JobServer, ServeClient, ServeConfig
 
@@ -42,9 +42,14 @@ def _config(i: int) -> dict:
     return {**BASE, "dt": 1e-4 * (i + 1)}
 
 
-def _percentile(samples: list[float], p: float) -> float:
-    ordered = sorted(samples)
-    return ordered[min(len(ordered) - 1, int(p * (len(ordered) - 1) + 0.5))]
+def _histogram(samples: list[float]) -> Histogram:
+    """Fold raw latencies into the same fixed-bucket histogram the
+    telemetry pipeline uses, so the bench and the live ``metrics`` op
+    report quantiles from one estimator."""
+    hist = Histogram(LATENCY_BUCKETS)
+    for sample in samples:
+        hist.observe(sample)
+    return hist
 
 
 class _Server:
@@ -143,32 +148,35 @@ class TestServeBenchmark:
             submissions = COLD_JOBS * (1 + DUPLICATES) + COLD_JOBS
             dedup_fraction = len(dedup_acks) / submissions
             throughput = COLD_JOBS * (1 + DUPLICATES) / wall_cold
-            speedup = median(cold_lat) / max(median(hot_lat), 1e-9)
+            cold_hist, hot_hist = _histogram(cold_lat), _histogram(hot_lat)
+            cold_p50, cold_p99 = cold_hist.quantile(.5), cold_hist.quantile(.99)
+            hot_p50, hot_p99 = hot_hist.quantile(.5), hot_hist.quantile(.99)
+            speedup = cold_p50 / max(hot_p50, 1e-9)
 
             # Hot traffic answers from the content cache: orders of
             # magnitude faster than a solve, but assert only the sign.
-            assert median(hot_lat) < median(cold_lat)
+            assert hot_p50 < cold_p50
             assert hit_rate >= 0.5  # 6 misses (cold), >= 6 hits (hot)
 
             bench_record.record(
                 "mixed_workload",
                 {
                     "cold_p50_seconds": Metric(
-                        value=_percentile(cold_lat, 0.50), kind="time",
+                        value=cold_p50, kind="time",
                         unit="s", repeats=len(cold_lat),
                         samples=sorted(cold_lat),
                     ),
                     "cold_p99_seconds": Metric(
-                        value=_percentile(cold_lat, 0.99), kind="time",
+                        value=cold_p99, kind="time",
                         unit="s", repeats=len(cold_lat),
                     ),
                     "hot_p50_seconds": Metric(
-                        value=_percentile(hot_lat, 0.50), kind="time",
+                        value=hot_p50, kind="time",
                         unit="s", repeats=len(hot_lat),
                         samples=sorted(hot_lat),
                     ),
                     "hot_p99_seconds": Metric(
-                        value=_percentile(hot_lat, 0.99), kind="time",
+                        value=hot_p99, kind="time",
                         unit="s", repeats=len(hot_lat),
                     ),
                     "throughput_jobs_per_s": (throughput, "value"),
@@ -194,10 +202,10 @@ class TestServeBenchmark:
                 f"   (of {submissions} submissions)",
                 f"  dedup fraction       {dedup_fraction:>8.1%}",
                 f"  cache hit-rate       {hit_rate:>8.1%}",
-                f"  cold p50 / p99       {_percentile(cold_lat, .5):>8.4f}"
-                f" / {_percentile(cold_lat, .99):.4f} s",
-                f"  hot  p50 / p99       {_percentile(hot_lat, .5):>8.4f}"
-                f" / {_percentile(hot_lat, .99):.4f} s",
+                f"  cold p50 / p99       {cold_p50:>8.4f}"
+                f" / {cold_p99:.4f} s",
+                f"  hot  p50 / p99       {hot_p50:>8.4f}"
+                f" / {hot_p99:.4f} s",
                 f"  hot speedup          {speedup:>8.1f}x",
                 f"  throughput           {throughput:>8.1f} jobs/s",
             ]

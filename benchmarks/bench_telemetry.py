@@ -1,0 +1,133 @@
+"""Telemetry overhead — what the observability layer costs when armed.
+
+The pipeline's contract is asymmetric: **disabled costs nothing**
+(a module-level boolean check; the bitwise-identity test in
+``tests/test_telemetry.py`` locks the stronger claim that outputs are
+unchanged), while **enabled cost is measured here** so a regression in
+the hot-path guards shows up in ``repro perf check`` instead of in
+production runs.
+
+Three measurements:
+
+* primitive rates — ``Histogram.observe`` and ``flight.record`` calls
+  per second, plus one full OpenMetrics render of a realistic registry;
+* end-to-end — the same small solve with telemetry off vs on, where
+  the per-step instrumentation (iteration histogram, step gauge,
+  flight ring) is the only difference;
+* the shape invariant: enabled overhead stays under a generous cap
+  (instrumentation is per *step*, not per kernel call, so it must be
+  lost in solver noise).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.monitor import flight, telemetry
+from repro.monitor.telemetry import (
+    ITERATION_BUCKETS,
+    Histogram,
+    render_openmetrics,
+)
+from repro.monitor.trace import MetricsRegistry
+from repro.perf.schema import Metric
+from repro.problems import GaussianPulseProblem
+from repro.v2d import Simulation, V2DConfig
+
+CFG = dict(nx1=32, nx2=16, nsteps=4, dt=1e-3, precond="jacobi",
+           profile=False)
+OBSERVE_OPS = 200_000
+FLIGHT_OPS = 50_000
+#: Enabled-path cap: per-step instrumentation against a real solve.
+MAX_OVERHEAD_FRACTION = 0.25
+
+
+def _run_once() -> float:
+    t0 = time.perf_counter()
+    Simulation(V2DConfig(**CFG), GaussianPulseProblem()).run()
+    return time.perf_counter() - t0
+
+
+def _best_of(n: int, fn) -> float:
+    return min(fn() for _ in range(n))
+
+
+class TestTelemetryOverhead:
+    def test_primitive_rates_and_run_overhead(self, bench_record,
+                                              write_report):
+        # --- primitive rates ---------------------------------------
+        hist = Histogram(ITERATION_BUCKETS)
+        t0 = time.perf_counter()
+        for i in range(OBSERVE_OPS):
+            hist.observe(float(i % 997))
+        observe_rate = OBSERVE_OPS / (time.perf_counter() - t0)
+
+        prev = telemetry.set_enabled(True)
+        try:
+            flight.reset()
+            t0 = time.perf_counter()
+            for i in range(FLIGHT_OPS):
+                flight.record(0, "step", "step", step=i, dt=1e-3)
+            flight_rate = FLIGHT_OPS / (time.perf_counter() - t0)
+
+            registry = MetricsRegistry()
+            for r in range(8):
+                registry.set(f"repro.rank.{r}.heartbeat_age_seconds", 0.1)
+            for i in range(1000):
+                registry.observe("repro.serve.latency_seconds", 0.01 * i)
+                registry.observe("repro.solver.iterations_per_step",
+                                 float(i % 40), buckets=ITERATION_BUCKETS)
+            t0 = time.perf_counter()
+            text = render_openmetrics(registry)
+            render_seconds = time.perf_counter() - t0
+            assert text.endswith("# EOF\n")
+
+            # --- end-to-end: same solve, gate off vs on ------------
+            telemetry.set_enabled(False)
+            off_seconds = _best_of(3, _run_once)
+            telemetry.set_enabled(True)
+            flight.reset()
+            on_seconds = _best_of(3, _run_once)
+        finally:
+            telemetry.set_enabled(prev)
+            flight.reset()
+
+        overhead = max(0.0, on_seconds / off_seconds - 1.0)
+        assert overhead <= MAX_OVERHEAD_FRACTION, (
+            f"telemetry-on run {overhead:.1%} slower than off "
+            f"(cap {MAX_OVERHEAD_FRACTION:.0%}); the per-step guards "
+            f"have grown into the hot path"
+        )
+
+        bench_record.record(
+            "overhead",
+            {
+                "observe_ops_per_s": (observe_rate, "value"),
+                "flight_record_ops_per_s": (flight_rate, "value"),
+                "render_openmetrics_seconds": Metric(
+                    value=render_seconds, kind="time", unit="s",
+                ),
+                "run_off_seconds": Metric(
+                    value=off_seconds, kind="time", unit="s", repeats=3,
+                ),
+                "run_on_seconds": Metric(
+                    value=on_seconds, kind="time", unit="s", repeats=3,
+                ),
+                "enabled_overhead_fraction": Metric(
+                    value=overhead, kind="ratio",
+                ),
+            },
+            config={**CFG, "observe_ops": OBSERVE_OPS,
+                    "flight_ops": FLIGHT_OPS},
+        )
+
+        write_report("telemetry_overhead", "\n".join([
+            "TELEMETRY OVERHEAD (armed vs disarmed)",
+            f"  Histogram.observe      {observe_rate:>12.0f} ops/s",
+            f"  flight.record          {flight_rate:>12.0f} ops/s",
+            f"  OpenMetrics render     {render_seconds * 1e3:>12.3f} ms",
+            f"  run, telemetry off     {off_seconds:>12.4f} s",
+            f"  run, telemetry on      {on_seconds:>12.4f} s",
+            f"  enabled overhead       {overhead:>12.1%}"
+            f"   (cap {MAX_OVERHEAD_FRACTION:.0%})",
+        ]))

@@ -17,6 +17,10 @@ Commands regenerate the paper's artifacts or run the simulator:
 * ``perf``        -- performance ledger: run / report / check / baseline
 * ``serve``       -- simulation-as-a-service job server (asyncio TCP)
 * ``submit``      -- client for a running ``serve`` instance
+* ``top``         -- live telemetry view (serve scrape or sampler file)
+
+Every command also accepts ``--log-level``/``--log-json`` (structured
+logging to stderr) -- the flags are attached globally in :func:`main`.
 """
 
 from __future__ import annotations
@@ -177,10 +181,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
         transport=_resolve_transport(args),
     )
     problem = GaussianPulseProblem()
-    if cfg.nranks == 1:
-        reports = [Simulation(cfg, problem).run()]
-    else:
-        reports = run_parallel(cfg, problem)
+    with _run_sampler(args):
+        if cfg.nranks == 1:
+            reports = [Simulation(cfg, problem).run()]
+        else:
+            reports = run_parallel(cfg, problem)
     report = reports[0]
     print(report.summary())
     if args.profile:
@@ -191,6 +196,23 @@ def _cmd_run(args: argparse.Namespace) -> int:
         if code != 0:
             return code
     return 0 if report.all_converged else 1
+
+
+def _run_sampler(args: argparse.Namespace):
+    """``--telemetry PATH``: arm the gate and sample OpenMetrics to PATH.
+
+    Returns a context manager wrapping the run; a no-op when the flag
+    is unset so the default path stays bitwise-identical.
+    """
+    from contextlib import nullcontext
+
+    path = getattr(args, "telemetry", None)
+    if not path:
+        return nullcontext()
+    from repro.monitor import telemetry
+
+    telemetry.set_enabled(True)
+    return telemetry.Telemetry(path, interval=1.0)
 
 
 def _export_run_trace(reports, path: str, problem_name: str) -> int:
@@ -448,6 +470,9 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--trace", metavar="PATH", default=None,
                    help="arm the tracer and write the merged per-rank "
                         "timeline (Chrome trace-event JSON) to PATH")
+    p.add_argument("--telemetry", metavar="PATH", default=None,
+                   help="arm live telemetry and sample OpenMetrics to "
+                        "PATH every second (poll with `repro top --file`)")
     _add_transport_flag(p)
     _add_resilience_flags(p)
     p.set_defaults(fn=_cmd_run)
@@ -499,6 +524,8 @@ def main(argv: list[str] | None = None) -> int:
     p.set_defaults(fn=_cmd_driver)
 
     from repro.campaign.cli import add_campaign_parser
+    from repro.monitor.log import add_logging_flags, configure_from_args
+    from repro.monitor.top import add_top_parser
     from repro.perf.cli import add_perf_parser
     from repro.serve.cli import add_serve_parser, add_submit_parser
 
@@ -506,8 +533,18 @@ def main(argv: list[str] | None = None) -> int:
     add_perf_parser(sub)
     add_serve_parser(sub)
     add_submit_parser(sub)
+    add_top_parser(sub)
+
+    # Structured-logging flags ride on every verb (aliases share parser
+    # objects, so dedupe by identity before attaching).
+    seen: set[int] = set()
+    for verb in sub.choices.values():
+        if id(verb) not in seen:
+            seen.add(id(verb))
+            add_logging_flags(verb)
 
     args = parser.parse_args(argv)
+    configure_from_args(args)
     try:
         return args.fn(args)
     except KeyError as exc:

@@ -24,9 +24,17 @@ region, event counts per routine, and percent-of-total attributions.
 """
 
 from repro.monitor.counters import Counters, EventSet, PAPI_EVENTS
+from repro.monitor.flight import FlightRecorder, dump_bundle, read_bundle
+from repro.monitor.log import bind_context, configure_logging, get_logger
 from repro.monitor.profiler import Profiler, ProfileNode, get_profiler, profile_region
 from repro.monitor.sampler import SampleReport, SamplingProfiler
 from repro.monitor.timers import CpuTimer, PerfStatResult, RegionTimer, WallTimer, perf_stat
+from repro.monitor.telemetry import (
+    Histogram,
+    Telemetry,
+    parse_openmetrics,
+    render_openmetrics,
+)
 from repro.monitor.trace import (
     MetricsRegistry,
     TRACE_SCHEMA,
@@ -39,6 +47,16 @@ from repro.monitor.trace import (
 )
 
 __all__ = [
+    "FlightRecorder",
+    "dump_bundle",
+    "read_bundle",
+    "bind_context",
+    "configure_logging",
+    "get_logger",
+    "Histogram",
+    "Telemetry",
+    "parse_openmetrics",
+    "render_openmetrics",
     "Counters",
     "EventSet",
     "PAPI_EVENTS",

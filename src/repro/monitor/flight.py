@@ -1,0 +1,270 @@
+"""Per-rank flight recorders: bounded in-memory event rings.
+
+The failure modes that motivated the resilience layer -- a rank dying
+mid-collective, a silent child death under the ``mp`` transport, a
+solver escalating through its ladder -- all share one frustration:
+by the time the parent sees :class:`WorldAbortedError`, whatever the
+failing rank was doing is gone.  A flight recorder fixes that the way
+aircraft ones do: each rank keeps a small ring buffer of its most
+recent spans, events, and log records, cheap enough to leave running,
+and the ring is dumped to a post-mortem JSONL bundle when something
+goes wrong (world abort, rank heartbeat timeout, resilience
+escalation).
+
+Recording is gated on :func:`repro.monitor.telemetry.enabled`: with
+telemetry off, :func:`record` is one gate check and the solver path is
+bitwise-identical to pre-telemetry behaviour.  Timestamps are
+microseconds since the shared trace epoch, so bundle entries line up
+with trace spans and structured log records.
+
+Bundle layout (one directory per incident)::
+
+    <flight-dir>/<reason>-<pid>/
+        manifest.json      # reason, failing rank, cause, heartbeat ages
+        rank0.jsonl        # newest-last ring contents, one event/line
+        rank1.jsonl
+
+Under the ``mp`` transport each child process dumps its own
+``rank<r>.jsonl`` into a bundle directory the parent created before
+forking; the parent writes the manifest when it collects the failure.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from collections import deque
+from pathlib import Path
+from typing import Any, Iterable, Mapping
+
+from repro.monitor import telemetry
+from repro.monitor.trace import Tracer
+
+__all__ = [
+    "FLIGHT_SCHEMA",
+    "DEFAULT_CAPACITY",
+    "FlightRecorder",
+    "recorder_for",
+    "record",
+    "active_ranks",
+    "reset",
+    "flight_dir",
+    "bundle_path",
+    "ensure_bundle_dir",
+    "dump_rank",
+    "write_manifest",
+    "dump_bundle",
+    "read_bundle",
+]
+
+#: ``manifest.json`` schema version.
+FLIGHT_SCHEMA = 1
+
+#: Ring capacity per rank; at ~200 bytes/event a full ring is ~100 KiB.
+DEFAULT_CAPACITY = 512
+
+
+class FlightRecorder:
+    """Bounded ring of recent events for one rank.
+
+    ``record`` is append-only onto a :class:`collections.deque` with
+    ``maxlen`` -- O(1), no allocation beyond the event dict, oldest
+    entries silently dropped.  Thread-safe by way of the GIL-atomic
+    deque append (multiple hydro/comm threads of one rank may share a
+    recorder).
+    """
+
+    __slots__ = ("rank", "capacity", "_ring", "dropped")
+
+    def __init__(self, rank: int, capacity: int = DEFAULT_CAPACITY) -> None:
+        if capacity < 1:
+            raise ValueError("flight recorder capacity must be >= 1")
+        self.rank = int(rank)
+        self.capacity = int(capacity)
+        self._ring: deque[dict[str, Any]] = deque(maxlen=self.capacity)
+        self.dropped = 0
+
+    def record(self, kind: str, name: str, **fields: Any) -> None:
+        """Append one event (``kind`` ~ span/instant/log/error/...)."""
+        if len(self._ring) == self.capacity:
+            self.dropped += 1
+        event = {"us": round(Tracer.now_us(), 3), "kind": kind, "name": name}
+        if fields:
+            event.update(fields)
+        self._ring.append(event)
+
+    def events(self) -> list[dict[str, Any]]:
+        """Oldest-first snapshot of the ring."""
+        return list(self._ring)
+
+    def clear(self) -> None:
+        self._ring.clear()
+        self.dropped = 0
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def dump(self, path: str | Path) -> Path:
+        """Write the ring as JSONL (atomic replace); returns the path."""
+        from repro.io.atomic import atomic_write_bytes
+
+        body = "".join(
+            json.dumps(ev, default=repr) + "\n" for ev in self.events()
+        )
+        return atomic_write_bytes(path, body.encode())
+
+
+# ----------------------------------------------------------------------
+# Process-wide recorder registry
+# ----------------------------------------------------------------------
+_RECORDERS: dict[int, FlightRecorder] = {}
+_REG_LOCK = threading.Lock()
+_BUNDLE_SEQ = 0
+
+
+def recorder_for(rank: int, capacity: int = DEFAULT_CAPACITY) -> FlightRecorder:
+    """The process-wide recorder for ``rank`` (created on first use)."""
+    rec = _RECORDERS.get(rank)
+    if rec is None:
+        with _REG_LOCK:
+            rec = _RECORDERS.setdefault(rank, FlightRecorder(rank, capacity))
+    return rec
+
+
+def record(rank: int, kind: str, name: str, **fields: Any) -> None:
+    """Record onto ``rank``'s ring iff telemetry is armed.
+
+    This is the call instrumented sites use: disabled telemetry makes
+    it a single gate check and return.
+    """
+    if not telemetry.enabled():
+        return
+    recorder_for(rank).record(kind, name, **fields)
+
+
+def active_ranks() -> list[int]:
+    return sorted(_RECORDERS)
+
+
+def reset() -> None:
+    """Drop every recorder (test isolation)."""
+    with _REG_LOCK:
+        _RECORDERS.clear()
+
+
+# ----------------------------------------------------------------------
+# Bundles
+# ----------------------------------------------------------------------
+def flight_dir() -> Path:
+    """Bundle root: ``$REPRO_FLIGHT_DIR`` or ``./.repro-flight``."""
+    return Path(os.environ.get("REPRO_FLIGHT_DIR", ".repro-flight"))
+
+
+def bundle_path(reason: str, directory: str | Path | None = None) -> Path:
+    """Reserve a unique incident path under the root *without* creating it.
+
+    Named ``<reason>-<pid>`` with a sequence suffix when the same
+    process reserves more than once, so repeated incidents never
+    clobber each other.  The ``mp`` transport reserves a path *before*
+    forking so parent and children agree on where rank files land, but
+    only an actual incident creates the directory.
+    """
+    global _BUNDLE_SEQ
+    root = Path(directory) if directory is not None else flight_dir()
+    with _REG_LOCK:
+        _BUNDLE_SEQ += 1
+        seq = _BUNDLE_SEQ
+    name = f"{reason}-{os.getpid()}"
+    if seq > 1:
+        name = f"{name}-{seq}"
+    return root / name
+
+
+def ensure_bundle_dir(reason: str, directory: str | Path | None = None) -> Path:
+    """Create (and return) a fresh incident directory under the root."""
+    bundle = bundle_path(reason, directory)
+    bundle.mkdir(parents=True, exist_ok=True)
+    return bundle
+
+
+def dump_rank(bundle: str | Path, rank: int) -> Path | None:
+    """Write ``rank``'s ring into the bundle; ``None`` if it is empty."""
+    rec = _RECORDERS.get(rank)
+    if rec is None or len(rec) == 0:
+        return None
+    return rec.dump(Path(bundle) / f"rank{rank}.jsonl")
+
+
+def write_manifest(
+    bundle: str | Path,
+    reason: str,
+    failing_rank: int | None = None,
+    cause: str | None = None,
+    heartbeat_ages: Mapping[int, float] | None = None,
+    extra: Mapping[str, Any] | None = None,
+) -> Path:
+    """Write ``manifest.json`` naming the incident and failing rank."""
+    from repro.io.atomic import atomic_write_bytes
+
+    rank_files = sorted(
+        p.name for p in Path(bundle).glob("rank*.jsonl")
+    )
+    manifest: dict[str, Any] = {
+        "schema": FLIGHT_SCHEMA,
+        "reason": reason,
+        "failing_rank": failing_rank,
+        "cause": cause,
+        "created_unix": round(time.time(), 3),
+        "pid": os.getpid(),
+        "rank_files": rank_files,
+    }
+    if heartbeat_ages:
+        manifest["heartbeat_age_seconds"] = {
+            str(r): round(float(age), 3) for r, age in heartbeat_ages.items()
+        }
+    if extra:
+        manifest.update(dict(extra))
+    body = json.dumps(manifest, indent=1, default=repr) + "\n"
+    return atomic_write_bytes(Path(bundle) / "manifest.json", body.encode())
+
+
+def dump_bundle(
+    reason: str,
+    failing_rank: int | None = None,
+    cause: str | None = None,
+    heartbeat_ages: Mapping[int, float] | None = None,
+    directory: str | Path | None = None,
+    ranks: Iterable[int] | None = None,
+) -> Path:
+    """Dump every (or the given) ranks' rings plus a manifest.
+
+    The one-call path for in-process incidents (threads transport
+    aborts, resilience escalation, heartbeat watchdog).  Returns the
+    bundle directory.
+    """
+    bundle = ensure_bundle_dir(reason, directory)
+    for rank in sorted(ranks) if ranks is not None else active_ranks():
+        dump_rank(bundle, rank)
+    write_manifest(
+        bundle,
+        reason,
+        failing_rank=failing_rank,
+        cause=cause,
+        heartbeat_ages=heartbeat_ages,
+    )
+    return bundle
+
+
+def read_bundle(bundle: str | Path) -> dict[str, Any]:
+    """Load a bundle back: manifest plus per-rank event lists."""
+    bundle = Path(bundle)
+    with open(bundle / "manifest.json", encoding="utf-8") as fh:
+        manifest = json.load(fh)
+    ranks: dict[int, list[dict[str, Any]]] = {}
+    for path in sorted(bundle.glob("rank*.jsonl")):
+        rank = int(path.stem[len("rank"):])
+        with open(path, encoding="utf-8") as fh:
+            ranks[rank] = [json.loads(line) for line in fh if line.strip()]
+    return {"manifest": manifest, "ranks": ranks}

@@ -1,0 +1,229 @@
+"""Structured logging on the stdlib ``logging`` stack.
+
+Until this module existed nothing under ``src/`` imported ``logging``
+-- diagnostics went to ``print`` in the CLI layer and silence
+everywhere else.  This is the front door: every ``repro`` verb takes
+``--log-level``/``--log-json``, and library code logs through
+:func:`get_logger` without caring whether a handler is installed
+(unconfigured, the root ``repro`` logger holds a ``NullHandler`` so
+output and behaviour are exactly as before).
+
+Records carry two kinds of shared context:
+
+* the **trace epoch** -- every record's ``us`` field is microseconds
+  since :data:`repro.monitor.trace._EPOCH_NS`, the same clock the
+  tracer and flight recorder stamp, so logs line up with trace spans
+  and flight-recorder entries on one timeline;
+* **context vars** -- ``run``/``job``/``rank`` bound via
+  :func:`bind_context`, carried by :mod:`contextvars` so they follow
+  async tasks in the serve layer and thread-per-rank SPMD workers
+  without threading arguments through every call.
+
+JSON mode emits one JSON object per line (JSONL), the same framing as
+the serve wire protocol and the flight-recorder bundles.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import Any, Iterator, Mapping, TextIO
+
+__all__ = [
+    "ROOT_LOGGER",
+    "LEVELS",
+    "get_logger",
+    "configure_logging",
+    "add_logging_flags",
+    "configure_from_args",
+    "bind_context",
+    "current_context",
+    "JsonlFormatter",
+]
+
+#: Name of the package root logger every :func:`get_logger` hangs off.
+ROOT_LOGGER = "repro"
+
+#: CLI-exposed level names, in increasing verbosity order.
+LEVELS = ("critical", "error", "warning", "info", "debug")
+
+_RUN: ContextVar[str | None] = ContextVar("repro_log_run", default=None)
+_JOB: ContextVar[str | None] = ContextVar("repro_log_job", default=None)
+_RANK: ContextVar[int | None] = ContextVar("repro_log_rank", default=None)
+
+# Handler installed by configure_logging, so reconfiguring replaces it
+# instead of stacking duplicates.
+_INSTALLED: logging.Handler | None = None
+
+# Library code must be silent unless the application configures
+# logging -- stdlib best practice, and what keeps CLI output stable.
+logging.getLogger(ROOT_LOGGER).addHandler(logging.NullHandler())
+
+
+def get_logger(name: str = ROOT_LOGGER) -> logging.Logger:
+    """A logger under the ``repro`` hierarchy.
+
+    ``get_logger("serve")`` and ``get_logger("repro.serve")`` both
+    return the ``repro.serve`` logger.
+    """
+    if name != ROOT_LOGGER and not name.startswith(ROOT_LOGGER + "."):
+        name = f"{ROOT_LOGGER}.{name}"
+    return logging.getLogger(name)
+
+
+# ----------------------------------------------------------------------
+# Context binding
+# ----------------------------------------------------------------------
+def current_context() -> dict[str, Any]:
+    """The bound run/job/rank fields (unset fields omitted)."""
+    ctx: dict[str, Any] = {}
+    run, job, rank = _RUN.get(), _JOB.get(), _RANK.get()
+    if run is not None:
+        ctx["run"] = run
+    if job is not None:
+        ctx["job"] = job
+    if rank is not None:
+        ctx["rank"] = rank
+    return ctx
+
+
+@contextmanager
+def bind_context(
+    run: str | None = None,
+    job: str | None = None,
+    rank: int | None = None,
+) -> Iterator[None]:
+    """Bind run/job/rank onto every record emitted inside the block.
+
+    Only the arguments given are (re)bound; the rest keep whatever the
+    enclosing scope set.  Context travels with the current thread or
+    asyncio task, so concurrent serve jobs and SPMD rank threads each
+    see their own binding.
+    """
+    tokens = []
+    if run is not None:
+        tokens.append((_RUN, _RUN.set(str(run))))
+    if job is not None:
+        tokens.append((_JOB, _JOB.set(str(job))))
+    if rank is not None:
+        tokens.append((_RANK, _RANK.set(int(rank))))
+    try:
+        yield
+    finally:
+        for var, token in reversed(tokens):
+            var.reset(token)
+
+
+# ----------------------------------------------------------------------
+# Formatters
+# ----------------------------------------------------------------------
+def _epoch_us() -> float:
+    from repro.monitor.trace import Tracer
+
+    return Tracer.now_us()
+
+
+class JsonlFormatter(logging.Formatter):
+    """One JSON object per record: the structured half of ``--log-json``.
+
+    Fields: ``ts`` (unix seconds), ``us`` (microseconds since the
+    shared trace epoch), ``level``, ``logger``, ``msg``, the bound
+    context vars, any ``fields`` mapping passed via ``extra``, and
+    ``exc`` when exception info rides along.
+    """
+
+    def format(self, record: logging.LogRecord) -> str:
+        entry: dict[str, Any] = {
+            "ts": round(record.created, 6),
+            "us": round(_epoch_us(), 3),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "msg": record.getMessage(),
+        }
+        entry.update(current_context())
+        fields = getattr(record, "fields", None)
+        if isinstance(fields, Mapping):
+            for key, value in fields.items():
+                entry.setdefault(str(key), value)
+        if record.exc_info:
+            entry["exc"] = self.formatException(record.exc_info)
+        return json.dumps(entry, default=repr)
+
+
+class TextFormatter(logging.Formatter):
+    """Human-oriented single-line format with the same context fields."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        stamp = time.strftime("%H:%M:%S", time.localtime(record.created))
+        ctx = current_context()
+        ctx_txt = "".join(f" {k}={v}" for k, v in ctx.items())
+        fields = getattr(record, "fields", None)
+        if isinstance(fields, Mapping):
+            ctx_txt += "".join(f" {k}={v}" for k, v in fields.items())
+        base = (
+            f"{stamp} {record.levelname.lower():<8s} "
+            f"{record.name}:{ctx_txt} {record.getMessage()}"
+        )
+        if record.exc_info:
+            base += "\n" + self.formatException(record.exc_info)
+        return base
+
+
+# ----------------------------------------------------------------------
+# Configuration
+# ----------------------------------------------------------------------
+def configure_logging(
+    level: str | int = "warning",
+    json_mode: bool = False,
+    stream: TextIO | None = None,
+) -> logging.Logger:
+    """Install (or replace) the handler on the ``repro`` root logger.
+
+    Idempotent: calling again swaps the previously installed handler
+    rather than stacking a second one.  Logs go to ``stream`` (default
+    ``sys.stderr`` -- stdout stays reserved for verb output such as
+    JSON stats and OpenMetrics text).
+    """
+    global _INSTALLED
+    if isinstance(level, str):
+        if level.lower() not in LEVELS:
+            raise ValueError(f"unknown log level {level!r}; pick from {LEVELS}")
+        level = getattr(logging, level.upper())
+    root = logging.getLogger(ROOT_LOGGER)
+    if _INSTALLED is not None:
+        root.removeHandler(_INSTALLED)
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(JsonlFormatter() if json_mode else TextFormatter())
+    root.addHandler(handler)
+    root.setLevel(level)
+    _INSTALLED = handler
+    return root
+
+
+def add_logging_flags(parser: Any) -> None:
+    """Attach ``--log-level``/``--log-json`` to an argparse parser."""
+    group = parser.add_argument_group("logging")
+    group.add_argument(
+        "--log-level",
+        choices=LEVELS,
+        default=None,
+        help="enable structured logging at this level (default: off)",
+    )
+    group.add_argument(
+        "--log-json",
+        action="store_true",
+        help="emit logs as JSONL instead of human-readable text",
+    )
+
+
+def configure_from_args(args: Any) -> None:
+    """Apply ``add_logging_flags`` results; no-op when flags are absent."""
+    level = getattr(args, "log_level", None)
+    json_mode = bool(getattr(args, "log_json", False))
+    if level is None and not json_mode:
+        return
+    configure_logging(level or "info", json_mode=json_mode)

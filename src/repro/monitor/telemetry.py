@@ -1,0 +1,527 @@
+"""Live telemetry: histograms, OpenMetrics exposition, and sampling.
+
+The tracer (:mod:`repro.monitor.trace`) and the perf ledger answer
+questions *after* the run.  This module is the in-flight half of the
+observability story, the role APEX plays for HPX on Fugaku and the
+FLASH benchmarking harness plays for production astrophysics runs:
+continuously updated distributions (serve latency, queue wait, solver
+iterations, halo wait) and a text exposition format any scraper can
+read while the process is alive.
+
+Three pieces live here:
+
+* :class:`Histogram` -- fixed-bucket distribution sketch with quantile
+  estimates, the value type behind :meth:`MetricsRegistry.observe`.
+* :func:`render_openmetrics` / :func:`parse_openmetrics` -- the
+  OpenMetrics text format (the Prometheus exposition format with the
+  mandatory ``# EOF`` terminator), produced by the serve ``metrics``
+  wire op and consumed by ``repro top`` and the CI smoke job.
+* :class:`Telemetry` -- a background sampler that periodically writes
+  the registry as an OpenMetrics file, so non-serve runs (a plain
+  ``repro run``) are scrapeable from the filesystem.
+
+Design rule, inherited from the tracing and resilience layers: **zero
+cost when disabled**.  The module-level :func:`enabled` gate guards
+every instrumented site in the solver/parallel layers; with telemetry
+off those sites are a single attribute load + truth test, and runs are
+bitwise-identical to pre-telemetry behaviour (asserted by the test
+suite).  Service-layer metrics (the serve engine's counters) are always
+on -- they observe the service, never the physics.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import re
+import threading
+import time
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Any, Iterator, Mapping, Sequence
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "LATENCY_BUCKETS",
+    "ITERATION_BUCKETS",
+    "Histogram",
+    "Telemetry",
+    "enabled",
+    "set_enabled",
+    "enabled_scope",
+    "render_openmetrics",
+    "parse_openmetrics",
+    "publish_heartbeats",
+]
+
+#: Seconds-scale buckets for service latencies (submit→done, queue
+#: wait, halo wait).  Roughly log-spaced from 1 ms to 1 min.
+LATENCY_BUCKETS: tuple[float, ...] = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25,
+    0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0,
+)
+
+#: Count-scale buckets for per-step solver iterations.
+ITERATION_BUCKETS: tuple[float, ...] = (
+    1, 2, 3, 5, 8, 12, 20, 35, 60, 100, 200, 500, 1000,
+)
+
+#: Default when ``observe()`` is called without explicit buckets.
+DEFAULT_BUCKETS = LATENCY_BUCKETS
+
+
+class Histogram:
+    """Fixed-bucket histogram with interpolated quantile estimates.
+
+    Prometheus-style: ``bounds`` are the *inclusive upper* edges of the
+    finite buckets, with an implicit ``+Inf`` bucket at the end, so any
+    real value lands somewhere.  ``observe`` is O(log n buckets) via
+    bisection; memory is a flat int list regardless of sample count.
+
+    Not internally locked: callers that share a histogram across
+    threads go through :class:`~repro.monitor.trace.MetricsRegistry`,
+    whose lock serializes access.  Keeping the instance lock-free makes
+    it trivially picklable across the ``mp`` transport's forks.
+    """
+
+    __slots__ = ("bounds", "counts", "total", "sum", "min", "max")
+
+    def __init__(self, bounds: Sequence[float] = DEFAULT_BUCKETS) -> None:
+        cleaned = sorted(float(b) for b in bounds)
+        if not cleaned:
+            raise ValueError("histogram needs at least one bucket bound")
+        if any(b != b or b == math.inf for b in cleaned):
+            raise ValueError("bucket bounds must be finite numbers")
+        if len(set(cleaned)) != len(cleaned):
+            raise ValueError("bucket bounds must be distinct")
+        self.bounds: tuple[float, ...] = tuple(cleaned)
+        self.counts: list[int] = [0] * (len(cleaned) + 1)  # + the Inf bucket
+        self.total: int = 0
+        self.sum: float = 0.0
+        self.min: float = math.inf
+        self.max: float = -math.inf
+
+    # ------------------------------------------------------------------
+    def observe(self, value: float) -> None:
+        """Record one sample."""
+        v = float(value)
+        lo, hi = 0, len(self.bounds)
+        while lo < hi:  # leftmost bound >= v
+            mid = (lo + hi) // 2
+            if self.bounds[mid] < v:
+                lo = mid + 1
+            else:
+                hi = mid
+        self.counts[lo] += 1
+        self.total += 1
+        self.sum += v
+        if v < self.min:
+            self.min = v
+        if v > self.max:
+            self.max = v
+
+    def observe_many(self, values: Sequence[float]) -> None:
+        for v in values:
+            self.observe(v)
+
+    @property
+    def count(self) -> int:
+        return self.total
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.total if self.total else 0.0
+
+    # ------------------------------------------------------------------
+    def quantile(self, q: float) -> float:
+        """Estimated ``q``-quantile (``0 <= q <= 1``) of the samples.
+
+        Standard Prometheus ``histogram_quantile`` estimation: find the
+        bucket holding the target rank and interpolate linearly inside
+        it, except the edges are tightened with the tracked ``min`` /
+        ``max`` so single-bucket distributions do not smear across the
+        whole bucket width.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q!r}")
+        if self.total == 0:
+            return math.nan
+        rank = q * self.total
+        cum = 0
+        for i, n in enumerate(self.counts):
+            if n == 0:
+                cum += n
+                continue
+            if cum + n >= rank:
+                lower = self.bounds[i - 1] if i > 0 else min(self.min, self.bounds[0])
+                upper = self.bounds[i] if i < len(self.bounds) else self.max
+                lower = max(lower, self.min)
+                upper = min(upper, self.max)
+                if upper <= lower:
+                    return upper
+                frac = (rank - cum) / n
+                return lower + frac * (upper - lower)
+            cum += n
+        return self.max
+
+    def quantiles(self, n: int = 4) -> list[float]:
+        """``n-1`` cut points, mirroring :func:`statistics.quantiles`."""
+        if n < 2:
+            raise ValueError("n must be at least 2")
+        return [self.quantile(i / n) for i in range(1, n)]
+
+    # ------------------------------------------------------------------
+    def merge(self, other: "Histogram") -> None:
+        """Fold ``other`` into this histogram (bounds must agree)."""
+        if other.bounds != self.bounds:
+            raise ValueError(
+                f"cannot merge histograms with different buckets: "
+                f"{self.bounds} vs {other.bounds}"
+            )
+        for i, n in enumerate(other.counts):
+            self.counts[i] += n
+        self.total += other.total
+        self.sum += other.sum
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+
+    def snapshot(self) -> dict[str, Any]:
+        """Detached plain-data form (JSON- and pipe-friendly)."""
+        return {
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
+            "total": self.total,
+            "sum": self.sum,
+            "min": self.min if self.total else None,
+            "max": self.max if self.total else None,
+        }
+
+    @classmethod
+    def from_snapshot(cls, data: Mapping[str, Any]) -> "Histogram":
+        hist = cls(data["bounds"])
+        counts = list(data["counts"])
+        if len(counts) != len(hist.counts):
+            raise ValueError("snapshot counts do not match bounds")
+        hist.counts = [int(n) for n in counts]
+        hist.total = int(data["total"])
+        hist.sum = float(data["sum"])
+        hist.min = math.inf if data.get("min") is None else float(data["min"])
+        hist.max = -math.inf if data.get("max") is None else float(data["max"])
+        return hist
+
+    def __getstate__(self) -> dict[str, Any]:
+        return {slot: getattr(self, slot) for slot in self.__slots__}
+
+    def __setstate__(self, state: dict[str, Any]) -> None:
+        for slot, value in state.items():
+            setattr(self, slot, value)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Histogram(n={self.total}, sum={self.sum:.6g}, "
+            f"buckets={len(self.bounds) + 1})"
+        )
+
+
+# ----------------------------------------------------------------------
+# Enablement gate
+# ----------------------------------------------------------------------
+def _env_enabled() -> bool:
+    return os.environ.get("REPRO_TELEMETRY", "").strip().lower() in {
+        "1", "true", "on", "yes",
+    }
+
+
+_ENABLED: bool = _env_enabled()
+
+
+def enabled() -> bool:
+    """Is solver/parallel-layer telemetry instrumentation armed?
+
+    This is the gate every physics-adjacent site checks (solver
+    iteration observes, halo-wait timing, flight recording, heartbeat
+    publication).  Defaults from the ``REPRO_TELEMETRY`` environment
+    variable; flipped programmatically by :func:`set_enabled`.
+    """
+    return _ENABLED
+
+
+def set_enabled(flag: bool) -> bool:
+    """Arm/disarm telemetry; returns the previous state."""
+    global _ENABLED
+    prev = _ENABLED
+    _ENABLED = bool(flag)
+    return prev
+
+
+@contextmanager
+def enabled_scope(flag: bool = True) -> Iterator[None]:
+    """Temporarily arm (or disarm) telemetry within a ``with`` block."""
+    prev = set_enabled(flag)
+    try:
+        yield
+    finally:
+        set_enabled(prev)
+
+
+# ----------------------------------------------------------------------
+# OpenMetrics text exposition
+# ----------------------------------------------------------------------
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>\S+)\s*$"
+)
+
+
+def metric_name(name: str) -> str:
+    """Sanitize a registry key into a legal OpenMetrics metric name."""
+    clean = _NAME_RE.sub("_", name)
+    if not clean or clean[0].isdigit():
+        clean = "_" + clean
+    return clean
+
+
+def _fmt(value: float) -> str:
+    if value != value:
+        return "NaN"
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def render_openmetrics(
+    registry: Any = None,
+    *,
+    values: Mapping[str, float] | None = None,
+    histograms: Mapping[str, Mapping[str, Any]] | None = None,
+) -> str:
+    """Render a registry (or raw snapshots) as OpenMetrics text.
+
+    ``registry`` may be a :class:`~repro.monitor.trace.MetricsRegistry`;
+    alternatively pass explicit ``values``/``histograms`` snapshots
+    (the transport-neutral form the ``metrics`` wire op ships).  All
+    scalar registry entries are exposed as gauges -- the registry does
+    not distinguish counters from gauges and ``gauge`` is always a
+    valid declaration.  Output ends with the mandatory ``# EOF``.
+    """
+    if registry is not None:
+        values = registry.snapshot()
+        histograms = registry.histogram_snapshots()
+    values = values or {}
+    histograms = histograms or {}
+
+    lines: list[str] = []
+    for key in sorted(values):
+        name = metric_name(key)
+        lines.append(f"# TYPE {name} gauge")
+        lines.append(f"{name} {_fmt(values[key])}")
+    for key in sorted(histograms):
+        snap = histograms[key]
+        name = metric_name(key)
+        lines.append(f"# TYPE {name} histogram")
+        cum = 0
+        bounds = list(snap["bounds"]) + [math.inf]
+        for bound, n in zip(bounds, snap["counts"]):
+            cum += int(n)
+            lines.append(f'{name}_bucket{{le="{_fmt(bound)}"}} {cum}')
+        lines.append(f"{name}_count {int(snap['total'])}")
+        lines.append(f"{name}_sum {_fmt(float(snap['sum']))}")
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+def _parse_value(text: str) -> float:
+    low = text.strip().lower()
+    if low in ("+inf", "inf"):
+        return math.inf
+    if low == "-inf":
+        return -math.inf
+    if low == "nan":
+        return math.nan
+    return float(text)
+
+
+def parse_openmetrics(text: str) -> dict[str, Any]:
+    """Parse OpenMetrics text back into families; strict on structure.
+
+    Returns ``{name: {"type": "gauge", "value": float}}`` for scalars
+    and ``{name: {"type": "histogram", "buckets": [(le, cum)], "count":
+    int, "sum": float}}`` for histograms.  Raises :class:`ValueError`
+    on malformed input: missing ``# EOF`` terminator, samples without a
+    preceding ``# TYPE``, non-monotone cumulative bucket counts, or a
+    ``_count`` that disagrees with the ``+Inf`` bucket.  This is the
+    validator the CI telemetry-smoke job runs against a live scrape.
+    """
+    families: dict[str, Any] = {}
+    types: dict[str, str] = {}
+    saw_eof = False
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        if saw_eof:
+            raise ValueError(f"line {lineno}: content after # EOF")
+        if line == "# EOF":
+            saw_eof = True
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) != 4:
+                raise ValueError(f"line {lineno}: malformed TYPE line")
+            _, _, name, mtype = parts
+            if mtype not in ("gauge", "counter", "histogram", "summary"):
+                raise ValueError(f"line {lineno}: unknown type {mtype!r}")
+            types[name] = mtype
+            continue
+        if line.startswith("#"):
+            continue  # HELP/UNIT comments are legal and ignored
+        m = _SAMPLE_RE.match(line)
+        if not m:
+            raise ValueError(f"line {lineno}: malformed sample {line!r}")
+        sample, labels, value = m.group("name"), m.group("labels"), m.group("value")
+        base = sample
+        for suffix in ("_bucket", "_count", "_sum"):
+            if sample.endswith(suffix) and sample[: -len(suffix)] in types:
+                base = sample[: -len(suffix)]
+                break
+        mtype = types.get(base)
+        if mtype is None:
+            raise ValueError(f"line {lineno}: sample {sample!r} without # TYPE")
+        if mtype == "histogram":
+            fam = families.setdefault(
+                base,
+                {"type": "histogram", "buckets": [], "count": 0, "sum": 0.0},
+            )
+            if sample.endswith("_bucket"):
+                le = None
+                for pair in (labels or "").split(","):
+                    if pair.startswith("le="):
+                        le = _parse_value(pair[3:].strip('"'))
+                if le is None:
+                    raise ValueError(f"line {lineno}: bucket without le label")
+                cum = int(float(value))
+                if fam["buckets"] and cum < fam["buckets"][-1][1]:
+                    raise ValueError(
+                        f"line {lineno}: cumulative bucket count decreased"
+                    )
+                fam["buckets"].append((le, cum))
+            elif sample.endswith("_count"):
+                fam["count"] = int(float(value))
+            elif sample.endswith("_sum"):
+                fam["sum"] = _parse_value(value)
+            else:
+                raise ValueError(
+                    f"line {lineno}: unexpected histogram sample {sample!r}"
+                )
+        else:
+            families[base] = {"type": mtype, "value": _parse_value(value)}
+    if not saw_eof:
+        raise ValueError("missing # EOF terminator")
+    for name, fam in families.items():
+        if fam.get("type") != "histogram":
+            continue
+        if not fam["buckets"] or fam["buckets"][-1][0] != math.inf:
+            raise ValueError(f"histogram {name!r} missing +Inf bucket")
+        if fam["buckets"][-1][1] != fam["count"]:
+            raise ValueError(
+                f"histogram {name!r}: +Inf bucket {fam['buckets'][-1][1]} "
+                f"!= count {fam['count']}"
+            )
+    return families
+
+
+# ----------------------------------------------------------------------
+# Heartbeat publication
+# ----------------------------------------------------------------------
+def publish_heartbeats(
+    registry: Any, ages: Mapping[int, float], prefix: str = "repro.rank"
+) -> None:
+    """Set ``<prefix>.<rank>.heartbeat_age_seconds`` gauges from ages."""
+    for rank, age in ages.items():
+        registry.set(f"{prefix}.{rank}.heartbeat_age_seconds", float(age))
+
+
+# ----------------------------------------------------------------------
+# Background sampler for non-serve runs
+# ----------------------------------------------------------------------
+class Telemetry:
+    """Periodic OpenMetrics snapshots of a registry to a file.
+
+    A ``repro run`` has no wire protocol to scrape, so this sampler is
+    its exposition surface: every ``interval`` seconds (or on demand
+    via :meth:`sample`) the registry is rendered to ``path`` with an
+    atomic replace, and ``repro top --file`` polls that file.  The
+    sampler thread is a daemon and observation-only -- it never touches
+    solver state.
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        registry: Any = None,
+        interval: float = 1.0,
+        heartbeats: Any = None,
+    ) -> None:
+        from repro.monitor.trace import get_metrics
+
+        self.path = Path(path)
+        self.registry = registry if registry is not None else get_metrics()
+        self.interval = float(interval)
+        # Optional zero-arg callable returning {rank: age_seconds}.
+        self.heartbeats = heartbeats
+        self.samples = 0
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    def sample(self) -> Path:
+        """Take one sample: publish heartbeats, render, atomic write."""
+        from repro.io.atomic import atomic_write_bytes
+
+        if self.heartbeats is not None:
+            try:
+                publish_heartbeats(self.registry, self.heartbeats())
+            except Exception:  # pragma: no cover - heartbeat source died
+                pass
+        self.samples += 1
+        self.registry.set("repro.telemetry.samples", float(self.samples))
+        self.registry.set("repro.telemetry.sampled_unix", time.time())
+        body = render_openmetrics(self.registry)
+        return atomic_write_bytes(self.path, body.encode())
+
+    # ------------------------------------------------------------------
+    def start(self) -> "Telemetry":
+        if self._thread is not None:
+            return self
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._loop, name="repro-telemetry", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self, final_sample: bool = True) -> None:
+        thread, self._thread = self._thread, None
+        if thread is not None:
+            self._stop.set()
+            thread.join(timeout=max(5.0, 2 * self.interval))
+        if final_sample:
+            self.sample()
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self.interval):
+            try:
+                self.sample()
+            except Exception:  # pragma: no cover - sampler must not kill runs
+                pass
+
+    def __enter__(self) -> "Telemetry":
+        return self.start()
+
+    def __exit__(self, *exc: Any) -> None:
+        self.stop()

@@ -55,15 +55,39 @@ _EPOCH_NS = time.perf_counter_ns()
 
 
 class MetricsRegistry:
-    """Process-wide named metrics (counters and gauges).
+    """Process-wide named metrics (counters, gauges, and histograms).
 
     A minimal Prometheus-flavoured registry: instrumented code bumps
     named values, and the tracer snapshots the whole registry into a
-    counter track.  Thread-safe; values are plain floats.
+    counter track.  Thread-safe; scalar values are plain floats, and
+    :meth:`observe` feeds fixed-bucket
+    :class:`~repro.monitor.telemetry.Histogram` distributions that the
+    OpenMetrics exposition and ``repro top`` render live.  Histograms
+    are kept out of :meth:`snapshot` so every consumer of the scalar
+    view (tracer counter tracks, perf reports) keeps seeing a flat
+    ``{name: float}`` dict.
     """
 
     def __init__(self) -> None:
         self._values: dict[str, float] = {}
+        self._hists: dict[str, Any] = {}
+        self._lock = threading.Lock()
+
+    # The registry crosses process boundaries twice: the ``mp``
+    # transport forks it (children inherit, then snapshot-and-reset so
+    # their deltas fold back through the result pipes), and tests
+    # pickle it.  Locks are per-process machinery -- same treatment as
+    # Tracer below.
+    def __getstate__(self) -> dict[str, Any]:
+        with self._lock:
+            state = self.__dict__.copy()
+            state["_values"] = dict(self._values)
+            state["_hists"] = dict(self._hists)
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: dict[str, Any]) -> None:
+        self.__dict__.update(state)
         self._lock = threading.Lock()
 
     def inc(self, name: str, delta: float = 1.0) -> None:
@@ -81,13 +105,107 @@ class MetricsRegistry:
             return self._values.get(name, default)
 
     def snapshot(self) -> dict[str, float]:
-        """Detached copy of every metric."""
+        """Detached copy of every scalar metric."""
         with self._lock:
             return dict(self._values)
 
     def reset(self) -> None:
         with self._lock:
             self._values.clear()
+            self._hists.clear()
+
+    # ------------------------------------------------------------------
+    # Histograms
+    # ------------------------------------------------------------------
+    def observe(
+        self, name: str, value: float, buckets: Sequence[float] | None = None
+    ) -> None:
+        """Record ``value`` into the named histogram (created lazily).
+
+        ``buckets`` (finite upper bounds) only matters on first touch;
+        later observations reuse the existing bucket layout.
+        """
+        from repro.monitor.telemetry import DEFAULT_BUCKETS, Histogram
+
+        with self._lock:
+            hist = self._hists.get(name)
+            if hist is None:
+                hist = Histogram(buckets if buckets is not None else DEFAULT_BUCKETS)
+                self._hists[name] = hist
+            hist.observe(value)
+
+    def histogram(self, name: str) -> Any | None:
+        """The named :class:`Histogram`, or ``None`` if never observed."""
+        with self._lock:
+            return self._hists.get(name)
+
+    def quantile(self, name: str, q: float, default: float = 0.0) -> float:
+        """Estimated ``q``-quantile of the named histogram."""
+        with self._lock:
+            hist = self._hists.get(name)
+            if hist is None or hist.total == 0:
+                return default
+            return hist.quantile(q)
+
+    def histogram_snapshots(self) -> dict[str, dict[str, Any]]:
+        """``{name: plain-data snapshot}`` for every histogram."""
+        with self._lock:
+            return {name: h.snapshot() for name, h in self._hists.items()}
+
+    # ------------------------------------------------------------------
+    # Cross-process fold-back
+    # ------------------------------------------------------------------
+    def export(self) -> dict[str, Any]:
+        """Transport-neutral full state (scalars + histograms)."""
+        with self._lock:
+            return {
+                "values": dict(self._values),
+                "histograms": {n: h.snapshot() for n, h in self._hists.items()},
+            }
+
+    def export_and_reset(self) -> dict[str, Any]:
+        """Atomically :meth:`export` then clear -- the child-rank half
+        of the ``mp`` transport's snapshot-and-reset fold-back.
+
+        A forked child inherits the parent's pre-fork metrics; calling
+        this right after the fork discards that inherited baseline so
+        whatever the child exports at exit is *its own* delta, safe for
+        the parent to merge without double counting.
+        """
+        with self._lock:
+            state = {
+                "values": dict(self._values),
+                "histograms": {n: h.snapshot() for n, h in self._hists.items()},
+            }
+            self._values.clear()
+            self._hists.clear()
+        return state
+
+    def merge_export(self, data: Mapping[str, Any] | None) -> None:
+        """Fold an :meth:`export` payload in: scalars add, hists merge.
+
+        Additive semantics match the fold-back use case (child deltas
+        accumulate onto the parent's registry); gauges set by a child
+        therefore arrive as additive contributions too, which is the
+        right call for every ``repro.*`` gauge we publish (rates and
+        ages are re-set by the parent's own sampler after merging).
+        """
+        from repro.monitor.telemetry import Histogram
+
+        if not data:
+            return
+        with self._lock:
+            for name, value in data.get("values", {}).items():
+                self._values[name] = self._values.get(name, 0.0) + float(value)
+            for name, snap in data.get("histograms", {}).items():
+                incoming = Histogram.from_snapshot(snap)
+                mine = self._hists.get(name)
+                if mine is None or mine.bounds != incoming.bounds:
+                    # Bucket-layout drift: last writer wins rather than
+                    # raising inside a result-collection path.
+                    self._hists[name] = incoming
+                else:
+                    mine.merge(incoming)
 
 
 _GLOBAL_METRICS = MetricsRegistry()

@@ -14,6 +14,7 @@ for the performance model.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from enum import Enum
 
@@ -191,7 +192,23 @@ class PendingExchange:
             tracer.async_end("halo_inflight", self.async_id, rank=rank, cat="halo")
 
     def _finish(self) -> None:
-        for side, req in self.pending:
-            self.field.ghost_strip(side, self.width)[...] = req.wait()
+        from repro.monitor import telemetry
+
+        if telemetry.enabled():
+            # Observation only: time spent blocked on neighbour strips
+            # feeds the repro.halo.wait_seconds histogram.  The guarded
+            # path never touches operands, so disabled runs stay
+            # bitwise-identical.
+            t0 = time.monotonic()
+            for side, req in self.pending:
+                self.field.ghost_strip(side, self.width)[...] = req.wait()
+            from repro.monitor.trace import get_metrics
+
+            get_metrics().observe(
+                "repro.halo.wait_seconds", time.monotonic() - t0
+            )
+        else:
+            for side, req in self.pending:
+                self.field.ghost_strip(side, self.width)[...] = req.wait()
         self.exchanger.cart.comm.counters.halo_exchanges += 1
         self._done = True

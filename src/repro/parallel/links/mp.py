@@ -19,15 +19,25 @@ Mechanics
   one writer).  Self-sends bypass the ring -- a rank blocking on its
   own full ring could never drain it.
 * **results over pipes**: each child sends ``(status, value,
-  counters-snapshot)`` once; the parent copies the snapshot back into
-  the caller's :class:`Counters` so accounting matches the threaded
-  transport's in-place semantics.
+  counters-snapshot, metrics-export)`` once; the parent copies the
+  counters snapshot back into the caller's :class:`Counters` and folds
+  the metrics export into the process-wide
+  :class:`~repro.monitor.trace.MetricsRegistry` (children
+  snapshot-and-reset the inherited registry right after the fork, so
+  what they ship home is their own delta).
 * **abort**: a shared flag every wait loop polls.  A failing rank sets
   it, peers wake with
   :class:`~repro.parallel.world.WorldAbortedError`, the parent
   re-raises the originating failure.  Children that die *silently*
   (segfault, ``os._exit``) are caught by sentinel watch and reported
   as :class:`RemoteRankError`.
+* **heartbeats**: a shared float64 slot per rank, stamped by the
+  fabric's progress engine on every drain/deliver.  With telemetry
+  armed the parent polls the slots, publishes
+  ``repro.rank.<r>.heartbeat_age_seconds`` gauges, and dumps a
+  flight-recorder manifest when a rank goes stale; failing children
+  dump their own flight rings into a bundle directory reserved before
+  the fork.
 """
 
 from __future__ import annotations
@@ -38,9 +48,14 @@ import time
 import traceback
 from collections import deque
 from multiprocessing import connection as mp_connection
+from pathlib import Path
 from typing import Any, Callable, Sequence
 
+from repro.monitor import flight, telemetry
 from repro.monitor.counters import Counters
+from repro.monitor.log import bind_context, get_logger
+from repro.monitor.telemetry import publish_heartbeats
+from repro.monitor.trace import get_metrics
 from repro.parallel.comm import Communicator
 from repro.parallel.links.base import (
     Transport,
@@ -56,6 +71,11 @@ DEFAULT_RING_BYTES = 1 << 18
 
 #: Grace period for surviving ranks to notice an abort and report in.
 _ABORT_GRACE_S = 30.0
+
+#: Parent poll period for the heartbeat watchdog (telemetry-armed only).
+_WATCHDOG_POLL_S = 1.0
+
+_LOG = get_logger("parallel.mp")
 
 
 class RemoteRankError(RuntimeError):
@@ -102,6 +122,14 @@ class MPFabric:
         self.size = size
         self.timeout = timeout
         self._abort_flag = SharedArray((1,), "uint64")
+        # One monotonic instant per rank, stamped by the owning child's
+        # progress engine; readable by the parent watchdog without any
+        # extra IPC.  A zero slot means the rank never bound.
+        self._heartbeats = SharedArray((size,), "float64")
+        # Reserved (not yet created) flight-bundle directory, agreed on
+        # before the fork so failing children and the parent manifest
+        # land in the same incident directory.  ``None`` = disarmed.
+        self.flight_bundle: Path | None = None
         self.barrier_impl = ShmBarrier(size, ctx, self._abort_flag)
         self._rings: dict[tuple[int, int], ShmRing] = {
             (src, dst): ShmRing(ring_bytes, ctx)
@@ -117,12 +145,14 @@ class MPFabric:
         """Adopt ``rank``'s endpoint (called once per child, post-fork)."""
         self._rank = rank
         self._pending = {}
+        self.heartbeat(rank)
 
     def close(self) -> None:
         for ring in self._rings.values():
             ring.close()
         self.barrier_impl.close()
         self._abort_flag.close()
+        self._heartbeats.close()
 
     def unlink(self) -> None:
         """Remove all backing segments (launcher-side, once)."""
@@ -130,6 +160,24 @@ class MPFabric:
             ring.unlink()
         self.barrier_impl.unlink()
         self._abort_flag.unlink()
+        self._heartbeats.unlink()
+
+    # -- heartbeats -----------------------------------------------------
+    def heartbeat(self, rank: int) -> None:
+        """Stamp ``rank``'s shared liveness slot (monotonic seconds).
+
+        CLOCK_MONOTONIC is system-wide on Linux, so parent-side age
+        arithmetic against child-side stamps is meaningful.
+        """
+        self._heartbeats.array[rank] = time.monotonic()
+
+    def heartbeat_ages(self) -> dict[int, float]:
+        """``{rank: seconds since last fabric activity}`` (stamped only)."""
+        now = time.monotonic()
+        stamps = self._heartbeats.array
+        return {
+            r: float(now - stamps[r]) for r in range(self.size) if stamps[r] > 0.0
+        }
 
     # -- abort ----------------------------------------------------------
     @property
@@ -148,6 +196,7 @@ class MPFabric:
             raise ValueError(f"destination rank {dest} out of range")
         if self.aborted:
             raise WorldAbortedError("world aborted")
+        self.heartbeat(source)
         if dest == source:
             # Self-sends bypass the ring: a rank blocked writing its own
             # full ring could never drain it.  Value-copy to keep the
@@ -166,6 +215,7 @@ class MPFabric:
 
     def _drain(self, dest: int) -> None:
         """Move every complete inbound frame into the pending map."""
+        self.heartbeat(dest)
         for src in range(self.size):
             if src == dest:
                 continue
@@ -212,12 +262,21 @@ def _child_entry(
     counter: Counters | None,
     conn,
 ) -> None:
-    """Per-rank process body: run ``fn``, report result + counters."""
+    """Per-rank process body: run ``fn``, report result + counters.
+
+    The fork copied the parent's metrics registry wholesale; the
+    ``export_and_reset`` right after binding discards that inherited
+    baseline, so the export shipped home on the result pipe is this
+    rank's own delta and the parent can merge it without double
+    counting.
+    """
     fabric.bind(rank)
+    get_metrics().export_and_reset()
     comm = Communicator(fabric, rank, counters=counter)
     status, value = "ok", None
     try:
-        value = fn(comm, *args, **kwargs)
+        with bind_context(rank=rank):
+            value = fn(comm, *args, **kwargs)
         if not _pickles(value):
             # A result that cannot cross the pipe is a rank failure,
             # not a silently-substituted success.
@@ -230,13 +289,22 @@ def _child_entry(
         fabric.abort()
         status = "err"
         value = exc
+        flight.record(rank, "error", type(exc).__name__, message=str(exc))
+        if telemetry.enabled() and fabric.flight_bundle is not None:
+            try:
+                fabric.flight_bundle.mkdir(parents=True, exist_ok=True)
+                flight.dump_rank(fabric.flight_bundle, rank)
+            except OSError:  # pragma: no cover - post-mortem best effort
+                pass
         if not _pickles(exc):
             value = RemoteRankError(
                 f"rank {rank} failed (unpicklable exception):\n"
                 + "".join(traceback.format_exception(exc))
             )
     try:
-        conn.send((status, value, comm.counters.snapshot()))
+        conn.send(
+            (status, value, comm.counters.snapshot(), get_metrics().export())
+        )
     finally:
         conn.close()
 
@@ -298,6 +366,11 @@ class MPTransport(Transport):
         kwargs: dict[str, Any],
         counters: Sequence[Counters] | None,
     ) -> list[Any]:
+        telemetry_on = telemetry.enabled()
+        if telemetry_on:
+            # Reserve (but do not create) the incident directory now so
+            # forked children inherit the agreed location.
+            fabric.flight_bundle = flight.bundle_path("abort")
         conns: list[Any] = []
         procs: list[Any] = []
         for r in range(size):
@@ -324,10 +397,13 @@ class MPTransport(Transport):
         results: list[Any] = [None] * size
         failures: list[tuple[int, BaseException]] = []
         snapshots: list[dict | None] = [None] * size
+        metric_exports: list[dict | None] = [None] * size
         remaining = set(range(size))
         by_conn = {conns[r]: r for r in range(size)}
         by_sentinel = {procs[r].sentinel: r for r in range(size)}
         abort_deadline: float | None = None
+        hb_timeout = fabric.timeout if fabric.timeout is not None else _ABORT_GRACE_S
+        hb_dumped = False
 
         while remaining:
             waitable = [conns[r] for r in remaining] + [
@@ -336,8 +412,39 @@ class MPTransport(Transport):
             grace = None
             if abort_deadline is not None:
                 grace = max(0.0, abort_deadline - time.monotonic())
+            elif telemetry_on:
+                # Armed telemetry turns the indefinite wait into a poll
+                # so the watchdog can publish heartbeat ages and catch
+                # stale ranks; disarmed runs keep the original blocking
+                # wait (zero behaviour change).
+                grace = _WATCHDOG_POLL_S
             ready = mp_connection.wait(waitable, timeout=grace)
             if not ready:
+                if abort_deadline is None:
+                    # Watchdog tick: no abort in progress, just a poll
+                    # timeout with telemetry armed.
+                    ages = fabric.heartbeat_ages()
+                    publish_heartbeats(get_metrics(), ages)
+                    stale = [
+                        r for r in sorted(remaining)
+                        if ages.get(r, 0.0) > hb_timeout
+                    ]
+                    if stale and not hb_dumped:
+                        hb_dumped = True
+                        bundle = flight.dump_bundle(
+                            "heartbeat-timeout",
+                            failing_rank=stale[0],
+                            cause=(
+                                f"rank {stale[0]} heartbeat age "
+                                f"{ages[stale[0]]:.1f}s > {hb_timeout:.1f}s"
+                            ),
+                            heartbeat_ages=ages,
+                        )
+                        _LOG.warning(
+                            "rank %d heartbeat stale; flight bundle at %s",
+                            stale[0], bundle,
+                        )
+                    continue
                 # Abort grace expired: remaining ranks are wedged.
                 for r in sorted(remaining):
                     procs[r].terminate()
@@ -352,25 +459,28 @@ class MPTransport(Transport):
                     continue
                 if handle is conns[r] or conns[r].poll():
                     try:
-                        status, value, snap = conns[r].recv()
+                        status, value, snap, mexport = conns[r].recv()
                     except EOFError:
-                        status, value, snap = (
+                        status, value, snap, mexport = (
                             "err",
                             RemoteRankError(f"rank {r} closed without result"),
                             None,
+                            None,
                         )
                 elif procs[r].sentinel == handle:
-                    status, value, snap = (
+                    status, value, snap, mexport = (
                         "err",
                         RemoteRankError(
                             f"rank {r} died without reporting "
                             f"(exitcode {procs[r].exitcode})"
                         ),
                         None,
+                        None,
                     )
                 else:  # pragma: no cover - unreachable
                     continue
                 snapshots[r] = snap
+                metric_exports[r] = mexport
                 if status == "ok":
                     results[r] = value
                 else:
@@ -396,7 +506,33 @@ class MPTransport(Transport):
                     counters[r].reset()
                     counters[r].merge_snapshot(snap)
 
+        # Fold each child's metrics delta into the parent registry --
+        # failed ranks included: their partial metrics are evidence.
+        registry = get_metrics()
+        for mexport in metric_exports:
+            if mexport:
+                registry.merge_export(mexport)
+
         if failures:
             rank, cause = select_primary_failure(failures)
+            if telemetry_on and fabric.flight_bundle is not None:
+                try:
+                    ages = fabric.heartbeat_ages()
+                    fabric.flight_bundle.mkdir(parents=True, exist_ok=True)
+                    for r in flight.active_ranks():
+                        flight.dump_rank(fabric.flight_bundle, r)
+                    flight.write_manifest(
+                        fabric.flight_bundle,
+                        "abort",
+                        failing_rank=rank,
+                        cause=repr(cause),
+                        heartbeat_ages=ages,
+                    )
+                    _LOG.warning(
+                        "flight-recorder bundle written to %s",
+                        fabric.flight_bundle,
+                    )
+                except OSError:  # pragma: no cover - post-mortem best effort
+                    pass
             raise WorldAbortedError(rank=rank, cause=cause) from cause
         return results

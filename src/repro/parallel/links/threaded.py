@@ -13,10 +13,14 @@ from __future__ import annotations
 import threading
 from typing import Any, Callable, Sequence
 
+from repro.monitor import flight, telemetry
 from repro.monitor.counters import Counters
+from repro.monitor.log import bind_context, get_logger
 from repro.parallel.comm import Communicator
 from repro.parallel.links.base import Transport, validate_launch
 from repro.parallel.world import World, WorldAbortedError
+
+_LOG = get_logger("parallel.threads")
 
 
 def select_primary_failure(
@@ -84,8 +88,16 @@ class ThreadedTransport(Transport):
                 world, rank, counters=counters[rank] if counters else None
             )
             try:
-                results[rank] = fn(comm, *args, **kwargs)
+                with bind_context(rank=rank):
+                    results[rank] = fn(comm, *args, **kwargs)
             except BaseException as exc:  # noqa: BLE001 - must propagate anything
+                flight.record(
+                    rank, "error", type(exc).__name__, message=str(exc)
+                )
+                _LOG.warning(
+                    "rank %d failed: %r", rank, exc,
+                    extra={"fields": {"rank": rank}},
+                )
                 with failure_lock:
                     failures.append((rank, exc))
                 world.abort()
@@ -103,5 +115,13 @@ class ThreadedTransport(Transport):
 
         if failures:
             rank, cause = select_primary_failure(failures)
+            if telemetry.enabled():
+                bundle = flight.dump_bundle(
+                    "abort",
+                    failing_rank=rank,
+                    cause=repr(cause),
+                    heartbeat_ages=world.heartbeat_ages(),
+                )
+                _LOG.warning("flight-recorder bundle written to %s", bundle)
             raise WorldAbortedError(rank=rank, cause=cause) from cause
         return results

@@ -29,6 +29,7 @@ both.
 from __future__ import annotations
 
 import threading
+import time
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Any
@@ -170,6 +171,24 @@ class World:
         self.barrier_impl = _Barrier(size)
         self._aborted = False
         self._abort_lock = threading.Lock()
+        # Monotonic heartbeat instants, stamped on every fabric touch a
+        # rank makes (send/receive).  A zero entry means the rank never
+        # reached the fabric.  One float store per message -- cheap
+        # enough to run unconditionally; only the *reporting* is gated
+        # on telemetry.
+        self._heartbeats = [0.0] * size
+
+    # ------------------------------------------------------------------
+    def heartbeat(self, rank: int) -> None:
+        """Stamp ``rank``'s liveness instant (monotonic seconds)."""
+        self._heartbeats[rank] = time.monotonic()
+
+    def heartbeat_ages(self) -> dict[int, float]:
+        """``{rank: seconds since last fabric activity}`` (stamped only)."""
+        now = time.monotonic()
+        return {
+            r: now - t for r, t in enumerate(self._heartbeats) if t > 0.0
+        }
 
     # ------------------------------------------------------------------
     @property
@@ -193,6 +212,7 @@ class World:
             raise ValueError(f"destination rank {dest} out of range")
         if self._aborted:
             raise WorldAbortedError("world aborted")
+        self.heartbeat(source)
         box = self._mailboxes[dest]
         msg = Message(source=source, tag=tag, payload=_copy_payload(payload))
         with box.cond:
@@ -201,6 +221,7 @@ class World:
 
     def collect(self, dest: int, source: int, tag: int) -> Any:
         """Blocking matched receive (FIFO per ``(source, tag)`` channel)."""
+        self.heartbeat(dest)
         box = self._mailboxes[dest]
         key = (source, tag)
         with box.cond:

@@ -34,8 +34,9 @@ from repro.linalg.bicgstab import SolveResult, bicgstab
 from repro.linalg.gmres import gmres
 from repro.linalg.operators import LinearOperator
 from repro.linalg.spai import Preconditioner
+from repro.monitor import flight, telemetry
 from repro.monitor.counters import Counters
-from repro.monitor.trace import Tracer
+from repro.monitor.trace import Tracer, get_metrics
 from repro.parallel.comm import Communicator, ReduceOp
 
 Array = np.ndarray
@@ -159,6 +160,14 @@ def solve_with_escalation(
             tracer.instant(
                 event, rank=trace_rank, cat="resilience", args={"site": site}
             )
+        if telemetry.enabled():
+            last = stats.attempts[-1]
+            flight.record(
+                trace_rank, "escalation", event, site=site,
+                failed_method=last.method, iterations=last.result.iterations,
+                seconds=round(last.seconds, 6),
+            )
+            get_metrics().inc(f"repro.resilience.{event}s")
 
     use_fused = fused and ganged
     first = "bicgstab-fused" if use_fused else (

@@ -167,6 +167,14 @@ def _run_client_op(client, args: argparse.Namespace) -> int:
     if args.stats:
         _emit(client.stats(), True)  # stats are only useful in full
         return 0
+    if args.metrics:
+        # Raw OpenMetrics text on stdout: pipe straight into a scraper
+        # or a file; `repro top` renders the same payload nicely.
+        sys.stdout.write(client.metrics()["openmetrics"])
+        return 0
+    if args.health:
+        _emit(client.health(), True)
+        return 0
     if args.shutdown:
         _emit(client.shutdown(graceful=not args.hard), args.json)
         return 0
@@ -232,6 +240,10 @@ def add_submit_parser(sub) -> None:
     g.add_argument("--cancel", metavar="JOB", default=None)
     g.add_argument("--list", action="store_true")
     g.add_argument("--stats", action="store_true")
+    g.add_argument("--metrics", action="store_true",
+                   help="print the server's OpenMetrics exposition text")
+    g.add_argument("--health", action="store_true",
+                   help="print the server's liveness summary as JSON")
     g.add_argument("--shutdown", action="store_true")
     g.add_argument("--hard", action="store_true",
                    help="with --shutdown: cancel running jobs instead of "

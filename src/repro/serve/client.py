@@ -134,6 +134,14 @@ class ServeClient:
     def stats(self) -> dict[str, Any]:
         return self._call("stats")
 
+    def metrics(self) -> dict[str, Any]:
+        """OpenMetrics text (``"openmetrics"``) + structured ``"stats"``."""
+        return self._call("metrics")
+
+    def health(self) -> dict[str, Any]:
+        """Liveness summary: status, uptime, queue depth, heartbeats."""
+        return self._call("health")
+
     def shutdown(self, graceful: bool = True) -> dict[str, Any]:
         return self._call("shutdown", graceful=graceful)
 

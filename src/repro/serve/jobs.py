@@ -236,6 +236,8 @@ class Job:
     finished_at: float | None = None
     #: Monotonic submit stamp for latency metrics.
     t_submit: float = field(default_factory=time.monotonic)
+    #: Monotonic stamp when a worker picked the job up (queue-wait metric).
+    t_started: float | None = None
     t_done: float | None = None
     result: dict[str, Any] | None = None
     error: dict[str, str] | None = None

@@ -37,6 +37,8 @@ from pathlib import Path
 from typing import Any
 
 from repro.campaign.cache import ResultCache
+from repro.monitor.log import get_logger
+from repro.monitor.telemetry import LATENCY_BUCKETS, Histogram
 from repro.monitor.trace import get_metrics
 from repro.serve.jobs import (
     InvalidRequest,
@@ -52,6 +54,15 @@ from repro.serve.quota import QuotaManager, TenantPolicy
 from repro.serve.stream import EventHub
 
 __all__ = ["ServeEngine"]
+
+_LOG = get_logger("serve.engine")
+
+#: Monotonic total names tracked by the engine, mirrored 1:1 onto
+#: ``repro.serve.<name>`` registry counters.
+_TOTAL_NAMES = (
+    "submitted", "executed", "completed", "failed", "cancelled",
+    "stopped", "rejected", "dedup_inflight", "cache_hits",
+)
 
 
 class ServeEngine:
@@ -78,8 +89,21 @@ class ServeEngine:
         self._seq = 0
         self._queued = 0
         self._stopping = False
-        self._latencies: list[float] = []
         self._executed = 0
+
+        # Telemetry: monotonic totals survive job-table views (stats()
+        # used to be point-in-time only), the watermark records the
+        # deepest the queue ever got, and per-engine histograms keep
+        # quantiles isolated from other engines in the same process
+        # (the global registry gets the same observations for the
+        # OpenMetrics exposition).
+        self._t_start = time.monotonic()
+        self._queue_high_watermark = 0
+        self._totals: dict[str, int] = {name: 0 for name in _TOTAL_NAMES}
+        self._lat_hist = Histogram(LATENCY_BUCKETS)
+        self._wait_hist = Histogram(LATENCY_BUCKETS)
+        self._worker_heartbeats: dict[int, float] = {}
+        self._worker_busy: dict[int, str | None] = {}
 
         # Bound to the running loop in start().
         self.hub: EventHub | None = None
@@ -88,6 +112,11 @@ class ServeEngine:
         self._executor: ThreadPoolExecutor | None = None
         self._tasks: list[asyncio.Task] = []
 
+    def _count(self, name: str) -> None:
+        """Bump an engine total and its ``repro.serve.*`` mirror."""
+        self._totals[name] = self._totals.get(name, 0) + 1
+        get_metrics().inc(f"repro.serve.{name}")
+
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
@@ -95,13 +124,18 @@ class ServeEngine:
         loop = asyncio.get_running_loop()
         self.hub = EventHub(loop)
         self._cond = asyncio.Condition()
+        self._t_start = time.monotonic()
         self._executor = ThreadPoolExecutor(
             max_workers=self.nworkers, thread_name_prefix="serve-worker"
         )
         self._tasks = [
-            asyncio.create_task(self._worker(), name=f"serve-worker-{i}")
+            asyncio.create_task(self._worker(i), name=f"serve-worker-{i}")
             for i in range(self.nworkers)
         ]
+        self._worker_heartbeats = {i: time.monotonic() for i in range(self.nworkers)}
+        _LOG.info(
+            "engine started", extra={"fields": {"workers": self.nworkers}}
+        )
 
     async def stop(self, graceful: bool = True) -> None:
         """Stop the engine: drain the queue (graceful) or cut running
@@ -136,10 +170,9 @@ class ServeEngine:
         rejection (quota, rate, queue capacity, invalid resume target).
         """
         assert self._cond is not None and self.hub is not None
-        metrics = get_metrics()
-        metrics.inc("repro.serve.submitted")
+        self._count("submitted")
         if self._stopping:
-            metrics.inc("repro.serve.rejected")
+            self._count("rejected")
             raise QueueFull("server is shutting down")
         # Every request pays a rate token; only cold executions (below)
         # take an active-job slot, so cache hits and dedup fan-ins are
@@ -147,7 +180,7 @@ class ServeEngine:
         try:
             self.quota.charge(request.tenant)
         except ServeError:
-            metrics.inc("repro.serve.rejected")
+            self._count("rejected")
             raise
 
         resume_payload = None
@@ -155,7 +188,7 @@ class ServeEngine:
             try:
                 resume_payload = self._resume_source(request.resume)
             except ServeError:
-                metrics.inc("repro.serve.rejected")
+                self._count("rejected")
                 raise
 
         key = request.dedup_key()
@@ -169,7 +202,7 @@ class ServeEngine:
             if primary_id is not None:
                 primary = self.jobs[primary_id]
                 primary.subscribers += 1
-                metrics.inc("repro.serve.dedup_inflight")
+                self._count("dedup_inflight")
                 return {
                     "id": primary.id, "key": key, "state": primary.state,
                     "cached": False, "deduped": True,
@@ -185,7 +218,7 @@ class ServeEngine:
                 job.finished_at = time.time()
                 job.t_done = time.monotonic()
                 self._record_done(job)
-                metrics.inc("repro.serve.cache_hits")
+                self._count("cache_hits")
                 self._publish_state(job)
                 return {
                     "id": job.id, "key": key, "state": job.state,
@@ -197,11 +230,11 @@ class ServeEngine:
         try:
             self.quota.acquire_slot(request.tenant)
         except ServeError:
-            metrics.inc("repro.serve.rejected")
+            self._count("rejected")
             raise
         if self._queued >= self.max_queue:
             self.quota.release(request.tenant)
-            metrics.inc("repro.serve.rejected")
+            self._count("rejected")
             raise QueueFull(
                 f"queue is at capacity ({self.max_queue} jobs); retry later"
             )
@@ -230,6 +263,8 @@ class ServeEngine:
         async with self._cond:
             heapq.heappush(self._heap, (-request.priority, job.seq, job.id))
             self._queued += 1
+            if self._queued > self._queue_high_watermark:
+                self._queue_high_watermark = self._queued
             self._cond.notify()
         self._publish_state(job)
         return {
@@ -265,9 +300,10 @@ class ServeEngine:
     # ------------------------------------------------------------------
     # Worker tasks
     # ------------------------------------------------------------------
-    async def _worker(self) -> None:
+    async def _worker(self, wid: int) -> None:
         assert self._cond is not None
         while True:
+            self._worker_heartbeats[wid] = time.monotonic()
             async with self._cond:
                 while True:
                     job = self._pop_runnable()
@@ -276,7 +312,25 @@ class ServeEngine:
                     if self._stopping:
                         return
                     await self._cond.wait()
-            await self._run_job(job)
+            await self._run_job(job, wid)
+
+    def worker_heartbeat_ages(self) -> dict[int, float]:
+        """Per-worker heartbeat ages, seconds.
+
+        A worker grinding a job is stamped by every progress callback,
+        so its age measures time since the solve last reported a step.
+        An idle worker parked on the queue condition reports age 0: it
+        is healthy by definition unless the event loop itself is wedged
+        -- and a wedged loop cannot answer ``health`` at all.
+        """
+        now = time.monotonic()
+        ages: dict[int, float] = {}
+        for wid in range(self.nworkers):
+            if self._worker_busy.get(wid) is None:
+                ages[wid] = 0.0
+            else:
+                ages[wid] = now - self._worker_heartbeats.get(wid, now)
+        return ages
 
     def _pop_runnable(self) -> Job | None:
         while self._heap:
@@ -287,16 +341,28 @@ class ServeEngine:
                 return job
         return None
 
-    async def _run_job(self, job: Job) -> None:
+    async def _run_job(self, job: Job, wid: int = 0) -> None:
         assert self.hub is not None and self._executor is not None
         loop = asyncio.get_running_loop()
         job.transition(JobState.RUNNING)
         job.started_at = time.time()
+        job.t_started = time.monotonic()
+        wait_s = job.t_started - job.t_submit
+        self._wait_hist.observe(wait_s)
+        get_metrics().observe("repro.serve.queue_wait_seconds", wait_s)
+        self._worker_busy[wid] = job.id
+        self._worker_heartbeats[wid] = time.monotonic()
         self._publish_state(job)
+        _LOG.debug(
+            "job started",
+            extra={"fields": {"job": job.id, "worker": wid, "wait_s": wait_s}},
+        )
 
         hub = self.hub
+        heartbeats = self._worker_heartbeats
 
         def progress(state: dict[str, Any]) -> None:
+            heartbeats[wid] = time.monotonic()
             job.progress = state
             hub.publish_threadsafe(job.id, {"ev": "progress", **state})
 
@@ -312,7 +378,7 @@ class ServeEngine:
             payload.update(resume)
 
         self._executed += 1
-        get_metrics().inc("repro.serve.executed")
+        self._count("executed")
         outcome = await loop.run_in_executor(
             self._executor,
             functools.partial(
@@ -323,10 +389,15 @@ class ServeEngine:
                 progress=progress,
             ),
         )
+        self._worker_busy[wid] = None
+        self._worker_heartbeats[wid] = time.monotonic()
         self._finalize(job, outcome)
+        _LOG.debug(
+            "job finished",
+            extra={"fields": {"job": job.id, "state": job.state}},
+        )
 
     def _finalize(self, job: Job, outcome: dict[str, Any]) -> None:
-        metrics = get_metrics()
         status = outcome.get("status", "failed")
         job.result = outcome.get("result")
         job.stopped_by = outcome.get("stopped_by")
@@ -345,7 +416,7 @@ class ServeEngine:
 
         if status == "ok":
             job.transition(JobState.DONE)
-            metrics.inc("repro.serve.completed")
+            self._count("completed")
             # Only full, from-scratch results enter the content cache:
             # partial and resumed payloads describe a different step
             # history than the key's canonical run.
@@ -353,17 +424,17 @@ class ServeEngine:
                 self.cache.put(job.key, job.result)
         elif status == "stopped":
             job.transition(JobState.DONE)
-            metrics.inc("repro.serve.stopped")
+            self._count("stopped")
         elif status == "cancelled":
             job.transition(JobState.CANCELLED)
-            metrics.inc("repro.serve.cancelled")
+            self._count("cancelled")
         else:
             job.transition(JobState.FAILED)
             job.error = {
                 "type": "execution-failed",
                 "message": str(outcome.get("error")),
             }
-            metrics.inc("repro.serve.failed")
+            self._count("failed")
 
         job.finished_at = time.time()
         job.t_done = time.monotonic()
@@ -380,13 +451,14 @@ class ServeEngine:
         if self._inflight.get(job.key) == job.id:
             del self._inflight[job.key]
         self.quota.release(job.request.tenant)
-        get_metrics().inc("repro.serve.cancelled")
+        self._count("cancelled")
         self._record_done(job)
         self._publish_state(job)
 
     def _record_done(self, job: Job) -> None:
         if job.latency is not None:
-            self._latencies.append(job.latency)
+            self._lat_hist.observe(job.latency)
+            get_metrics().observe("repro.serve.latency_seconds", job.latency)
         self._done[job.id].set()
 
     def _publish_state(self, job: Job) -> None:
@@ -450,14 +522,18 @@ class ServeEngine:
             out.append(job.snapshot())
         return out
 
+    @staticmethod
+    def _hist_stats(hist: Histogram) -> dict[str, Any]:
+        if hist.total == 0:
+            return {"count": 0, "p50": None, "p99": None, "max": None}
+        return {
+            "count": hist.total,
+            "p50": hist.quantile(0.50),
+            "p99": hist.quantile(0.99),
+            "max": hist.max,
+        }
+
     def stats(self) -> dict[str, Any]:
-        lat = sorted(self._latencies)
-
-        def pct(p: float) -> float | None:
-            if not lat:
-                return None
-            return lat[min(len(lat) - 1, int(p * (len(lat) - 1) + 0.5))]
-
         by_state: dict[str, int] = {}
         for job in self.jobs.values():
             by_state[job.state] = by_state.get(job.state, 0) + 1
@@ -466,18 +542,41 @@ class ServeEngine:
             "queued": self._queued,
             "executed": self._executed,
             "inflight_keys": len(self._inflight),
+            "uptime_seconds": time.monotonic() - self._t_start,
+            "queue_depth_high_watermark": self._queue_high_watermark,
+            # Monotonic lifetime totals: unlike the `jobs` view (which
+            # follows the job table) these never decrease, so scrapers
+            # can rate() them.
+            "totals": dict(self._totals),
             "cache": {
                 "hits": self.cache.stats.hits,
                 "misses": self.cache.stats.misses,
                 "puts": self.cache.stats.puts,
                 "corrupt": self.cache.stats.corrupt,
             },
-            "latency": {
-                "count": len(lat),
-                "p50": pct(0.50),
-                "p99": pct(0.99),
-                "max": lat[-1] if lat else None,
-            },
+            "latency": self._hist_stats(self._lat_hist),
+            "queue_wait": self._hist_stats(self._wait_hist),
             "quota": self.quota.snapshot(),
             "workers": self.nworkers,
+        }
+
+    def health(self) -> dict[str, Any]:
+        """Liveness summary for the ``health`` wire op and ``repro top``."""
+        by_state: dict[str, int] = {}
+        for job in self.jobs.values():
+            by_state[job.state] = by_state.get(job.state, 0) + 1
+        return {
+            "status": "stopping" if self._stopping else "ok",
+            "uptime_seconds": time.monotonic() - self._t_start,
+            "queue_depth": self._queued,
+            "queue_depth_high_watermark": self._queue_high_watermark,
+            "workers": self.nworkers,
+            "worker_heartbeat_age_seconds": {
+                str(wid): age
+                for wid, age in self.worker_heartbeat_ages().items()
+            },
+            "busy_workers": sum(
+                1 for v in self._worker_busy.values() if v is not None
+            ),
+            "jobs": by_state,
         }

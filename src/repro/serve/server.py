@@ -32,9 +32,12 @@ import json
 from dataclasses import dataclass, field
 from typing import Any
 
+from repro.monitor.log import get_logger
 from repro.serve.jobs import InvalidRequest, JobRequest, ServeError
 from repro.serve.queue import ServeEngine
 from repro.serve.quota import TenantPolicy
+
+_LOG = get_logger("serve.server")
 
 __all__ = ["ServeConfig", "JobServer"]
 
@@ -84,6 +87,10 @@ class JobServer:
             limit=MAX_LINE,
         )
         self.port = self._server.sockets[0].getsockname()[1]
+        _LOG.info(
+            "listening",
+            extra={"fields": {"host": self.config.host, "port": self.port}},
+        )
 
     async def serve_until_shutdown(self) -> None:
         """Serve until a client sends ``shutdown`` (or :meth:`stop`)."""
@@ -188,6 +195,20 @@ class JobServer:
             return {"ok": True, "jobs": jobs}
         if op == "stats":
             return {"ok": True, **engine.stats()}
+        if op == "metrics":
+            # OpenMetrics text exposition of the process registry plus
+            # the engine's structured stats; the payload any scraper
+            # (and `repro top`) can parse without repro imports.
+            from repro.monitor.telemetry import render_openmetrics
+            from repro.monitor.trace import get_metrics
+
+            return {
+                "ok": True,
+                "openmetrics": render_openmetrics(get_metrics()),
+                "stats": engine.stats(),
+            }
+        if op == "health":
+            return {"ok": True, **engine.health()}
         if op == "shutdown":
             self._graceful = bool(msg.get("graceful", True))
             return {"ok": True, "stopping": True, "graceful": self._graceful}

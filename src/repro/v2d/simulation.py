@@ -21,8 +21,10 @@ from repro.hydro.eos import IdealGasEOS
 from repro.hydro.solver import HydroBC, HydroSolver2D
 from repro.io.checkpoint import CheckpointWriteError, save_checkpoint
 from repro.kernels.suite import KernelSuite
+from repro.monitor import flight, telemetry
 from repro.monitor.counters import Counters
 from repro.monitor.profiler import Profiler
+from repro.monitor.telemetry import ITERATION_BUCKETS
 from repro.monitor.timers import perf_stat
 from repro.monitor.trace import Tracer, get_metrics
 from repro.parallel.cart import CartComm
@@ -346,6 +348,8 @@ class Simulation:
         dt = self.config.dt
         if rc is None:
             report = self._traced_step(dt)
+            if telemetry.enabled():
+                self._observe_step(report, dt)
             self.step_reports.append(report)
             return report
 
@@ -376,8 +380,38 @@ class Simulation:
                 dt = policy.next_dt(dt)
                 continue
             report.retries = failures
+            if telemetry.enabled():
+                self._observe_step(report, dt)
             self.step_reports.append(report)
             return report
+
+    def _observe_step(self, report: StepReport, dt: float) -> None:
+        """Telemetry-armed per-step observations (observation only).
+
+        Feeds the solver-iteration histogram, per-rank step/heartbeat
+        gauges, and the rank's flight recorder.  Guarded by the caller
+        on :func:`telemetry.enabled`, so disarmed runs never reach this
+        and stay bitwise-identical.
+        """
+        metrics = get_metrics()
+        metrics.observe(
+            "repro.solver.iterations_per_step",
+            report.iterations,
+            buckets=ITERATION_BUCKETS,
+        )
+        metrics.inc("repro.telemetry.steps")
+        metrics.set(
+            f"repro.rank.{self.rank}.step", float(self.integrator.step_count)
+        )
+        flight.record(
+            self.rank,
+            "step",
+            "step",
+            step=self.integrator.step_count,
+            dt=dt,
+            iterations=report.iterations,
+            retries=report.retries,
+        )
 
     # ------------------------------------------------------------------
     def _maybe_checkpoint(self, step: int) -> None:
@@ -517,6 +551,13 @@ class Simulation:
         report.counters.merge(self.counters)
         if self.comm is not None:
             report.counters.merge(self.comm.counters)
+        if telemetry.enabled() and ps.result.wall_seconds > 0:
+            # Per-backend achieved GF/s gauge for `repro top`'s kernel
+            # panel; observation only (reads the finished report).
+            get_metrics().set(
+                f"repro.kernel.{cfg.backend}.gflops",
+                report.counters.achieved_gflops(ps.result.wall_seconds),
+            )
         if rc is not None:
             report.resilience = ResilienceReport.from_counters(
                 report.counters,

@@ -1,0 +1,552 @@
+"""The live-telemetry pipeline: histograms, OpenMetrics, flight
+recorders, structured logging, the serve wire ops, and ``repro top``.
+
+The load-bearing contract is the first test class: with the gate off
+(the default), instrumented code paths are bitwise-identical to the
+pre-telemetry code -- same solver fields, same counters, same
+iteration counts -- and nothing is recorded anywhere.  Everything else
+asserts the armed behaviour: quantile estimation against
+:mod:`statistics`, exposition round-trips, dump-on-abort bundles on
+both transports, registry fold-back through the ``mp`` result pipes,
+and the ``metrics``/``health`` wire vocabulary.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+import logging
+import pickle
+import statistics
+import threading
+
+import numpy as np
+import pytest
+
+from repro.monitor import flight, telemetry
+from repro.monitor.log import (
+    JsonlFormatter,
+    bind_context,
+    current_context,
+    get_logger,
+)
+from repro.monitor.telemetry import (
+    ITERATION_BUCKETS,
+    LATENCY_BUCKETS,
+    Histogram,
+    Telemetry,
+    metric_name,
+    parse_openmetrics,
+    publish_heartbeats,
+    render_openmetrics,
+)
+from repro.monitor.top import build_view, render_view
+from repro.monitor.trace import MetricsRegistry, get_metrics
+from repro.parallel import WorldAbortedError, run_spmd
+from repro.problems import GaussianPulseProblem
+from repro.v2d import Simulation, V2DConfig
+
+CFG = dict(nx1=16, nx2=8, nsteps=2, dt=1e-3, precond="jacobi")
+TIMEOUT = 20.0
+
+
+@pytest.fixture(autouse=True)
+def _telemetry_isolation():
+    """Every test starts disarmed with empty flight rings."""
+    prev = telemetry.set_enabled(False)
+    flight.reset()
+    yield
+    telemetry.set_enabled(prev)
+    flight.reset()
+
+
+# ======================================================================
+# Histogram
+# ======================================================================
+class TestHistogram:
+    def test_quantiles_track_statistics_module(self):
+        # Uniform spread over [1, 400): bucket interpolation must land
+        # within one bucket's width of the exact sample quantiles.
+        samples = [float(1 + (i * 7919) % 400) for i in range(2000)]
+        hist = Histogram(ITERATION_BUCKETS)
+        hist.observe_many(samples)
+        exact = statistics.quantiles(samples, n=4)
+        estimated = hist.quantiles(n=4)
+        for est, ref in zip(estimated, exact):
+            # Bucket resolution: bounds neighbouring ref give the slack.
+            slack = max(b for b in ITERATION_BUCKETS if b <= ref * 2) * 0.5
+            assert abs(est - ref) <= slack, (est, ref)
+        assert hist.count == len(samples)
+        assert hist.mean == pytest.approx(statistics.fmean(samples))
+
+    def test_single_bucket_distribution_does_not_smear(self):
+        hist = Histogram(LATENCY_BUCKETS)
+        for _ in range(100):
+            hist.observe(0.42)
+        # min/max tightening: every quantile is exactly the sample.
+        assert hist.quantile(0.5) == pytest.approx(0.42)
+        assert hist.quantile(0.99) == pytest.approx(0.42)
+
+    def test_empty_histogram_quantile_is_nan(self):
+        assert np.isnan(Histogram().quantile(0.5))
+
+    def test_quantile_rejects_out_of_range(self):
+        with pytest.raises(ValueError, match="quantile"):
+            Histogram().quantile(1.5)
+
+    def test_bad_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram([])
+        with pytest.raises(ValueError):
+            Histogram([1.0, 1.0])
+        with pytest.raises(ValueError):
+            Histogram([1.0, float("inf")])
+
+    def test_merge_and_snapshot_round_trip(self):
+        a, b = Histogram([1.0, 10.0]), Histogram([1.0, 10.0])
+        a.observe_many([0.5, 5.0])
+        b.observe_many([50.0])
+        a.merge(b)
+        assert a.total == 3 and a.max == 50.0 and a.min == 0.5
+        back = Histogram.from_snapshot(a.snapshot())
+        assert back.snapshot() == a.snapshot()
+        with pytest.raises(ValueError, match="different buckets"):
+            a.merge(Histogram([2.0]))
+
+    def test_histogram_pickles(self):
+        hist = Histogram(LATENCY_BUCKETS)
+        hist.observe_many([0.01, 0.2, 3.0])
+        clone = pickle.loads(pickle.dumps(hist))
+        assert clone.snapshot() == hist.snapshot()
+
+
+# ======================================================================
+# OpenMetrics exposition
+# ======================================================================
+class TestOpenMetrics:
+    def _registry(self) -> MetricsRegistry:
+        reg = MetricsRegistry()
+        reg.set("repro.rank.0.heartbeat_age_seconds", 0.25)
+        reg.inc("repro.serve.submitted", 3)
+        for v in (0.005, 0.02, 0.02, 1.5):
+            reg.observe("repro.serve.latency_seconds", v)
+        return reg
+
+    def test_render_parse_round_trip(self):
+        text = render_openmetrics(self._registry())
+        assert text.endswith("# EOF\n")
+        parsed = parse_openmetrics(text)
+        hb = parsed[metric_name("repro.rank.0.heartbeat_age_seconds")]
+        assert hb["type"] == "gauge" and hb["value"] == 0.25
+        lat = parsed[metric_name("repro.serve.latency_seconds")]
+        assert lat["type"] == "histogram"
+        assert lat["count"] == 4
+        assert lat["sum"] == pytest.approx(1.545)
+        cums = [c for _, c in lat["buckets"]]
+        assert cums == sorted(cums) and cums[-1] == 4
+
+    def test_metric_name_sanitizes(self):
+        assert metric_name("repro.serve.latency_seconds") == \
+            "repro_serve_latency_seconds"
+        assert metric_name("a b-c/d") == "a_b_c_d"
+
+    @pytest.mark.parametrize("mangle,match", [
+        (lambda t: t.replace("# EOF\n", ""), "EOF"),
+        (lambda t: t.replace("# TYPE repro_serve_latency_seconds histogram\n",
+                             ""), "TYPE"),
+        (lambda t: t + "naked_sample 1\n# EOF\n", "EOF|TYPE"),
+    ])
+    def test_malformed_text_rejected(self, mangle, match):
+        text = mangle(render_openmetrics(self._registry()))
+        with pytest.raises(ValueError, match=match):
+            parse_openmetrics(text)
+
+    def test_non_monotone_buckets_rejected(self):
+        text = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="1.0"} 5\n'
+            'h_bucket{le="2.0"} 3\n'
+            'h_bucket{le="+Inf"} 5\n'
+            "h_count 5\nh_sum 1.0\n# EOF\n"
+        )
+        with pytest.raises(ValueError, match="decreased"):
+            parse_openmetrics(text)
+
+    def test_inf_bucket_must_equal_count(self):
+        text = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="+Inf"} 4\n'
+            "h_count 5\nh_sum 1.0\n# EOF\n"
+        )
+        with pytest.raises(ValueError):
+            parse_openmetrics(text)
+
+    def test_publish_heartbeats(self):
+        reg = MetricsRegistry()
+        publish_heartbeats(reg, {0: 0.1, 1: 7.5})
+        snap = reg.snapshot()
+        assert snap["repro.rank.0.heartbeat_age_seconds"] == 0.1
+        assert snap["repro.rank.1.heartbeat_age_seconds"] == 7.5
+
+    def test_sampler_writes_parseable_file(self, tmp_path):
+        path = tmp_path / "metrics.txt"
+        reg = MetricsRegistry()
+        reg.observe("repro.solver.iterations_per_step", 12.0,
+                    buckets=ITERATION_BUCKETS)
+        Telemetry(path, registry=reg, interval=60.0).sample()
+        parsed = parse_openmetrics(path.read_text())
+        assert parsed["repro_solver_iterations_per_step"]["count"] == 1
+        assert "repro_telemetry_sampled_unix" in parsed
+
+
+# ======================================================================
+# The gate, and the bitwise-off contract
+# ======================================================================
+class TestGate:
+    def test_set_enabled_returns_previous(self):
+        assert telemetry.set_enabled(True) is False
+        assert telemetry.set_enabled(False) is True
+
+    def test_enabled_scope_restores(self):
+        assert not telemetry.enabled()
+        with telemetry.enabled_scope():
+            assert telemetry.enabled()
+        assert not telemetry.enabled()
+
+    def test_disabled_telemetry_is_bitwise_identical(self):
+        def solve(armed: bool):
+            prev = telemetry.set_enabled(armed)
+            try:
+                sim = Simulation(V2DConfig(**CFG), GaussianPulseProblem())
+                rep = sim.run()
+                iters = [r.iterations for r in sim.step_reports]
+                return sim.integrator.E.interior.copy(), iters, rep
+            finally:
+                telemetry.set_enabled(prev)
+
+        field_off, iters_off, rep_off = solve(False)
+        field_on, iters_on, rep_on = solve(True)
+        assert np.array_equal(field_off, field_on)
+        assert iters_off == iters_on
+        assert rep_off.counters.flops == rep_on.counters.flops
+
+    def test_disabled_run_records_nothing(self):
+        # Compare deltas: the process registry is shared, so earlier
+        # armed tests may have left entries -- a disarmed run must not
+        # change ANY of them.
+        before = get_metrics().snapshot()
+        Simulation(V2DConfig(**CFG), GaussianPulseProblem()).run()
+        assert get_metrics().snapshot() == before
+        assert flight.active_ranks() == []
+
+    def test_enabled_run_observes_steps(self):
+        with telemetry.enabled_scope():
+            Simulation(V2DConfig(**CFG), GaussianPulseProblem()).run()
+            hist = get_metrics().histogram("repro.solver.iterations_per_step")
+            assert hist is not None and hist.total >= CFG["nsteps"]
+            events = flight.recorder_for(0).events()
+        assert any(ev["kind"] == "step" for ev in events)
+
+
+# ======================================================================
+# Flight recorders and dump-on-abort
+# ======================================================================
+class TestFlightRecorder:
+    def test_ring_is_bounded_and_counts_drops(self):
+        rec = flight.FlightRecorder(rank=0, capacity=4)
+        for i in range(10):
+            rec.record("step", "step", step=i)
+        assert len(rec) == 4 and rec.dropped == 6
+        assert [ev["step"] for ev in rec.events()] == [6, 7, 8, 9]
+        assert all("us" in ev for ev in rec.events())
+
+    def test_module_record_is_noop_when_disarmed(self):
+        flight.record(0, "step", "step", step=1)
+        assert flight.active_ranks() == []
+        with telemetry.enabled_scope():
+            flight.record(0, "step", "step", step=1)
+        assert flight.active_ranks() == [0]
+
+    def test_dump_bundle_round_trip(self, tmp_path):
+        with telemetry.enabled_scope():
+            flight.record(0, "step", "step", step=1)
+            flight.record(1, "error", "ValueError", message="boom")
+            bundle = flight.dump_bundle(
+                "abort", failing_rank=1, cause="ValueError('boom')",
+                heartbeat_ages={0: 0.1, 1: 2.0}, directory=tmp_path,
+            )
+        back = flight.read_bundle(bundle)
+        man = back["manifest"]
+        assert man["schema"] == flight.FLIGHT_SCHEMA
+        assert man["reason"] == "abort" and man["failing_rank"] == 1
+        assert man["rank_files"] == ["rank0.jsonl", "rank1.jsonl"]
+        assert man["heartbeat_age_seconds"]["1"] == 2.0
+        assert back["ranks"][1][0]["name"] == "ValueError"
+
+    @pytest.mark.parametrize("transport", ("threads", "mp"))
+    def test_abort_dumps_bundle_naming_failing_rank(
+        self, transport, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_FLIGHT_DIR", str(tmp_path))
+
+        def prog(comm):
+            flight.record(comm.rank, "step", "step", step=0)
+            if comm.rank == 1:
+                raise ValueError("physics blew up")
+            comm.barrier()
+
+        prev = telemetry.set_enabled(True)
+        try:
+            with pytest.raises(WorldAbortedError) as exc:
+                run_spmd(2, prog, transport=transport, timeout=TIMEOUT)
+        finally:
+            telemetry.set_enabled(prev)
+        assert exc.value.rank == 1
+
+        bundles = sorted(tmp_path.glob("abort-*"))
+        assert bundles, "abort left no flight bundle"
+        back = flight.read_bundle(bundles[-1])
+        assert back["manifest"]["failing_rank"] == 1
+        assert "physics blew up" in back["manifest"]["cause"]
+        rank1 = back["ranks"][1]
+        assert any(ev["kind"] == "error" for ev in rank1)
+
+    @pytest.mark.parametrize("transport", ("threads", "mp"))
+    def test_disarmed_abort_leaves_no_bundle(
+        self, transport, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_FLIGHT_DIR", str(tmp_path))
+
+        def prog(comm):
+            if comm.rank == 0:
+                raise RuntimeError("quiet failure")
+            comm.barrier()
+
+        with pytest.raises(WorldAbortedError):
+            run_spmd(2, prog, transport=transport, timeout=TIMEOUT)
+        assert list(tmp_path.iterdir()) == []
+
+
+# ======================================================================
+# Registry fork/pickle safety and mp fold-back
+# ======================================================================
+class TestRegistryFoldBack:
+    def test_registry_pickles_with_histograms(self):
+        reg = MetricsRegistry()
+        reg.inc("a", 2.0)
+        reg.observe("h", 0.5)
+        clone = pickle.loads(pickle.dumps(reg))
+        assert clone.snapshot() == reg.snapshot()
+        assert clone.histogram("h").total == 1
+        clone.inc("a")  # the re-created lock works
+
+    def test_export_and_reset_then_merge(self):
+        reg = MetricsRegistry()
+        reg.inc("n", 3.0)
+        reg.observe("h", 1.0)
+        export = reg.export_and_reset()
+        assert reg.snapshot() == {} and reg.histogram("h") is None
+        other = MetricsRegistry()
+        other.inc("n", 1.0)
+        other.observe("h", 9.0)
+        other.merge_export(export)
+        assert other.snapshot()["n"] == 4.0
+        hist = other.histogram("h")
+        assert hist.total == 2 and hist.max == 9.0
+
+    def test_mp_children_fold_metrics_back_to_parent(self):
+        before = get_metrics().snapshot().get("repro.test.child_steps", 0.0)
+
+        def prog(comm):
+            reg = get_metrics()
+            reg.inc("repro.test.child_steps", 2.0)
+            reg.observe("repro.test.child_hist", float(comm.rank + 1))
+            return comm.rank
+
+        out = run_spmd(2, prog, transport="mp", timeout=TIMEOUT)
+        assert out == [0, 1]
+        after = get_metrics().snapshot()
+        assert after["repro.test.child_steps"] - before == 4.0
+        hist = get_metrics().histogram("repro.test.child_hist")
+        assert hist is not None and hist.total == 2
+        assert hist.max == 2.0
+
+
+# ======================================================================
+# Serve wire protocol: metrics/health ops, stats fixes
+# ======================================================================
+BASE = {"nx1": 16, "nx2": 8, "nsteps": 2, "profile": False}
+
+
+@contextlib.contextmanager
+def _server(tmp_path):
+    from repro.serve import JobServer, ServeClient, ServeConfig
+
+    cfg = ServeConfig(port=0, workers=2,
+                      cache_dir=str(tmp_path / "cache"),
+                      workdir=str(tmp_path / "work"))
+    server = JobServer(cfg)
+    ready = threading.Event()
+
+    def runner():
+        async def main():
+            await server.start()
+            ready.set()
+            await server.serve_until_shutdown()
+
+        asyncio.run(main())
+
+    thread = threading.Thread(target=runner, daemon=True)
+    thread.start()
+    assert ready.wait(15), "server failed to start"
+    try:
+        yield server
+    finally:
+        if thread.is_alive():
+            with contextlib.suppress(Exception):
+                with ServeClient(port=server.port, timeout=10) as client:
+                    client.shutdown()
+            thread.join(30)
+        assert not thread.is_alive()
+
+
+class TestServeTelemetryWire:
+    def test_metrics_and_health_ops(self, tmp_path):
+        from repro.serve import ServeClient
+
+        with telemetry.enabled_scope(), _server(tmp_path) as server:
+            with ServeClient(port=server.port) as client:
+                sub = client.submit(config={**BASE, "dt": 3.1e-4})
+                assert client.result(sub["id"])["state"] == "done"
+
+                payload = client.metrics()
+                parsed = parse_openmetrics(payload["openmetrics"])
+                lat = parsed["repro_serve_latency_seconds"]
+                assert lat["type"] == "histogram" and lat["count"] >= 1
+                assert parsed["repro_serve_executed"]["value"] >= 1.0
+
+                stats = payload["stats"]
+                assert stats["uptime_seconds"] > 0
+                assert stats["queue_depth_high_watermark"] >= 1
+                assert stats["totals"]["executed"] == 1
+                assert stats["latency"]["count"] == 1
+                assert stats["latency"]["p99"] >= stats["latency"]["p50"]
+
+                health = client.health()
+                assert health["status"] == "ok"
+                assert health["workers"] == 2
+                ages = health["worker_heartbeat_age_seconds"]
+                assert set(ages) == {"0", "1"}
+                assert all(age < 10.0 for age in ages.values())
+
+    def test_totals_are_monotonic_across_job_lifecycle(self, tmp_path):
+        from repro.serve import ServeClient
+
+        with _server(tmp_path) as server:
+            with ServeClient(port=server.port) as client:
+                sub = client.submit(config={**BASE, "dt": 3.2e-4})
+                client.result(sub["id"])
+                first = client.stats()
+                # Resubmit the same physics: a cache hit must bump
+                # submitted/cache_hits and never decrease anything.
+                client.submit(config={**BASE, "dt": 3.2e-4})
+                second = client.stats()
+                for key, value in first["totals"].items():
+                    assert second["totals"][key] >= value
+                assert second["totals"]["submitted"] == 2
+                assert second["totals"]["cache_hits"] == 1
+                assert second["totals"]["executed"] == 1
+                assert second["uptime_seconds"] >= first["uptime_seconds"]
+
+    def test_malformed_requests_get_typed_errors(self, tmp_path):
+        import socket
+
+        with _server(tmp_path) as server:
+            with socket.create_connection(("127.0.0.1", server.port), 10) as s:
+                fh = s.makefile("rwb")
+                for raw in (b"not json\n", b'["a","list"]\n',
+                            b'{"op": "no-such-op"}\n', b'{"op": 42}\n'):
+                    fh.write(raw)
+                    fh.flush()
+                    resp = json.loads(fh.readline())
+                    assert resp["ok"] is False
+                    assert resp["error"]["type"] == "invalid-request"
+                # The connection survives malformed traffic.
+                fh.write(b'{"op": "ping"}\n')
+                fh.flush()
+                assert json.loads(fh.readline())["pong"] is True
+
+
+# ======================================================================
+# repro top
+# ======================================================================
+class TestTop:
+    def _sample_text(self) -> str:
+        reg = MetricsRegistry()
+        reg.set("repro.kernel.vector.gflops", 1.25)
+        reg.set("repro.rank.0.heartbeat_age_seconds", 0.2)
+        reg.set("repro.rank.1.heartbeat_age_seconds", 9.0)
+        reg.observe("repro.serve.latency_seconds", 0.05)
+        return render_openmetrics(reg)
+
+    def test_build_view_from_openmetrics(self):
+        view = build_view(parse_openmetrics(self._sample_text()))
+        assert view["gflops"] == {"vector": 1.25}
+        assert view["rank_heartbeat_age_seconds"] == {0: 0.2, 1: 9.0}
+        assert view["latency"]["count"] == 1
+
+    def test_render_view_flags_stale_ranks(self):
+        out = render_view(build_view(parse_openmetrics(self._sample_text())))
+        assert "vector=1.250 GF/s" in out
+        assert "r1=9.0s !!" in out  # stale heartbeat flagged
+        assert "r0=0.2s" in out
+
+    def test_top_once_from_file(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        path = tmp_path / "metrics.txt"
+        path.write_text(self._sample_text())
+        assert main(["top", "--file", str(path), "--once"]) == 0
+        out = capsys.readouterr().out
+        assert "repro top" in out and "GF/s" in out
+
+    def test_top_reports_bad_payload(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        path = tmp_path / "metrics.txt"
+        path.write_text("junk without EOF\n")
+        assert main(["top", "--file", str(path), "--once"]) == 2
+        assert "OpenMetrics" in capsys.readouterr().err
+
+
+# ======================================================================
+# Structured logging
+# ======================================================================
+class TestStructuredLogging:
+    def test_jsonl_formatter_carries_context_and_fields(self):
+        logger = get_logger("test.telemetry")
+        with bind_context(run="r-1", rank=3):
+            assert current_context() == {"run": "r-1", "rank": 3}
+            record = logger.makeRecord(
+                logger.name, logging.INFO, __file__, 1, "solver step",
+                (), None, extra={"fields": {"step": 7}},
+            )
+            line = JsonlFormatter().format(record)
+        data = json.loads(line)
+        assert data["msg"] == "solver step"
+        assert data["level"] == "info"
+        assert data["step"] == 7
+        assert data["run"] == "r-1" and data["rank"] == 3
+        assert isinstance(data["us"], (int, float))
+
+    def test_bind_context_nests_and_restores(self):
+        with bind_context(run="outer"):
+            with bind_context(rank=1):
+                assert current_context() == {"run": "outer", "rank": 1}
+            assert current_context() == {"run": "outer"}
+        assert current_context() == {}
+
+    def test_library_is_silent_unconfigured(self):
+        root = logging.getLogger("repro")
+        assert any(isinstance(h, logging.NullHandler) for h in root.handlers)
